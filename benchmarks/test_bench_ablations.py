@@ -1,0 +1,49 @@
+"""Bench: design-choice ablations (DESIGN.md §5)."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_threshold_ablation(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: ablations.voting_threshold(n_windows=2), rounds=1, iterations=1
+    )
+    save_table(result)
+    ppl = {row["b"]: row["perplexity"] for row in result.rows}
+    # The adaptive σ term must not hurt; at tight budgets it should help
+    # or tie vs the pure-mean criterion.
+    assert ppl[0.2] <= ppl[0.0] * 1.02
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_reserved_length_ablation(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: ablations.reserved_length(n_windows=2), rounds=1, iterations=1
+    )
+    save_table(result)
+    ppl = {row["reserved_length"]: row["perplexity"] for row in result.rows}
+    # Protecting the attention sink must beat no protection.
+    assert min(ppl[4], ppl[8], ppl[16]) <= ppl[0]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_eviction_granularity_ablation(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: ablations.eviction_granularity(n_windows=2), rounds=1, iterations=1
+    )
+    save_table(result)
+    assert len(result.rows) == 2
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_strided_derate_sensitivity(benchmark, save_table):
+    result = benchmark.pedantic(
+        ablations.strided_derate_sensitivity, rounds=1, iterations=1
+    )
+    save_table(result)
+    ratios = [row["veda_vs_baseline"] for row in result.rows]
+    # Weaker penalty (derate → 1.0) shrinks the flexible-dataflow win.
+    assert ratios == sorted(ratios)
+    assert ratios[-1] < 1.0  # tree padding alone still favours VEDA

@@ -1,0 +1,18 @@
+"""Bench: Fig. 8 (center) — dataflow ablation latency."""
+
+import pytest
+
+from repro.experiments import fig8_center
+
+
+@pytest.mark.benchmark(group="fig8_center")
+def test_fig8_center(benchmark, save_table):
+    result = benchmark.pedantic(fig8_center.run, rounds=1, iterations=1)
+    save_table(result)
+
+    for row in result.rows:
+        assert row["Baseline"] == pytest.approx(1.0)
+        # Paper: flexible dataflow ≈ 25% latency reduction.
+        assert row["Baseline+F"] == pytest.approx(row["paper_F"], abs=0.07)
+        # Paper: +element-serial lands at 0.55-0.63.
+        assert row["Baseline+F+E"] == pytest.approx(row["paper_F+E"], abs=0.07)

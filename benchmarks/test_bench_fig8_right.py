@@ -1,0 +1,17 @@
+"""Bench: Fig. 8 (right) — voting-eviction speedup."""
+
+import pytest
+
+from repro.experiments import fig8_right
+
+
+@pytest.mark.benchmark(group="fig8_right")
+def test_fig8_right(benchmark, save_table):
+    result = benchmark.pedantic(fig8_right.run, rounds=1, iterations=1)
+    save_table(result)
+
+    for row in result.rows:
+        for ratio in fig8_right.RATIOS:
+            assert row[f"VEDA+{ratio}KV"] == pytest.approx(
+                row[f"paper@{ratio}"], rel=0.10
+            )

@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the hot kernels.
+
+These are throughput measurements of the reproduction's own code paths
+(not paper artifacts): the functional PE array, the streaming SFU units,
+policy bookkeeping, and a decode step of the cached transformer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel.pe_array import PEArray
+from repro.accel.sfu import SoftmaxUnit
+from repro.config import tiny_config
+from repro.core.policies import H2OPolicy, VotingPolicy
+from repro.core.policies.base import GENERATION
+from repro.models.inference import CachedTransformer, stable_softmax
+from repro.models.transformer import TransformerLM
+
+
+@pytest.fixture(scope="module")
+def inference():
+    return CachedTransformer.from_module(TransformerLM(tiny_config(), seed=0))
+
+
+@pytest.mark.benchmark(group="micro")
+def test_pe_array_inner_product(benchmark, rng):
+    array = PEArray(width=128, quantize=False)
+    v = rng.normal(size=128)
+    m = rng.normal(size=(128, 64))
+    benchmark(array.inner_product, v, m)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_pe_array_outer_product(benchmark, rng):
+    array = PEArray(width=128, quantize=False)
+    v = rng.normal(size=64)
+    m = rng.normal(size=(64, 128))
+    benchmark(array.outer_product, v, m)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_streaming_softmax_unit(benchmark, rng):
+    unit = SoftmaxUnit(quantize=False)
+    x = rng.normal(size=256)
+    benchmark(unit, x)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_voting_policy_observe(benchmark, rng):
+    policy = VotingPolicy(n_layers=1, reserved_length=8)
+    attn = stable_softmax(rng.normal(size=(8, 512)) * 3, axis=-1)
+    positions = np.arange(512)
+    benchmark(policy.observe, 0, attn, positions, GENERATION)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_h2o_policy_observe(benchmark, rng):
+    policy = H2OPolicy(n_layers=1)
+    attn = stable_softmax(rng.normal(size=(8, 512)) * 3, axis=-1)
+    positions = np.arange(512)
+    benchmark(policy.observe, 0, attn, positions, GENERATION)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_decode_step(benchmark, inference, rng):
+    tokens = rng.integers(0, 64, size=32)
+
+    def step_once():
+        cache = inference.new_cache()
+        inference.prefill(tokens, cache)
+        return inference.step(5, 32, cache)
+
+    benchmark(step_once)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)

@@ -1,0 +1,40 @@
+"""Bench: motivation analyses — batching (paper intro) and FP16 error."""
+
+import pytest
+
+from repro.experiments import batching
+from repro.experiments.common import ExperimentResult, format_table
+from repro.numerics.error_analysis import gemv_error_sweep, softmax_error
+
+
+@pytest.mark.benchmark(group="motivation")
+def test_batching_analysis(benchmark, save_table):
+    result = benchmark.pedantic(batching.run, rounds=1, iterations=1)
+    save_table(result)
+    shares = [row["attention_share_%"] for row in result.rows]
+    assert shares == sorted(shares)
+
+
+@pytest.mark.benchmark(group="motivation")
+def test_fp16_error_analysis(benchmark, save_table):
+    def build():
+        rows = gemv_error_sweep(k_values=(16, 64, 256, 1024, 4096))
+        result = ExperimentResult(
+            "fp16_error",
+            "FP16 datapath error vs reduction length",
+            rows=rows,
+            notes="inner = hierarchical adder tree; outer = sequential acc.",
+        )
+        result.softmax_rows = softmax_error(lengths=(16, 128, 1024, 4096))
+        return result
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_table(
+        result,
+        extra=format_table(result.softmax_rows, title="streaming FP16 softmax"),
+    )
+    for row in result.rows:
+        assert row["inner_rel_error"] < 0.02
+        assert row["outer_rel_error"] < 0.02
+    for row in result.softmax_rows:
+        assert row["max_abs_error"] < 5e-3

@@ -1,0 +1,21 @@
+"""Bench: full policy zoo at an aggressive compression ratio."""
+
+import pytest
+
+from repro.experiments import policy_zoo
+
+
+@pytest.mark.benchmark(group="policy_zoo")
+def test_policy_zoo(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: policy_zoo.run(budget=32, n_windows=3), rounds=1, iterations=1
+    )
+    save_table(result)
+
+    ppl = {row["policy"]: row["perplexity"] for row in result.rows}
+    # The paper's claims at this compression level:
+    assert ppl["voting"] <= ppl["h2o"]
+    assert ppl["voting"] <= ppl["streaming"]
+    # Any informed policy must beat the random control.
+    assert ppl["voting"] < ppl["random"]
+    assert ppl["h2o"] < ppl["random"]

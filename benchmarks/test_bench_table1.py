@@ -1,0 +1,15 @@
+"""Bench: Table I — area/power breakdown."""
+
+import pytest
+
+from repro.experiments import table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1(benchmark, save_table):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    save_table(result)
+
+    for row in result.rows:
+        assert row["area_mm2"] == pytest.approx(row["paper_area"], rel=0.05)
+        assert row["power_mw"] == pytest.approx(row["paper_power"], rel=0.05)

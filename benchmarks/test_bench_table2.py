@@ -1,0 +1,22 @@
+"""Bench: Table II — accelerator and GPU comparison."""
+
+import pytest
+
+from repro.experiments import table2
+from repro.experiments.common import format_table
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2(benchmark, save_table):
+    result = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    extra = format_table(result.end_to_end, title="End-to-end vs RTX 4090")
+    save_table(result, extra=extra)
+
+    veda = next(r for r in result.rows if r["accelerator"] == "VEDA")
+    assert veda["GOPS/W"] == pytest.approx(653.0, rel=0.08)
+    metrics = {e["metric"]: e["value"] for e in result.end_to_end}
+    assert metrics["VEDA tokens/s"] == pytest.approx(18.6, rel=0.06)
+    assert metrics["8-VEDA throughput ratio vs GPU"] == pytest.approx(2.86, rel=0.12)
+    assert metrics["energy-efficiency ratio (VEDA vs GPU)"] == pytest.approx(
+        38.8, rel=0.15
+    )

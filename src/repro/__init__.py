@@ -1,0 +1,36 @@
+"""repro — reproduction of VEDA (DAC 2025).
+
+VEDA: Efficient LLM Generation Through Voting-based KV Cache Eviction and
+Dataflow-flexible Accelerator (Wang et al., arXiv:2507.00797).
+
+Public API layers:
+
+- :mod:`repro.core` — the paper's contribution: voting-based KV cache
+  eviction, baselines (StreamingLLM, H2O), and the generation engine.
+- :mod:`repro.accel` — the VEDA accelerator model: reconfigurable PE
+  array, flexible-product dataflow, element-serial scheduling, voting
+  engine, memory system, and area/power models.
+- :mod:`repro.models`, :mod:`repro.nn`, :mod:`repro.data` — the substrate:
+  a from-scratch Llama-style LM (training + cached inference) and the
+  synthetic long-book corpus.
+- :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.config import (
+    ModelConfig,
+    TrainingConfig,
+    llama2_7b_shapes,
+    small_lm_config,
+    tiny_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ModelConfig",
+    "TrainingConfig",
+    "tiny_config",
+    "small_lm_config",
+    "llama2_7b_shapes",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Published accelerator specs for Table II plus the A3-like baseline.
+
+The A3-like adder-tree baseline itself is a :class:`HardwareConfig`
+(see :func:`repro.accel.config.baseline_config`); this module holds the
+*published* numbers of the comparison accelerators and the VEDA-side
+figures needed to regenerate Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AcceleratorSpec", "SANGER", "SPATTEN", "published_accelerators"]
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """One row of the related-accelerator comparison (paper Table II)."""
+
+    name: str
+    support: str
+    technology_nm: int
+    area_mm2: float
+    throughput_gops: float
+    energy_efficiency_gops_w: float
+
+
+#: Sanger (Lu et al., MICRO 2021) as reported in paper Table II.
+SANGER = AcceleratorSpec(
+    name="Sanger",
+    support="Attention",
+    technology_nm=55,
+    area_mm2=16.9,
+    throughput_gops=529.0,
+    energy_efficiency_gops_w=192.0,
+)
+
+#: SpAtten (Wang et al., HPCA 2021) as reported in paper Table II.
+SPATTEN = AcceleratorSpec(
+    name="Spatten",
+    support="Transformer",
+    technology_nm=40,
+    area_mm2=1.55,
+    throughput_gops=360.0,
+    energy_efficiency_gops_w=382.0,
+)
+
+
+def published_accelerators():
+    """The comparison accelerators in Table II order."""
+    return [SANGER, SPATTEN]

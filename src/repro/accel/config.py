@@ -1,0 +1,139 @@
+"""Hardware configuration for the VEDA accelerator model.
+
+All parameters default to the paper's specification (Table I and Sec. VI):
+an 8×8×2 reconfigurable PE array at 1 GHz in 28 nm, FP16 datapath, a
+256 KB on-chip buffer, 256 GB/s HBM, and an SFU with 2 EXP / 2 DIV / 1
+SQRT units plus a 32-entry FIFO.
+
+The ablation variants of Fig. 8 (center) are expressed as feature flags:
+
+- ``flexible_dataflow`` (the "+F" in the paper): runtime inner/outer
+  product reconfiguration.  When off, the accelerator is the conventional
+  adder-tree design (A3-like): inner-product only, fixed tree width, tile
+  rounding on the temporal dimension, and transposed (strided) access for
+  the V matrix.
+- ``element_serial`` ("+E"): softmax/layernorm overlap with PE-array
+  streams.  When off, nonlinear operators are pipeline stages that stall
+  the array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["HardwareConfig", "veda_config", "baseline_config", "ablation_configs"]
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Parameters of the accelerator and its memory system.
+
+    Cycle-model calibration constants (the ``*_derate`` and ``*_overhead``
+    fields) are documented where they are consumed in
+    :mod:`repro.accel.scheduler`.
+    """
+
+    # --- PE array (Fig. 5) -------------------------------------------
+    pe_rows: int = 8
+    pe_cols: int = 8
+    pe_arrays: int = 2
+    clock_ghz: float = 1.0
+
+    # --- datapath ------------------------------------------------------
+    bytes_per_element: int = 2  # FP16
+
+    # --- SFU (Table I) -------------------------------------------------
+    n_exp_units: int = 2
+    n_div_units: int = 2
+    n_sqrt_units: int = 1
+    n_sfu_mult: int = 2
+    n_sfu_add: int = 4
+    sfu_fifo_depth: int = 32
+
+    # --- voting engine (Fig. 7) ----------------------------------------
+    vote_fifo_entries: int = 4096
+    vote_buffer_entries: int = 4096
+    vote_count_bits: int = 16
+    evict_index_bits: int = 12
+
+    # --- memory ----------------------------------------------------------
+    hbm_bandwidth_gb_s: float = 256.0
+    onchip_buffer_kb: int = 256
+    #: Effective bandwidth fraction for strided (transpose-pattern) DRAM
+    #: access — the row-buffer-miss derate a Ramulator run exhibits for
+    #: column-major walks over a row-major layout.
+    dram_strided_derate: float = 0.6
+    #: Effective throughput fraction for transposed reads from the on-chip
+    #: buffer (bank-conflict derate), paid by the fixed-dataflow baseline
+    #: during prefill s'V.
+    sram_transposed_derate: float = 0.75
+
+    # --- scheduling ------------------------------------------------------
+    #: Fixed per-row overhead of a conventional (pipeline-stage) softmax:
+    #: FIFO fill + unit pipeline depth, in cycles.
+    softmax_stage_overhead: int = 32
+    #: Residual drain cycles of element-serial scheduling per operator.
+    element_serial_drain: int = 2
+
+    # --- feature flags (ablations) --------------------------------------
+    flexible_dataflow: bool = True
+    element_serial: bool = True
+
+    # ------------------------------------------------------------------
+    def __post_init__(self):
+        if self.pe_rows <= 0 or self.pe_cols <= 0 or self.pe_arrays <= 0:
+            raise ValueError("PE array dimensions must be positive")
+        if not 0.0 < self.dram_strided_derate <= 1.0:
+            raise ValueError("dram_strided_derate must be in (0, 1]")
+        if not 0.0 < self.sram_transposed_derate <= 1.0:
+            raise ValueError("sram_transposed_derate must be in (0, 1]")
+
+    @property
+    def n_pe(self):
+        """Total multiply-accumulate lanes (8*8*2 = 128 in the paper)."""
+        return self.pe_rows * self.pe_cols * self.pe_arrays
+
+    @property
+    def tree_width(self):
+        """Spatial reduction width: all PEs feed one logical adder tree."""
+        return self.n_pe
+
+    @property
+    def peak_gops(self):
+        """Peak throughput: one MAC = 2 ops per PE per cycle."""
+        return 2.0 * self.n_pe * self.clock_ghz
+
+    @property
+    def bytes_per_cycle(self):
+        """HBM bytes deliverable per clock cycle at peak bandwidth."""
+        return self.hbm_bandwidth_gb_s / self.clock_ghz
+
+    @property
+    def onchip_buffer_bytes(self):
+        return self.onchip_buffer_kb * 1024
+
+
+def veda_config(**overrides):
+    """The full VEDA configuration (all optimizations on)."""
+    return replace(HardwareConfig(), **overrides) if overrides else HardwareConfig()
+
+
+def baseline_config(**overrides):
+    """The conventional adder-tree accelerator (A3-like baseline).
+
+    Same peak throughput and SFU count as VEDA (the paper's fair-
+    comparison rule), but fixed inner-product dataflow and pipeline-stage
+    nonlinear operators.
+    """
+    params = dict(flexible_dataflow=False, element_serial=False)
+    params.update(overrides)
+    return replace(HardwareConfig(), **params)
+
+
+def ablation_configs():
+    """The three Fig. 8 (center) variants, in paper order."""
+    return {
+        "Baseline": baseline_config(),
+        "Baseline+F": baseline_config(flexible_dataflow=True),
+        "Baseline+F+E": baseline_config(flexible_dataflow=True, element_serial=True),
+    }

@@ -1,0 +1,103 @@
+"""Mapping a transformer layer onto the accelerator (paper Fig. 1 colors).
+
+The paper annotates Fig. 1 with the optimal dataflow for every operator:
+green = inner product (serial output feeds an SFU reduction), blue =
+outer product (serial input comes from an SFU normalization).  This
+module enumerates the operator stream of one decode step / one prefill
+for a given :class:`repro.config.ModelConfig`, with dataflow assignments
+and byte counts, which the simulator then prices in cycles and energy.
+
+Linear-layer GEMVs behave identically across the ablation variants (their
+``k`` dimensions are multiples of the tree width in Llama-style models),
+matching the paper's focus on the attention process for Fig. 8.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["LinearOp", "decode_linear_ops", "prefill_linear_ops", "layer_norm_count"]
+
+
+@dataclass(frozen=True)
+class LinearOp:
+    """One weight GEMV/GEMM: (rows, k) × (k, n) with a dataflow tag."""
+
+    name: str
+    k: int
+    n: int
+    rows: int = 1  # 1 for decode GEMV; P for prefill GEMM
+    dataflow: str = "inner"  # Fig. 1 color: "inner" (green) or "outer" (blue)
+
+    @property
+    def macs(self):
+        return self.rows * self.k * self.n
+
+    @property
+    def weight_bytes(self):
+        # FP16 weights.
+        return self.k * self.n * 2
+
+    def compute_cycles(self, width):
+        """PE-array cycles with the reduction dimension chunked to ``width``.
+
+        Inner product: k spatial / n·rows temporal; outer product: n
+        spatial / k·rows temporal.  For weight GEMVs both give the same
+        count when dimensions divide the array width; the tag still
+        matters for the element-serial adjacency of nonlinear operators.
+        """
+        if self.dataflow == "inner":
+            return self.rows * self.n * math.ceil(self.k / width)
+        return self.rows * self.k * math.ceil(self.n / width)
+
+
+def decode_linear_ops(model):
+    """The weight GEMVs of one decode step for one layer + the LM head.
+
+    Returns ``(per_layer_ops, head_ops)``.  Dataflow tags follow Fig. 1:
+    QKV generation consumes a normalized (layernorm) input → outer
+    product (blue); projections/FFN feeding a reduction → inner (green).
+    """
+    d, ff = model.d_model, model.d_ff
+    per_layer = [
+        LinearOp("wq", d, d, dataflow="outer"),
+        LinearOp("wk", d, d, dataflow="outer"),
+        LinearOp("wv", d, d, dataflow="outer"),
+        LinearOp("wo", d, d, dataflow="inner"),
+    ]
+    if model.activation == "swiglu":
+        per_layer += [
+            LinearOp("ffn_gate", d, ff, dataflow="outer"),
+            LinearOp("ffn_up", d, ff, dataflow="outer"),
+            LinearOp("ffn_down", ff, d, dataflow="inner"),
+        ]
+    else:
+        per_layer += [
+            LinearOp("ffn_up", d, ff, dataflow="outer"),
+            LinearOp("ffn_down", ff, d, dataflow="inner"),
+        ]
+    head = [LinearOp("lm_head", d, model.vocab_size, dataflow="inner")]
+    return per_layer, head
+
+
+def prefill_linear_ops(model, prompt_length):
+    """Same operators as :func:`decode_linear_ops` but with ``rows=P``.
+
+    In the prefill phase weights are fetched to the on-chip buffer once
+    and reused across the ``P`` tokens (paper Sec. V, "Storage").
+    """
+    per_layer, head = decode_linear_ops(model)
+    per_layer = [
+        LinearOp(op.name, op.k, op.n, rows=prompt_length, dataflow=op.dataflow)
+        for op in per_layer
+    ]
+    head = [
+        LinearOp(op.name, op.k, op.n, rows=1, dataflow=op.dataflow) for op in head
+    ]
+    return per_layer, head
+
+
+def layer_norm_count(model):
+    """Normalization operators per layer (pre-attention + pre-FFN)."""
+    return 2

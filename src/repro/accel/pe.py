@@ -1,0 +1,113 @@
+"""Single reconfigurable processing element (paper Fig. 5a).
+
+Each PE holds an input register, a weight register, and an accumulation
+register, and is governed by a 2-bit control signal selecting among four
+modes:
+
+- ``ACCUMULATE`` — multiply input×weight and add into the local
+  accumulation register (outer-product mode).
+- ``TRANSMIT``  — multiply and forward the product (plus, for type-B PEs,
+  partial sums received from neighbours) toward the adder tree
+  (inner-product mode).
+- ``CLEAR``     — reset the accumulation register.
+- ``DISABLE``   — hold state, consume nothing.
+
+Type-A PEs add their local product to a transmitted partial sum; type-B
+PEs (the dotted part of Fig. 5a) source *both* adder operands from other
+PEs, forming the internal nodes of the hierarchical adder tree.
+
+All arithmetic rounds to FP16 after every multiply and add, matching the
+16-bit datapath.  The cycle-accurate array in
+:mod:`repro.accel.pe_array` composes 8×8 of these.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.numerics.fp16 import fp16_quantize
+
+__all__ = ["PEMode", "ProcessingElement"]
+
+
+class PEMode(IntEnum):
+    """The 2-bit PE control encoding."""
+
+    DISABLE = 0
+    ACCUMULATE = 1
+    TRANSMIT = 2
+    CLEAR = 3
+
+
+class ProcessingElement:
+    """Bit-true model of one PE.
+
+    Parameters
+    ----------
+    type_b:
+        Whether this PE is a type-B element (both adder operands sourced
+        externally); only relevant in ``TRANSMIT`` mode.
+    quantize:
+        Round every multiply/add to FP16 (the real datapath).  False runs
+        the identical schedule in float64, isolating datapath error.
+    """
+
+    def __init__(self, type_b=False, quantize=True):
+        self.type_b = bool(type_b)
+        self.quantize = bool(quantize)
+        self.input_reg = 0.0
+        self.weight_reg = 0.0
+        self.acc_reg = 0.0
+        self.mode = PEMode.DISABLE
+
+    def _q(self, value):
+        return fp16_quantize(value) if self.quantize else float(value)
+
+    def load(self, input_value=None, weight_value=None):
+        """Latch operands into the input/weight registers (FP16)."""
+        if input_value is not None:
+            self.input_reg = self._q(input_value)
+        if weight_value is not None:
+            self.weight_reg = self._q(weight_value)
+
+    def multiply(self):
+        """The FP16 product of the current registers."""
+        return self._q(self.input_reg * self.weight_reg)
+
+    def step(self, transmitted=0.0, second_operand=None):
+        """Advance one cycle in the current mode.
+
+        Parameters
+        ----------
+        transmitted:
+            Partial sum arriving from another PE (type-A TRANSMIT adds it
+            to the local product).
+        second_operand:
+            For type-B PEs in TRANSMIT mode: the second external operand
+            (type-B adds two *external* values; its own product is routed
+            elsewhere by the array).
+
+        Returns
+        -------
+        float or None
+            The value forwarded to the next tree level (TRANSMIT), or
+            None for modes with no output this cycle.
+        """
+        if self.mode == PEMode.DISABLE:
+            return None
+        if self.mode == PEMode.CLEAR:
+            self.acc_reg = 0.0
+            return None
+        if self.mode == PEMode.ACCUMULATE:
+            self.acc_reg = self._q(self.acc_reg + self.multiply())
+            return None
+        # TRANSMIT
+        if self.type_b:
+            if second_operand is None:
+                raise ValueError("type-B PE needs two external operands")
+            return self._q(transmitted + second_operand)
+        return self._q(self.multiply() + transmitted)
+
+    def __repr__(self):
+        kind = "B" if self.type_b else "A"
+        return f"ProcessingElement(type={kind}, mode={self.mode.name})"

@@ -1,0 +1,203 @@
+"""Runtime-reconfigurable PE array (paper Fig. 5) — functional + cycles.
+
+Two execution modes over the same 8×8(×2) array:
+
+- **Inner-product configuration** (Fig. 5c): the reduction dimension ``k``
+  maps spatially onto PEs whose adders form a hierarchical L1/L2 tree
+  (Fig. 5d); the other dimension maps to time — one output element leaves
+  the array per cycle.  Used for ``q×Kᵀ`` where the *serial output*
+  stream also feeds the SFU's reduction unit.
+- **Outer-product configuration** (Fig. 5b): the output dimension ``n``
+  maps spatially (each PE owns one accumulator); the reduction dimension
+  streams through time as broadcast scalars.  Used for ``s'×V`` where the
+  *serial input* stream is produced element-wise by the SFU's
+  normalization unit.
+
+Functional simulation rounds to FP16 after every multiply and every add
+(the hardware's 16-bit datapath), so accumulation order matters and is
+fixed by the tree topology.  Analytic cycle counts
+(:func:`inner_product_cycles`, :func:`outer_product_cycles`) are what the
+system-level scheduler consumes; the functional path cross-checks them on
+small shapes in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.numerics.fp16 import fp16_quantize
+
+__all__ = [
+    "inner_product_cycles",
+    "outer_product_cycles",
+    "fixed_tree_cycles",
+    "PEArray",
+    "adder_tree_types",
+    "tree_sum_fp16",
+]
+
+
+# ----------------------------------------------------------------------
+# Analytic cycle models
+# ----------------------------------------------------------------------
+def inner_product_cycles(k, n, width):
+    """Cycles for (1,k)×(k,n) in inner-product mode on ``width`` PEs.
+
+    ``k`` is spatial (chunked into ``ceil(k/width)`` epochs), ``n`` is
+    temporal (one output per epoch set).  Arbitrary ``n`` maps to cycles
+    with no padding — that is the flexibility the paper exploits.
+    """
+    if k <= 0 or n <= 0:
+        raise ValueError("dimensions must be positive")
+    return n * math.ceil(k / width)
+
+
+def outer_product_cycles(k, n, width):
+    """Cycles for (1,k)×(k,n) in outer-product mode on ``width`` PEs.
+
+    ``n`` is spatial (chunked), ``k`` is temporal (one scalar broadcast
+    per cycle); arbitrary ``k`` maps to cycles with no padding.
+    """
+    if k <= 0 or n <= 0:
+        raise ValueError("dimensions must be positive")
+    return k * math.ceil(n / width)
+
+
+def fixed_tree_cycles(k, n, width):
+    """Cycles on the conventional fixed adder-tree baseline.
+
+    Inner-product only, and the *temporal* dimension cannot absorb
+    variation: every reduction is padded to full tree epochs, which is
+    where the paper's "k increases from 256 to 257 → one extra epoch"
+    under-utilization bites.  Functionally identical cycle count to
+    :func:`inner_product_cycles`; kept separate because the baseline has
+    no alternative mode to fall back to.
+    """
+    return inner_product_cycles(k, n, width)
+
+
+# ----------------------------------------------------------------------
+# Hierarchical adder tree structure (Fig. 5d)
+# ----------------------------------------------------------------------
+def adder_tree_types(row_width=8):
+    """Type assignment of PEs in one L1 adder-tree row.
+
+    Returns a list of 'A'/'B' labels.  Odd positions (1,3,5,7 in the
+    paper's 1-indexed figure) are type-A (one local operand), even
+    positions are type-B (both operands from other PEs) — the internal
+    nodes of the tree.
+    """
+    if row_width <= 0 or row_width % 2 != 0:
+        raise ValueError("row width must be a positive even number")
+    return ["A" if i % 2 == 0 else "B" for i in range(row_width)]
+
+
+def tree_sum_fp16(values):
+    """Pairwise (balanced-tree) summation with FP16 rounding per add.
+
+    This is the accumulation order the L1/L2 tree imposes; tests compare
+    it against float64 reference sums to bound datapath error.
+    """
+    values = [fp16_quantize(v) for v in np.asarray(values, dtype=np.float64).ravel()]
+    if not values:
+        return 0.0
+    while len(values) > 1:
+        paired = []
+        for i in range(0, len(values) - 1, 2):
+            paired.append(fp16_quantize(values[i] + values[i + 1]))
+        if len(values) % 2 == 1:
+            paired.append(values[-1])
+        values = paired
+    return values[0]
+
+
+# ----------------------------------------------------------------------
+# Functional array
+# ----------------------------------------------------------------------
+class PEArray:
+    """Functional bit-true simulator of the reconfigurable array.
+
+    Parameters
+    ----------
+    width:
+        Number of MAC lanes (128 for the paper's 8×8×2 array).
+    quantize:
+        When True (default) every multiply/add rounds to FP16; False runs
+        the same schedule in float64 (useful to isolate datapath error).
+    """
+
+    def __init__(self, width=128, quantize=True):
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self.width = int(width)
+        self.quantize = bool(quantize)
+        self.cycles = 0
+
+    def _q(self, x):
+        return fp16_quantize(x) if self.quantize else np.asarray(x, dtype=np.float64)
+
+    def reset_cycles(self):
+        self.cycles = 0
+
+    # ------------------------------------------------------------------
+    def inner_product(self, vector, matrix):
+        """(1,k)×(k,n) with k spatial, n temporal.
+
+        ``matrix`` is stored column-accessible: shape (k, n); each cycle
+        consumes one column (k values) and emits one output element, in
+        column order — the element-serial *output* stream.
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        matrix = np.asarray(matrix, dtype=np.float64)
+        k = vector.shape[0]
+        if matrix.shape[0] != k:
+            raise ValueError(f"shape mismatch: ({k},) x {matrix.shape}")
+        n = matrix.shape[1]
+        epochs = math.ceil(k / self.width)
+
+        out = np.empty(n)
+        for j in range(n):
+            partial = 0.0
+            for e in range(epochs):
+                lo, hi = e * self.width, min((e + 1) * self.width, k)
+                products = self._q(self._q(vector[lo:hi]) * self._q(matrix[lo:hi, j]))
+                chunk = (
+                    tree_sum_fp16(products)
+                    if self.quantize
+                    else float(np.sum(products))
+                )
+                partial = float(self._q(partial + chunk))
+            out[j] = partial
+        self.cycles += inner_product_cycles(k, n, self.width)
+        return out
+
+    def outer_product(self, vector, matrix):
+        """(1,k)×(k,n) with n spatial, k temporal.
+
+        Each cycle broadcasts one scalar ``vector[i]`` against row
+        ``matrix[i]`` and accumulates locally — the element-serial
+        *input* stream.
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        matrix = np.asarray(matrix, dtype=np.float64)
+        k = vector.shape[0]
+        if matrix.shape[0] != k:
+            raise ValueError(f"shape mismatch: ({k},) x {matrix.shape}")
+        n = matrix.shape[1]
+
+        acc = np.zeros(n)
+        for i in range(k):
+            scalar = self._q(vector[i])
+            acc = self._q(acc + self._q(scalar * self._q(matrix[i])))
+        self.cycles += outer_product_cycles(k, n, self.width)
+        return acc
+
+    def gemv(self, vector, matrix, mode):
+        """Dispatch by mode ('inner' or 'outer')."""
+        if mode == "inner":
+            return self.inner_product(vector, matrix)
+        if mode == "outer":
+            return self.outer_product(vector, matrix)
+        raise ValueError(f"unknown mode {mode!r}")

@@ -1,0 +1,163 @@
+"""Cycle-by-cycle PE-grid simulation (the "RTL cross-validation" model).
+
+The paper validates its cycle-accurate performance model against RTL
+simulation.  This module plays the RTL's role for the reproduction: an
+explicit grid of :class:`repro.accel.pe.ProcessingElement` objects wired
+per Fig. 5 — L1 adder trees across each row (type-A PEs at even
+positions, type-B at odd), an L2 tree across rows — driven one cycle at a
+time with explicit mode control.  It is deliberately slow and literal;
+``tests/accel/test_rtl_array.py`` checks that its outputs and cycle
+counts agree with the vectorized :class:`repro.accel.pe_array.PEArray`
+and the analytic formulas.
+
+Only the single 8×8 array is modelled (the full VEDA has two); GEMV
+operands wider than the grid are chunked exactly as the hardware would
+sequence epochs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.accel.pe import PEMode, ProcessingElement
+from repro.numerics.fp16 import fp16_quantize
+
+__all__ = ["RTLArray"]
+
+
+class RTLArray:
+    """An explicit rows×cols grid of PEs with hierarchical adder trees."""
+
+    def __init__(self, rows=8, cols=8, quantize=True):
+        if rows <= 0 or cols <= 0 or cols % 2 != 0:
+            raise ValueError("grid must be positive with an even column count")
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.quantize = bool(quantize)
+        # Fig. 5(d): odd (1-indexed even) positions are type-B tree nodes.
+        self.grid = [
+            [
+                ProcessingElement(type_b=(c % 2 == 1), quantize=quantize)
+                for c in range(cols)
+            ]
+            for r in range(rows)
+        ]
+        self.cycles = 0
+
+    @property
+    def width(self):
+        return self.rows * self.cols
+
+    def _q(self, x):
+        return fp16_quantize(x) if self.quantize else float(x)
+
+    def _set_mode(self, mode):
+        for row in self.grid:
+            for pe in row:
+                pe.mode = mode
+
+    # ------------------------------------------------------------------
+    # Tree reduction (one cycle's combinational path)
+    # ------------------------------------------------------------------
+    def _l1_reduce(self, row_products):
+        """Pairwise L1 tree over one row's products, FP16 per add."""
+        values = [self._q(v) for v in row_products]
+        while len(values) > 1:
+            paired = []
+            for i in range(0, len(values) - 1, 2):
+                paired.append(self._q(values[i] + values[i + 1]))
+            if len(values) % 2 == 1:
+                paired.append(values[-1])
+            values = paired
+        return values[0]
+
+    def _l2_reduce(self, row_sums):
+        """L2 tree across the L1 results."""
+        return self._l1_reduce(row_sums)
+
+    # ------------------------------------------------------------------
+    # Inner-product mode (Fig. 5c)
+    # ------------------------------------------------------------------
+    def inner_product(self, vector, matrix):
+        """(1,k)×(k,n): k spatial across the grid, n temporal.
+
+        Each cycle loads one matrix column chunk into the weight
+        registers, multiplies against the resident input chunk, and
+        reduces through L1+L2; chunks of k beyond the grid width take
+        extra epochs with FP16 partial accumulation.
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        matrix = np.asarray(matrix, dtype=np.float64)
+        k = vector.shape[0]
+        if matrix.shape[0] != k:
+            raise ValueError(f"shape mismatch: ({k},) x {matrix.shape}")
+        n = matrix.shape[1]
+        epochs = math.ceil(k / self.width)
+        self._set_mode(PEMode.TRANSMIT)
+
+        out = np.empty(n)
+        for j in range(n):
+            partial = 0.0
+            for e in range(epochs):
+                lo = e * self.width
+                hi = min(lo + self.width, k)
+                products = []
+                for lane in range(lo, hi):
+                    pe = self.grid[(lane - lo) // self.cols][(lane - lo) % self.cols]
+                    pe.load(vector[lane], matrix[lane, j])
+                    products.append(pe.multiply())
+                row_sums = []
+                for r in range(0, len(products), self.cols):
+                    row_sums.append(self._l1_reduce(products[r : r + self.cols]))
+                chunk = self._l2_reduce(row_sums)
+                partial = self._q(partial + chunk)
+                self.cycles += 1
+            out[j] = partial
+        return out
+
+    # ------------------------------------------------------------------
+    # Outer-product mode (Fig. 5b)
+    # ------------------------------------------------------------------
+    def outer_product(self, vector, matrix):
+        """(1,k)×(k,n): n spatial across the grid, k temporal.
+
+        Each cycle broadcasts one input scalar to every PE; each PE
+        multiplies against its resident weight and accumulates locally.
+        Column chunks of n beyond the grid width take separate passes
+        (the hardware would sequence them; cycle count matches
+        ``outer_product_cycles``).
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        matrix = np.asarray(matrix, dtype=np.float64)
+        k = vector.shape[0]
+        if matrix.shape[0] != k:
+            raise ValueError(f"shape mismatch: ({k},) x {matrix.shape}")
+        n = matrix.shape[1]
+        chunks = math.ceil(n / self.width)
+
+        out = np.empty(n)
+        for c in range(chunks):
+            lo = c * self.width
+            hi = min(lo + self.width, n)
+            lanes = hi - lo
+            self._set_mode(PEMode.CLEAR)
+            for r in range(self.rows):
+                for pe in self.grid[r]:
+                    pe.step()
+            self._set_mode(PEMode.ACCUMULATE)
+            for i in range(k):
+                scalar = vector[i]
+                for lane in range(lanes):
+                    pe = self.grid[lane // self.cols][lane % self.cols]
+                    pe.load(scalar, matrix[i, lo + lane])
+                    pe.step()
+                self.cycles += 1
+            for lane in range(lanes):
+                pe = self.grid[lane // self.cols][lane % self.cols]
+                out[lo + lane] = pe.acc_reg
+        return out
+
+    def reset_cycles(self):
+        self.cycles = 0

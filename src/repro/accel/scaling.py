@@ -1,0 +1,67 @@
+"""Technology-node scaling (DeepScaleTool substitute).
+
+Table II compares accelerators built in different nodes (Sanger 55 nm,
+SpAtten 40 nm, VEDA 28 nm); the paper notes VEDA's advantage "remains
+true after technology scaling [13]" (DeepScaleTool).  This module
+provides published-style scaling factors between planar CMOS nodes for
+logic area and energy, normalized to 28 nm.
+
+Factors follow the DeepScaleTool methodology (Sarangi & Baas, ISCAS
+2021): area scales roughly with the square of the drawn feature size
+(with a sub-quadratic correction at older nodes), and energy per
+operation scales roughly linearly with node (capacitance dominates once
+voltage scaling stalls below ~1 V).
+"""
+
+from __future__ import annotations
+
+__all__ = ["area_factor", "energy_factor", "scale_area", "scale_energy_efficiency", "SUPPORTED_NODES"]
+
+#: Relative logic density and energy per op, normalized to 28 nm = 1.0.
+#: area_rel: how many times LARGER the same logic is at that node.
+#: energy_rel: how many times MORE energy one operation costs.
+_NODE_TABLE = {
+    65: {"area_rel": 5.10, "energy_rel": 2.75},
+    55: {"area_rel": 3.86, "energy_rel": 2.20},
+    40: {"area_rel": 2.04, "energy_rel": 1.60},
+    28: {"area_rel": 1.00, "energy_rel": 1.00},
+    16: {"area_rel": 0.42, "energy_rel": 0.62},
+}
+
+SUPPORTED_NODES = sorted(_NODE_TABLE)
+
+
+def _lookup(node):
+    if node not in _NODE_TABLE:
+        raise KeyError(
+            f"unsupported node {node} nm; supported: {SUPPORTED_NODES}"
+        )
+    return _NODE_TABLE[node]
+
+
+def area_factor(from_node, to_node):
+    """Multiplier converting a logic area from ``from_node`` to ``to_node``."""
+    return _lookup(to_node)["area_rel"] / _lookup(from_node)["area_rel"]
+
+
+def energy_factor(from_node, to_node):
+    """Multiplier converting energy/op from ``from_node`` to ``to_node``."""
+    return _lookup(to_node)["energy_rel"] / _lookup(from_node)["energy_rel"]
+
+
+def scale_area(area_mm2, from_node, to_node):
+    """Scale a die area between nodes."""
+    if area_mm2 < 0:
+        raise ValueError("area must be non-negative")
+    return area_mm2 * area_factor(from_node, to_node)
+
+
+def scale_energy_efficiency(gops_per_watt, from_node, to_node):
+    """Scale an energy-efficiency figure between nodes.
+
+    Efficiency is inverse energy, so it *improves* moving to a smaller
+    node.
+    """
+    if gops_per_watt < 0:
+        raise ValueError("efficiency must be non-negative")
+    return gops_per_watt / energy_factor(from_node, to_node)

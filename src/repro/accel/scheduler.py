@@ -1,0 +1,207 @@
+"""Attention cycle model: conventional vs flexible/element-serial schedules.
+
+This is the analytic core behind Fig. 8 (center/right).  For every
+attention operation it produces a per-component cycle breakdown under the
+three hardware variants (Baseline, +F, +F+E), following the dataflow
+analysis in paper Sec. IV:
+
+Decode step (cache length ``l``, per layer, ``H`` heads of dim ``d``):
+
+====================  =============================  ==========================
+component             flexible (+F)                  fixed baseline
+====================  =============================  ==========================
+``q×Kᵀ``              inner product, ``l`` temporal  same cycles (k=d fits the
+                      → ``l·ceil(d/W)`` compute,     tree), but K is walked
+                      K streamed row-major at full   row-major in both designs
+                      bandwidth                      so no memory penalty
+softmax               element-serial: drain only     pipeline stage: exposed
+                      (+E), else exposed pass        normalization pass
+``s'×V``              outer product, ``l`` temporal  inner product over k=l:
+                      → ``l·ceil(d/W)``, V streamed  compute padded to tree
+                      row-major                      epochs ``d·ceil(l/W)`` and
+                                                     V walked column-major →
+                                                     strided DRAM derate
+====================  =============================  ==========================
+
+Prefill (prompt ``P``): the flexible array issues row-wise GEMVs and skips
+the causal upper triangle exactly; the fixed design executes a tiled GEMM
+kernel whose causal coverage is tile-granular (rows pad to ``W``-wide
+column tiles), stalls per row on conventional softmax, and pays a
+bank-conflict derate reading Vᵀ from the on-chip buffer.
+
+All constants live in :class:`repro.accel.config.HardwareConfig`; the
+measured-vs-paper ratios are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.accel.sfu import softmax_stall_cycles
+
+__all__ = ["AttentionBreakdown", "decode_attention", "prefill_attention", "TimelineSegment", "attention_timeline"]
+
+
+@dataclass
+class AttentionBreakdown:
+    """Cycle breakdown of one attention operation (all heads of a layer)."""
+
+    qk: float = 0.0
+    softmax: float = 0.0
+    sv: float = 0.0
+
+    @property
+    def total(self):
+        return self.qk + self.softmax + self.sv
+
+    def scaled(self, factor):
+        return AttentionBreakdown(
+            qk=self.qk * factor, softmax=self.softmax * factor, sv=self.sv * factor
+        )
+
+    def __add__(self, other):
+        return AttentionBreakdown(
+            qk=self.qk + other.qk,
+            softmax=self.softmax + other.softmax,
+            sv=self.sv + other.sv,
+        )
+
+
+def _head_epochs(head_dim, width):
+    return math.ceil(head_dim / width)
+
+
+def decode_attention(l, head_dim, n_heads, hw):
+    """Attention cycles for one decode step over a cache of length ``l``.
+
+    Returns an :class:`AttentionBreakdown` for all ``n_heads`` heads of
+    one layer.  Compute and memory are overlapped (double-buffered), so
+    each GEMV costs ``max(compute, memory)``.
+    """
+    if l <= 0:
+        raise ValueError("cache length must be positive")
+    width = hw.tree_width
+    epochs = _head_epochs(head_dim, width)
+    bytes_per_row = head_dim * hw.bytes_per_element
+
+    # --- q×Kᵀ: identical in both dataflows (inner product, K row-major).
+    qk_compute = l * epochs
+    qk_memory = l * bytes_per_row / hw.bytes_per_cycle
+    qk = max(qk_compute, qk_memory)
+
+    # --- softmax between the two GEMVs.
+    softmax = softmax_stall_cycles(l, hw, hw.element_serial)
+
+    # --- s'×V.
+    sv_memory_streamed = l * bytes_per_row / hw.bytes_per_cycle
+    # Fixed inner product over k=l: compute pads to tree epochs and V is
+    # walked column-major (transpose pattern) off-chip.
+    sv_inner = max(
+        head_dim * math.ceil(l / width),
+        sv_memory_streamed / hw.dram_strided_derate,
+    )
+    sv_outer = max(l * epochs, sv_memory_streamed)
+    if not hw.flexible_dataflow:
+        sv = sv_inner
+    elif hw.element_serial:
+        # Element-serial normalization feeds the outer product's serial
+        # input, so the outer configuration is mandatory.
+        sv = sv_outer
+    else:
+        # Flexible without element-serial: reconfigure to whichever
+        # mapping is cheaper for this shape.
+        sv = min(sv_outer, sv_inner)
+
+    per_head = AttentionBreakdown(qk=qk, softmax=softmax, sv=sv)
+    return per_head.scaled(n_heads)
+
+
+def prefill_attention(prompt_length, head_dim, n_heads, hw):
+    """Attention cycles for prefilling ``prompt_length`` tokens (one layer).
+
+    Row ``i`` attends to ``i+1`` keys (causal).  The flexible array maps
+    the row length to time exactly; the fixed baseline executes
+    tile-granular causal coverage and pays the transposed-SRAM derate on
+    s'×V operand fetch.
+    """
+    if prompt_length <= 0:
+        raise ValueError("prompt length must be positive")
+    width = hw.tree_width
+    epochs = _head_epochs(head_dim, width)
+
+    qk = softmax = sv = 0.0
+    for i in range(1, prompt_length + 1):
+        padded = width * math.ceil(i / width)
+        sv_inner = (padded * epochs) / hw.sram_transposed_derate
+        sv_outer = i * epochs
+        if hw.flexible_dataflow:
+            qk += i * epochs
+            sv += sv_outer if hw.element_serial else min(sv_outer, sv_inner)
+        else:
+            qk += padded * epochs
+            sv += sv_inner
+        softmax += softmax_stall_cycles(i, hw, hw.element_serial)
+
+    per_head = AttentionBreakdown(qk=qk, softmax=softmax, sv=sv)
+    return per_head.scaled(n_heads)
+
+
+# ----------------------------------------------------------------------
+# Timeline view (Fig. 6a)
+# ----------------------------------------------------------------------
+@dataclass
+class TimelineSegment:
+    """One busy interval of an engine, for the Fig. 6(a) style timeline."""
+
+    engine: str  # "pe_array" or "sfu"
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+
+def attention_timeline(l, head_dim, hw):
+    """Single-head decode attention as explicit engine timelines.
+
+    Demonstrates the Fig. 6(a) contrast: conventional scheduling leaves
+    the PE array idle during the SFU pass; element-serial overlaps the
+    reduction with q×Kᵀ output and the normalization with s'×V input.
+
+    Returns ``(segments, total_cycles)``.
+    """
+    width = hw.tree_width
+    epochs = _head_epochs(head_dim, width)
+    qk_cycles = l * epochs
+    sv_cycles = l * epochs
+    segments = []
+
+    if hw.element_serial:
+        segments.append(TimelineSegment("pe_array", "q×Kᵀ (inner)", 0, qk_cycles))
+        # Reduction runs concurrently on the serial output stream.
+        segments.append(TimelineSegment("sfu", "reduce (max/expsum)", 1, qk_cycles + 1))
+        drain = hw.element_serial_drain
+        sv_start = qk_cycles + drain
+        # Normalization feeds the outer-product input element by element.
+        segments.append(
+            TimelineSegment("sfu", "normalize (exp/div)", sv_start, sv_start + sv_cycles)
+        )
+        segments.append(
+            TimelineSegment("pe_array", "s'×V (outer)", sv_start, sv_start + sv_cycles)
+        )
+        total = sv_start + sv_cycles
+    else:
+        segments.append(TimelineSegment("pe_array", "q×Kᵀ (inner)", 0, qk_cycles))
+        stall = softmax_stall_cycles(l, hw, element_serial=False)
+        segments.append(
+            TimelineSegment("sfu", "softmax (stage)", qk_cycles, qk_cycles + stall)
+        )
+        sv_start = qk_cycles + stall
+        segments.append(
+            TimelineSegment("pe_array", "s'×V", sv_start, sv_start + sv_cycles)
+        )
+        total = sv_start + sv_cycles
+    return segments, total

@@ -1,0 +1,153 @@
+"""Special Function Unit: streaming softmax and layernorm (paper Fig. 6).
+
+The paper's observation is that both softmax and layernorm decompose into
+a *reduction* stage (max & exp-sum, or mean & variance) and a
+*normalization* stage (elementwise subtract/exp/divide).  Element-serial
+scheduling runs the reduction on the serial **output** of an
+inner-product GEMV and the normalization on the serial **input** of an
+outer-product GEMV, so one SFU (O(1) cost) suffices and the PE array
+never idles.
+
+This module provides the functional units (bit-true against
+:mod:`repro.numerics.online`) and the latency model for both scheduling
+disciplines:
+
+- *conventional* (pipeline stage): the PE array stalls for the exposed
+  normalization pass — ``ceil(l / n_exp)`` cycles of exp/divide
+  throughput plus a fixed pipeline/FIFO overhead;
+- *element-serial*: the stall collapses to a small drain (the FIFO tile
+  boundary of Fig. 6c).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.numerics.fp16 import fp16_quantize
+from repro.numerics.online import OnlineSoftmaxNormalizer, WelfordAccumulator
+
+__all__ = [
+    "SoftmaxUnit",
+    "LayerNormUnit",
+    "softmax_stall_cycles",
+    "layernorm_stall_cycles",
+    "OpCounters",
+]
+
+
+class OpCounters:
+    """Counts of expensive SFU operations, for the energy model."""
+
+    def __init__(self):
+        self.exp_ops = 0
+        self.div_ops = 0
+        self.sqrt_ops = 0
+
+    def merge(self, other):
+        self.exp_ops += other.exp_ops
+        self.div_ops += other.div_ops
+        self.sqrt_ops += other.sqrt_ops
+
+
+def softmax_stall_cycles(length, hw, element_serial):
+    """PE-array stall cycles caused by one softmax over ``length`` elements.
+
+    Conventional scheduling exposes the normalization pass (exp + divide,
+    throughput-limited by ``n_exp_units``) plus a fixed stage overhead;
+    element-serial scheduling hides everything except a small drain.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    if element_serial:
+        return hw.element_serial_drain
+    return math.ceil(length / hw.n_exp_units) + hw.softmax_stage_overhead
+
+
+def layernorm_stall_cycles(dim, hw, element_serial):
+    """PE-array stall cycles for one layernorm/RMSnorm over ``dim`` elements."""
+    if dim <= 0:
+        raise ValueError("dim must be positive")
+    if element_serial:
+        return hw.element_serial_drain
+    # Reduction pass (multiply-accumulate for sum of squares) then a
+    # divide/sqrt-normalized elementwise pass.
+    reduction = math.ceil(dim / hw.n_sfu_mult)
+    normalize = math.ceil(dim / hw.n_div_units)
+    return reduction + normalize + hw.softmax_stage_overhead
+
+
+class SoftmaxUnit:
+    """Functional streaming softmax (reduction + normalization stages).
+
+    ``quantize=True`` rounds the FIFO contents and outputs to FP16 like
+    the hardware datapath; reduction-internal state (max, exp-sum) is
+    kept wide, as accumulators typically are.
+    """
+
+    def __init__(self, quantize=True):
+        self.quantize = bool(quantize)
+        self.counters = OpCounters()
+
+    def _q(self, x):
+        return fp16_quantize(x) if self.quantize else x
+
+    def reduce(self, scores):
+        """Reduction stage: consume the serial stream, return (max, exp_sum)."""
+        normalizer = OnlineSoftmaxNormalizer()
+        for value in np.asarray(scores, dtype=np.float64).ravel():
+            normalizer.update(self._q(value))
+            self.counters.exp_ops += 1
+        return normalizer
+
+    def normalize(self, scores, normalizer):
+        """Normalization stage: emit softmax outputs element-serially."""
+        scores = np.asarray(scores, dtype=np.float64)
+        out = np.empty_like(scores, dtype=np.float64)
+        flat = scores.ravel()
+        result = out.ravel()
+        for i, value in enumerate(flat):
+            exp_val = math.exp(self._q(value) - normalizer.max)
+            self.counters.exp_ops += 1
+            self.counters.div_ops += 1
+            result[i] = self._q(exp_val / normalizer.exp_sum)
+        return out
+
+    def __call__(self, scores):
+        """Full streaming softmax of a vector."""
+        normalizer = self.reduce(scores)
+        return self.normalize(scores, normalizer)
+
+
+class LayerNormUnit:
+    """Functional streaming layernorm (reduction + normalization stages)."""
+
+    def __init__(self, eps=1e-5, quantize=True):
+        self.eps = float(eps)
+        self.quantize = bool(quantize)
+        self.counters = OpCounters()
+
+    def _q(self, x):
+        return fp16_quantize(x) if self.quantize else x
+
+    def reduce(self, values):
+        acc = WelfordAccumulator()
+        for value in np.asarray(values, dtype=np.float64).ravel():
+            acc.update(self._q(value))
+        self.counters.sqrt_ops += 1
+        return acc
+
+    def normalize(self, values, acc):
+        values = np.asarray(values, dtype=np.float64)
+        scale = 1.0 / math.sqrt(acc.variance + self.eps)
+        out = np.empty_like(values)
+        flat, result = values.ravel(), out.ravel()
+        for i, value in enumerate(flat):
+            self.counters.div_ops += 1
+            result[i] = self._q((self._q(value) - acc.mean) * scale)
+        return out
+
+    def __call__(self, values):
+        acc = self.reduce(values)
+        return self.normalize(values, acc)

@@ -1,0 +1,251 @@
+"""End-to-end cycle/energy simulator for VEDA and its ablation variants.
+
+Replaces the paper's "cycle-accurate performance model … cross-validated
+with RTL simulations".  The simulator walks the operator stream of a
+:class:`repro.config.ModelConfig` (typically the Llama-2 7B shapes) under
+a :class:`repro.accel.config.HardwareConfig` and accumulates:
+
+- cycles (attention broken down via :mod:`repro.accel.scheduler`,
+  linear layers via :mod:`repro.accel.llm_mapping`, nonlinear stalls via
+  :mod:`repro.accel.sfu`),
+- MAC counts and HBM traffic (for utilization and energy),
+- per-token attention latency traces (the quantity plotted in
+  Fig. 8 center/right).
+
+KV-cache eviction enters as a simple cache-length trajectory: with a
+budget ``S`` the cache is ``min(P + i, S + 1)`` at decode step ``i``
+(append-then-evict keeps it at ``S`` steady-state), exactly the constant
+KV length the paper's voting engine maintains.  The voting engine itself
+runs in parallel (paper Sec. V) and adds HBM traffic for the off-chip
+vote counts but no latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.accel.config import HardwareConfig
+from repro.accel.llm_mapping import decode_linear_ops, layer_norm_count, prefill_linear_ops
+from repro.accel.memory import HBMModel
+from repro.accel.scheduler import AttentionBreakdown, decode_attention, prefill_attention
+from repro.accel.sfu import layernorm_stall_cycles
+
+__all__ = ["PhaseStats", "RunStats", "AcceleratorSimulator"]
+
+
+@dataclass
+class PhaseStats:
+    """Aggregate statistics of one phase (prefill, or one decode step)."""
+
+    cycles: float = 0.0
+    attention: AttentionBreakdown = field(default_factory=AttentionBreakdown)
+    linear_cycles: float = 0.0
+    nonlinear_cycles: float = 0.0
+    macs: float = 0.0
+    hbm_bytes: float = 0.0
+
+    @property
+    def attention_cycles(self):
+        return self.attention.total
+
+
+@dataclass
+class RunStats:
+    """A full prefill + generation run."""
+
+    prefill: PhaseStats
+    decode_attention_per_token: list = field(default_factory=list)
+    decode_total_per_token: list = field(default_factory=list)
+    decode: PhaseStats = field(default_factory=PhaseStats)
+
+    @property
+    def total_cycles(self):
+        return self.prefill.cycles + self.decode.cycles
+
+    @property
+    def total_attention_cycles(self):
+        return self.prefill.attention_cycles + self.decode.attention_cycles
+
+    def mean_decode_attention(self):
+        if not self.decode_attention_per_token:
+            raise ValueError("no decode steps recorded")
+        return sum(self.decode_attention_per_token) / len(
+            self.decode_attention_per_token
+        )
+
+    def mean_attention_per_token(self, prompt_length):
+        """Attention cycles averaged over every processed token.
+
+        This is the Fig. 8 (center) metric: prefill attention amortized
+        over the prompt plus per-step decode attention, averaged over the
+        whole run (at generation length 0 it reduces to pure prefill).
+        """
+        total_tokens = prompt_length + len(self.decode_attention_per_token)
+        return self.total_attention_cycles / total_tokens
+
+
+class AcceleratorSimulator:
+    """Cycle/energy model of one accelerator configuration."""
+
+    def __init__(self, hw: HardwareConfig, model):
+        self.hw = hw
+        self.model = model
+        self.hbm = HBMModel(
+            bandwidth_gb_s=hw.hbm_bandwidth_gb_s,
+            clock_ghz=hw.clock_ghz,
+            strided_derate=hw.dram_strided_derate,
+        )
+
+    # ------------------------------------------------------------------
+    # Linear layers
+    # ------------------------------------------------------------------
+    def _linear_cycles(self, op, weights_resident):
+        """max(compute, memory) for one linear op.
+
+        ``weights_resident``: True when weights are reused from the
+        on-chip buffer (prefill GEMM) so HBM cost is paid once, not per
+        row.
+        """
+        compute = op.compute_cycles(self.hw.tree_width)
+        memory = self.hbm.stream_cycles(op.weight_bytes)
+        if weights_resident:
+            # One fetch amortized over all rows; compute dominates for
+            # long prompts.
+            return max(compute, memory), op.macs, op.weight_bytes
+        return max(compute, memory), op.macs, op.weight_bytes
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def prefill(self, prompt_length):
+        """Simulate the prefill phase for a prompt of ``prompt_length``."""
+        if prompt_length <= 0:
+            raise ValueError("prompt length must be positive")
+        model, hw = self.model, self.hw
+        stats = PhaseStats()
+
+        per_layer_ops, head_ops = prefill_linear_ops(model, prompt_length)
+        attn = prefill_attention(
+            prompt_length, model.head_dim, model.n_heads, hw
+        )
+        attn_macs = (
+            2 * model.n_heads * model.head_dim * prompt_length * (prompt_length + 1) / 2
+        )
+        norm_stall = layernorm_stall_cycles(model.d_model, hw, hw.element_serial)
+
+        for _ in range(model.n_layers):
+            for op in per_layer_ops:
+                cycles, macs, hbm_bytes = self._linear_cycles(op, weights_resident=True)
+                stats.linear_cycles += cycles
+                stats.macs += macs
+                stats.hbm_bytes += hbm_bytes
+            stats.attention = stats.attention + attn
+            stats.macs += attn_macs
+            # KV cache write-back for this layer.
+            kv_bytes = 2 * prompt_length * model.d_model * hw.bytes_per_element
+            stats.hbm_bytes += kv_bytes
+            stats.nonlinear_cycles += (
+                layer_norm_count(model) * prompt_length * norm_stall
+                if not hw.element_serial
+                else layer_norm_count(model) * prompt_length * hw.element_serial_drain
+            )
+        for op in head_ops:
+            cycles, macs, hbm_bytes = self._linear_cycles(op, weights_resident=False)
+            stats.linear_cycles += cycles
+            stats.macs += macs
+            stats.hbm_bytes += hbm_bytes
+
+        stats.cycles = (
+            stats.linear_cycles + stats.attention.total + stats.nonlinear_cycles
+        )
+        return stats
+
+    def decode_step(self, cache_length):
+        """Simulate one decode step against a cache of ``cache_length``."""
+        model, hw = self.model, self.hw
+        stats = PhaseStats()
+        per_layer_ops, head_ops = decode_linear_ops(model)
+        attn = decode_attention(cache_length, model.head_dim, model.n_heads, hw)
+        norm_stall = layernorm_stall_cycles(model.d_model, hw, hw.element_serial)
+
+        for _ in range(model.n_layers):
+            for op in per_layer_ops:
+                cycles, macs, hbm_bytes = self._linear_cycles(op, weights_resident=False)
+                stats.linear_cycles += cycles
+                stats.macs += macs
+                stats.hbm_bytes += hbm_bytes
+            stats.attention = stats.attention + attn
+            stats.macs += 2 * model.n_heads * model.head_dim * cache_length
+            # KV cache read (K and V) + current token write-back.
+            stats.hbm_bytes += 2 * cache_length * model.d_model * hw.bytes_per_element
+            stats.hbm_bytes += 2 * model.d_model * hw.bytes_per_element
+            stats.nonlinear_cycles += layer_norm_count(model) * norm_stall
+        for op in head_ops:
+            cycles, macs, hbm_bytes = self._linear_cycles(op, weights_resident=False)
+            stats.linear_cycles += cycles
+            stats.macs += macs
+            stats.hbm_bytes += hbm_bytes
+
+        stats.cycles = (
+            stats.linear_cycles + stats.attention.total + stats.nonlinear_cycles
+        )
+        return stats
+
+    # ------------------------------------------------------------------
+    # Full runs
+    # ------------------------------------------------------------------
+    def cache_length_at(self, prompt_length, step, kv_budget=None):
+        """Cache length seen by decode step ``step`` (1-based).
+
+        Without a budget the cache grows one entry per token; with a
+        budget the voting engine holds it at ``S`` (append-then-evict, so
+        the attention in a step sees at most ``S + 1`` entries).
+        """
+        natural = prompt_length + step
+        if kv_budget is None:
+            return natural
+        return min(natural, kv_budget + 1)
+
+    def run(self, prompt_length, gen_length, kv_budget=None):
+        """Prefill + ``gen_length`` decode steps; returns :class:`RunStats`.
+
+        ``kv_budget`` models voting-based eviction holding the cache at a
+        fixed size.  Vote-count traffic (UINT16 per position, read +
+        write per step per layer, stored off-chip per paper Sec. V) is
+        charged to HBM when a budget is active.
+        """
+        stats = RunStats(prefill=self.prefill(prompt_length))
+        for step in range(1, gen_length + 1):
+            length = self.cache_length_at(prompt_length, step, kv_budget)
+            step_stats = self.decode_step(length)
+            if kv_budget is not None:
+                vote_bytes = 2 * 2 * length * self.model.n_layers
+                step_stats.hbm_bytes += vote_bytes
+            stats.decode_attention_per_token.append(step_stats.attention.total)
+            stats.decode_total_per_token.append(step_stats.cycles)
+            stats.decode.cycles += step_stats.cycles
+            stats.decode.attention = stats.decode.attention + step_stats.attention
+            stats.decode.linear_cycles += step_stats.linear_cycles
+            stats.decode.nonlinear_cycles += step_stats.nonlinear_cycles
+            stats.decode.macs += step_stats.macs
+            stats.decode.hbm_bytes += step_stats.hbm_bytes
+        return stats
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    def tokens_per_second(self, prompt_length, gen_length, kv_budget=None):
+        """Sustained decode throughput over a run."""
+        stats = self.run(prompt_length, gen_length, kv_budget)
+        seconds = stats.decode.cycles / (self.hw.clock_ghz * 1e9)
+        return gen_length / seconds
+
+    def achieved_gops(self, stats):
+        """Effective throughput of a phase/run (2 ops per MAC)."""
+        cycles = stats.cycles if isinstance(stats, PhaseStats) else stats.total_cycles
+        macs = stats.macs if isinstance(stats, PhaseStats) else (
+            stats.prefill.macs + stats.decode.macs
+        )
+        seconds = cycles / (self.hw.clock_ghz * 1e9)
+        return 2.0 * macs / seconds / 1e9

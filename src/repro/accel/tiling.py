@@ -1,0 +1,115 @@
+"""Prefill GEMM tiling under the on-chip buffer capacity.
+
+The paper's storage policy (Sec. V): "weights are fetched to the on-chip
+buffer and reused across tokens" during prefill.  A Llama-7B weight
+matrix (4096×4096 FP16 = 32 MB) dwarfs the 256 KB buffer, so reuse is
+*tile-wise*: a weight tile is fetched once and multiplied against all
+``P`` prompt rows before the next tile streams in.  This module plans
+that tiling and exposes the classic roofline consequence — prefill is
+compute-bound only when the prompt is long enough to amortize each
+tile's fetch:
+
+    compute per tile  = P · tile_cols · ceil(tile_rows / W) cycles
+    memory per tile   = tile_rows · tile_cols · 2 / BW       cycles
+    compute-bound  ⇔  P ≥ W · bytes_per_element / BW_per_cycle · …
+
+For VEDA's parameters (W = 128 lanes, 256 B/cycle, FP16) the crossover
+sits at P = 128: exactly one full epoch of rows per fetched byte-column.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["TilePlan", "plan_weight_tiling", "prefill_gemm_cycles", "compute_bound_prompt_threshold"]
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """How one (k × n) weight matrix is tiled through the buffer."""
+
+    k: int
+    n: int
+    tile_rows: int
+    tile_cols: int
+    n_tiles: int
+    tile_bytes: int
+    fits_buffer: bool
+
+
+def plan_weight_tiling(k, n, buffer_bytes, bytes_per_element=2, reserve_fraction=0.5):
+    """Choose a weight tile that fits the usable buffer share.
+
+    ``reserve_fraction`` of the buffer is left for activations and
+    double-buffering (stream the next tile while computing the current).
+    Tiles keep full rows of the reduction dimension where possible (so an
+    inner-product pass needs no partial-sum spill) and split columns
+    first.
+    """
+    if k <= 0 or n <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    if buffer_bytes <= 0:
+        raise ValueError("buffer must be positive")
+    usable = int(buffer_bytes * (1.0 - reserve_fraction))
+    if usable <= 0:
+        raise ValueError("reserve_fraction leaves no usable buffer")
+
+    row_bytes = k * bytes_per_element
+    if row_bytes <= usable:
+        # Full reduction rows fit: tile = k × as-many-columns-as-fit.
+        tile_cols = max(min(usable // row_bytes, n), 1)
+        tile_rows = k
+    else:
+        # Even one column of k elements overflows: split rows too.
+        tile_cols = 1
+        tile_rows = max(usable // bytes_per_element, 1)
+    n_tiles = math.ceil(n / tile_cols) * math.ceil(k / tile_rows)
+    tile_bytes = tile_rows * tile_cols * bytes_per_element
+    return TilePlan(
+        k=k,
+        n=n,
+        tile_rows=tile_rows,
+        tile_cols=tile_cols,
+        n_tiles=n_tiles,
+        tile_bytes=tile_bytes,
+        fits_buffer=tile_bytes <= usable,
+    )
+
+
+def prefill_gemm_cycles(plan, prompt_length, width, bytes_per_cycle):
+    """Cycles for a (P × k) × (k × n) GEMM under ``plan``.
+
+    Per tile, compute and the *next* tile's fetch overlap (double
+    buffering): the tile costs ``max(compute, fetch)``.
+
+    Returns ``(total_cycles, compute_cycles, memory_cycles)``.
+    """
+    if prompt_length <= 0:
+        raise ValueError("prompt length must be positive")
+    compute_per_tile = (
+        prompt_length * plan.tile_cols * math.ceil(plan.tile_rows / width)
+    )
+    fetch_per_tile = plan.tile_bytes / bytes_per_cycle
+    total = plan.n_tiles * max(compute_per_tile, fetch_per_tile)
+    return (
+        total,
+        plan.n_tiles * compute_per_tile,
+        plan.n_tiles * fetch_per_tile,
+    )
+
+
+def compute_bound_prompt_threshold(width, bytes_per_cycle, bytes_per_element=2):
+    """Smallest prompt length for which tiled prefill is compute-bound.
+
+    Per fetched weight element the array spends ``P / width`` compute
+    cycles and ``bytes_per_element / bytes_per_cycle`` fetch cycles;
+    equality gives ``P* = width · bytes_per_element / bytes_per_cycle``.
+    VEDA's parameters (128 lanes, FP16, 256 B/cycle) give ``P* = 1``:
+    the machine is *balanced* — decode (P = 1) exactly saturates both,
+    which is the design intent behind pairing a 128-MAC array with a
+    256 GB/s HBM.
+    """
+    if width <= 0 or bytes_per_cycle <= 0 or bytes_per_element <= 0:
+        raise ValueError("parameters must be positive")
+    return math.ceil(width * bytes_per_element / bytes_per_cycle)

@@ -1,0 +1,154 @@
+"""Hardware voting engine (paper Fig. 7, right) — bit-true model.
+
+The engine taps the softmax output ``s'`` (which is simultaneously the
+s'×V input), stores it in a 4096-entry FP16 FIFO, computes the adaptive
+threshold from a streaming mean/standard deviation, and updates a
+4096-entry UINT16 vote-count buffer; the eviction index register (UINT12)
+tracks the current argmax.  It "consistently operates in parallel" with
+the PE array, so it contributes energy and off-chip vote-count traffic
+but no latency.
+
+Datapath widths follow Table I:
+
+- scores: FP16 (quantized on FIFO write),
+- vote counts: UINT16, saturating,
+- eviction index: UINT12.
+
+Head aggregation is layer-wise ("all heads are aggregated and averaged",
+Sec. V): the engine accumulates a running across-head average of ``s'``
+in FP16 before thresholding.  ``tests/accel/test_voting_engine.py``
+checks decision equivalence against the float64
+:class:`repro.core.policies.voting.VotingPolicy`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numerics.fixed_point import SaturatingCounter, clamp_unsigned
+from repro.numerics.fp16 import fp16_quantize
+from repro.numerics.online import WelfordAccumulator
+
+__all__ = ["VotingEngine"]
+
+
+class VotingEngine:
+    """Bit-true per-layer voting engine.
+
+    Parameters mirror :class:`repro.core.policies.voting.VotingPolicy`;
+    widths mirror the paper's Table I.
+    """
+
+    def __init__(
+        self,
+        capacity=4096,
+        a=1.0,
+        b=0.2,
+        reserved_length=32,
+        vote_bits=16,
+        index_bits=12,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if capacity > (1 << index_bits):
+            raise ValueError(
+                f"capacity {capacity} not addressable by a {index_bits}-bit index"
+            )
+        self.capacity = int(capacity)
+        self.a = float(a)
+        self.b = float(b)
+        self.reserved_length = int(reserved_length)
+        self.index_bits = int(index_bits)
+        self._votes = SaturatingCounter(self.capacity, bits=vote_bits)
+        self._length = 0
+        self.busy_cycles = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def vote_counts(self):
+        """Occupied prefix of the vote buffer."""
+        return np.asarray(self._votes.counts[: self._length])
+
+    @property
+    def length(self):
+        return self._length
+
+    def reset(self):
+        self._votes.clear_all()
+        self._length = 0
+        self.busy_cycles = 0
+
+    # ------------------------------------------------------------------
+    def process_token(self, attn, positions):
+        """Consume one token's attention rows (H, l) and update votes.
+
+        Mirrors the hardware flow: FIFO store (FP16) while the reduction
+        unit streams mean/std; then a second serial pass compares each
+        element against the threshold and bumps the vote counters.
+        """
+        attn = np.asarray(attn, dtype=np.float64)
+        if attn.ndim != 2:
+            raise ValueError(f"attn must be (H, l), got {attn.shape}")
+        positions = np.asarray(positions)
+        length = attn.shape[1]
+        if length > self.capacity:
+            raise ValueError(f"row length {length} exceeds engine capacity")
+        self._length = length
+
+        # Two serial passes over the FIFO contents (store+reduce, then
+        # vote) — the engine runs them in parallel with s'×V.
+        self.busy_cycles += 2 * length + 4
+
+        voter_position = int(positions[-1])
+        if voter_position < self.reserved_length:
+            return np.zeros(length, dtype=bool)
+
+        # FP16 across-head average (accumulate in FP16 like the datapath).
+        row = np.zeros(length)
+        for head_row in attn:
+            row = fp16_quantize(row + fp16_quantize(head_row))
+        row = fp16_quantize(row / attn.shape[0])
+
+        # Streaming mean / std in the reduction unit.
+        acc = WelfordAccumulator()
+        for value in row:
+            acc.update(value)
+        threshold = fp16_quantize(self.a * acc.mean - self.b * acc.std)
+
+        eligible = positions >= self.reserved_length
+        votes = np.zeros(length, dtype=bool)
+        if threshold > 0.0:
+            votes = (row < threshold) & eligible
+        elif np.any(eligible):
+            masked = np.where(eligible, row, np.inf)
+            votes[int(np.argmin(masked))] = True
+
+        mask = np.zeros(self.capacity, dtype=np.int64)
+        mask[:length] = votes.astype(np.int64)
+        self._votes.increment(mask)
+        return votes
+
+    def eviction_index(self, positions):
+        """Current eviction index (argmax vote among non-reserved slots).
+
+        Clamped to the UINT12 register width.
+        """
+        positions = np.asarray(positions)
+        length = positions.shape[0]
+        counts = np.asarray(self._votes.counts[:length])
+        eligible = positions >= self.reserved_length
+        if not np.any(eligible):
+            return clamp_unsigned(length - 1, self.index_bits)
+        masked = np.where(eligible, counts, -1)
+        return clamp_unsigned(int(np.argmax(masked)), self.index_bits)
+
+    def on_evict(self, slot):
+        """Compact the vote buffer after the cache evicted ``slot``."""
+        if not 0 <= slot < self._length:
+            raise IndexError(f"slot {slot} out of range [0, {self._length})")
+        counts = self._votes.counts.copy()
+        counts[slot : self._length - 1] = counts[slot + 1 : self._length]
+        counts[self._length - 1] = 0
+        self._votes.clear_all()
+        self._votes.increment(counts)
+        self._length -= 1

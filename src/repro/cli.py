@@ -1,0 +1,141 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro fig8_center          # run one artifact, print its table
+    python -m repro all                  # everything (slow: trains/evaluates)
+    python -m repro fig8_left --fast     # reduced sweep for a quick look
+
+Results are also written to ``.artifacts/results/`` as text tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments import (
+    ablations,
+    fig8_center,
+    fig8_left,
+    fig8_right,
+    policy_zoo,
+    table1,
+    table2,
+)
+from repro.experiments.common import format_table
+from repro.experiments.plotting import ascii_line_chart
+
+__all__ = ["main"]
+
+_RESULTS_DIR = Path(__file__).resolve().parents[2] / ".artifacts" / "results"
+
+
+def _run_fig8_left(fast):
+    result = fig8_left.run(n_windows=2 if fast else 4)
+    chart = ascii_line_chart(
+        {
+            name: [(row["cache_size"], row[name]) for row in result.rows]
+            for name in ("streaming", "h2o", "voting")
+        },
+        title="perplexity vs cache size (log-x not applied)",
+    )
+    return result, chart
+
+
+def _run_fig8_center(fast):
+    return fig8_center.run(), None
+
+
+def _run_fig8_right(fast):
+    result = fig8_right.run()
+    chart = ascii_line_chart(
+        {
+            f"{r}KV": [(row["gen_length"], row[f"VEDA+{r}KV"]) for row in result.rows]
+            for r in (0.5, 0.2)
+        },
+        title="speedup vs generation length",
+    )
+    return result, chart
+
+
+def _run_table1(fast):
+    return table1.run(), None
+
+
+def _run_table2(fast):
+    result = table2.run()
+    extra = format_table(result.end_to_end, title="End-to-end vs RTX 4090")
+    return result, extra
+
+
+def _run_policy_zoo(fast):
+    return policy_zoo.run(n_windows=2 if fast else 3), None
+
+
+def _run_ablations(fast):
+    windows = 2 if fast else 3
+    pieces = [
+        ablations.voting_threshold(n_windows=windows),
+        ablations.reserved_length(n_windows=windows),
+        ablations.eviction_granularity(n_windows=windows),
+        ablations.strided_derate_sensitivity(),
+    ]
+    for piece in pieces[:-1]:
+        print(piece.to_table())
+        print()
+    return pieces[-1], None
+
+
+_EXPERIMENTS = {
+    "fig8_left": _run_fig8_left,
+    "fig8_center": _run_fig8_center,
+    "fig8_right": _run_fig8_right,
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "policy_zoo": _run_policy_zoo,
+    "ablations": _run_ablations,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate VEDA paper artifacts (tables and figures).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["list", "all"],
+        help="artifact to regenerate, 'list', or 'all'",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="reduced sweeps for a quick look",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(_EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result, extra = _EXPERIMENTS[name](args.fast)
+        print(result.to_table())
+        if result.notes:
+            print(f"\nNotes: {result.notes}")
+        if extra:
+            print()
+            print(extra)
+        _RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        out = _RESULTS_DIR / f"{result.experiment_id}.txt"
+        out.write_text(result.to_table() + "\n")
+        print(f"[saved to {out}]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

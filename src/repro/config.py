@@ -1,0 +1,139 @@
+"""Model configuration dataclasses and presets.
+
+Two kinds of model configs appear in the reproduction:
+
+- *Trainable* tiny configs for the language models actually trained and
+  evaluated here (the Llama-2 7B substitute for the algorithm experiments,
+  Fig. 8 left).
+- *Shape-only* configs describing Llama-2 7B's dimensions, consumed by the
+  accelerator simulator for the latency experiments (Fig. 8 center/right,
+  Table II), where only layer shapes matter, never weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Decoder-only transformer hyperparameters (Llama-style).
+
+    Attributes
+    ----------
+    vocab_size:
+        Token vocabulary size.
+    d_model:
+        Hidden dimension ``D`` (paper Fig. 1).
+    n_heads:
+        Number of attention heads ``H``; head dim ``d = D / H``.
+    n_layers:
+        Number of transformer blocks ``N``.
+    d_ff:
+        FFN intermediate dimension (``4D`` for GELU FFNs, ``11008`` for
+        Llama-2 7B's SwiGLU).
+    max_seq_len:
+        Maximum sequence length (RoPE table size; paper uses 4096).
+    rope_theta:
+        RoPE base frequency.
+    norm:
+        ``"rmsnorm"`` (Llama) or ``"layernorm"``.
+    activation:
+        ``"swiglu"`` (Llama), ``"gelu"``, or ``"relu"``.
+    dropout:
+        Dropout probability during training.
+    tie_embeddings:
+        Share the input embedding with the LM head.
+    """
+
+    vocab_size: int
+    d_model: int
+    n_heads: int
+    n_layers: int
+    d_ff: int
+    max_seq_len: int
+    rope_theta: float = 10000.0
+    norm: str = "rmsnorm"
+    activation: str = "swiglu"
+    dropout: float = 0.0
+    tie_embeddings: bool = True
+
+    def __post_init__(self):
+        if self.d_model % self.n_heads != 0:
+            raise ValueError(
+                f"d_model={self.d_model} not divisible by n_heads={self.n_heads}"
+            )
+        if self.head_dim % 2 != 0:
+            raise ValueError("head dimension must be even for RoPE")
+        if self.norm not in ("rmsnorm", "layernorm"):
+            raise ValueError(f"unknown norm {self.norm!r}")
+        if self.activation not in ("swiglu", "gelu", "relu"):
+            raise ValueError(f"unknown activation {self.activation!r}")
+
+    @property
+    def head_dim(self):
+        return self.d_model // self.n_heads
+
+
+def tiny_config(**overrides):
+    """A micro config for unit tests (fast to train for a few steps)."""
+    defaults = dict(
+        vocab_size=64,
+        d_model=32,
+        n_heads=2,
+        n_layers=2,
+        d_ff=64,
+        max_seq_len=128,
+    )
+    defaults.update(overrides)
+    return ModelConfig(**defaults)
+
+
+def small_lm_config(**overrides):
+    """The trained evaluation model (Llama-2 7B stand-in, scaled ~1/8 ctx).
+
+    Used by :mod:`repro.zoo` for the Fig. 8 (left) perplexity experiment:
+    context 640 covers the scaled evaluation length of 512 plus headroom.
+    """
+    defaults = dict(
+        vocab_size=512,
+        d_model=128,
+        n_heads=4,
+        n_layers=4,
+        d_ff=256,
+        max_seq_len=640,
+    )
+    defaults.update(overrides)
+    return ModelConfig(**defaults)
+
+
+def llama2_7b_shapes():
+    """Llama-2 7B dimensions (shape-only; weights are never materialized).
+
+    The accelerator experiments replay these shapes through the cycle
+    simulator exactly as the paper does (Sec. VI: Llama-2 7B, max seq 4096,
+    head dim 128, 32 heads, 32 layers, FFN 11008).
+    """
+    return ModelConfig(
+        vocab_size=32000,
+        d_model=4096,
+        n_heads=32,
+        n_layers=32,
+        d_ff=11008,
+        max_seq_len=4096,
+    )
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyperparameters for training the tiny evaluation LM."""
+
+    seq_len: int = 512
+    batch_size: int = 4
+    steps: int = 300
+    lr: float = 3e-3
+    warmup_steps: int = 30
+    weight_decay: float = 0.01
+    grad_clip: float = 1.0
+    seed: int = 2025
+    betas: tuple = field(default=(0.9, 0.95))

@@ -1,0 +1,59 @@
+"""The paper's primary contribution: voting-based KV cache eviction.
+
+Import order matters: :mod:`repro.core.kv_cache` has no intra-package
+dependencies and must come first because :mod:`repro.models.inference`
+(imported by the engine) pulls it in as a submodule.
+"""
+
+from repro.core.analysis import attention_sparsity, row_entropy, sink_mass
+from repro.core.kv_cache import KVCache, LayerKVCache
+from repro.core.policies import (
+    DecayedAccumulationPolicy,
+    EvictionPolicy,
+    FullCachePolicy,
+    H2OPolicy,
+    RandomEvictionPolicy,
+    ScissorhandsPolicy,
+    StreamingLLMPolicy,
+    TOVAPolicy,
+    VotingPolicy,
+    adaptive_threshold,
+    available_policies,
+    make_policy,
+    vote_mask,
+)
+from repro.core.engine import (
+    GenerationEngine,
+    GenerationResult,
+    PerplexityResult,
+    budget_from_ratio,
+)
+from repro.core.sampling import greedy, temperature_sampler, top_k_sampler
+
+__all__ = [
+    "KVCache",
+    "sink_mass",
+    "attention_sparsity",
+    "row_entropy",
+    "LayerKVCache",
+    "EvictionPolicy",
+    "FullCachePolicy",
+    "StreamingLLMPolicy",
+    "H2OPolicy",
+    "VotingPolicy",
+    "RandomEvictionPolicy",
+    "TOVAPolicy",
+    "ScissorhandsPolicy",
+    "DecayedAccumulationPolicy",
+    "adaptive_threshold",
+    "vote_mask",
+    "make_policy",
+    "available_policies",
+    "GenerationEngine",
+    "GenerationResult",
+    "PerplexityResult",
+    "budget_from_ratio",
+    "greedy",
+    "temperature_sampler",
+    "top_k_sampler",
+]

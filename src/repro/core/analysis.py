@@ -1,0 +1,78 @@
+"""Attention-trace analysis: the sink phenomenon and score sparsity.
+
+Two empirical facts motivate the paper's design:
+
+- **Attention sinks** (Xiao et al., cited as [18]): a disproportionate
+  share of every row's attention lands on the first few positions, which
+  is why the voting algorithm reserves a prefix R that never receives
+  votes.  :func:`sink_mass` measures that share on real traces.
+- **Attention sparsity** ("sparsity levels approaching 95%", paper
+  intro): most of each row's mass concentrates in a few entries.
+  :func:`attention_sparsity` measures the fraction of entries needed to
+  cover a target mass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sink_mass", "attention_sparsity", "row_entropy"]
+
+
+def sink_mass(attention, sink_length=4, min_row=16):
+    """Average attention mass on the first ``sink_length`` positions.
+
+    ``attention`` is a per-layer list of causal (H, L, L) matrices (a
+    :class:`StepResult`'s prefill attention).  Rows shorter than
+    ``min_row`` are skipped (the sink share is trivially large there).
+    Returns one value per layer.
+    """
+    results = []
+    for attn in attention:
+        heads, length, _ = attn.shape
+        masses = []
+        for row in range(min_row, length):
+            masses.append(attn[:, row, :sink_length].sum(axis=-1).mean())
+        results.append(float(np.mean(masses)) if masses else float("nan"))
+    return results
+
+
+def attention_sparsity(attention, mass=0.95, min_row=16):
+    """Fraction of entries needed to cover ``mass`` of each row.
+
+    Low values ⇒ sparse attention (the paper's premise that ~95% of the
+    KV cache is rarely attended).  Returns one value per layer.
+    """
+    if not 0.0 < mass < 1.0:
+        raise ValueError("mass must be in (0, 1)")
+    results = []
+    for attn in attention:
+        heads, length, _ = attn.shape
+        fractions = []
+        for row in range(min_row, length):
+            rows = attn[:, row, : row + 1]
+            sorted_desc = np.sort(rows, axis=-1)[:, ::-1]
+            cumulative = np.cumsum(sorted_desc, axis=-1)
+            needed = (cumulative < mass).sum(axis=-1) + 1
+            fractions.append(np.mean(needed / (row + 1)))
+        results.append(float(np.mean(fractions)) if fractions else float("nan"))
+    return results
+
+
+def row_entropy(attention, min_row=16):
+    """Mean normalized entropy of attention rows, per layer.
+
+    0 = one-hot (maximally sparse), 1 = uniform.  Complements
+    :func:`attention_sparsity` as the quantity the adaptive threshold
+    reacts to (σ of a row grows as entropy falls).
+    """
+    results = []
+    for attn in attention:
+        heads, length, _ = attn.shape
+        entropies = []
+        for row in range(min_row, length):
+            rows = np.clip(attn[:, row, : row + 1], 1e-12, 1.0)
+            entropy = -(rows * np.log(rows)).sum(axis=-1)
+            entropies.append(np.mean(entropy / np.log(row + 1)))
+        results.append(float(np.mean(entropies)) if entropies else float("nan"))
+    return results

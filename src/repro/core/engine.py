@@ -1,0 +1,232 @@
+"""Generation engine: drives the model, the cache, and an eviction policy.
+
+This is the software twin of VEDA's system behaviour (paper Fig. 3 plus
+Sec. V): prefill populates the cache and casts votes row by row; the
+generation phase appends one kv vector per step, observes the attention
+row, and evicts when the cache exceeds its budget.  The same engine
+performs teacher-forced perplexity evaluation for the Fig. 8 (left)
+language-modeling experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.policies.base import GENERATION, PREFILL
+from repro.core.sampling import greedy
+from repro.numerics.online import stable_softmax
+
+__all__ = [
+    "GenerationEngine",
+    "GenerationResult",
+    "PerplexityResult",
+    "budget_from_ratio",
+]
+
+
+def budget_from_ratio(ratio, prompt_length, minimum=32):
+    """The paper's target cache size ``S = Round(r * P)`` (Fig. 3, line 1).
+
+    ``minimum`` enforces the reserved-length lower bound (R = 32).
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"compression ratio must be in (0, 1], got {ratio}")
+    return max(int(round(ratio * prompt_length)), minimum)
+
+
+@dataclass
+class GenerationResult:
+    """Outcome of :meth:`GenerationEngine.generate`."""
+
+    tokens: list
+    cache_lengths: list = field(default_factory=list)
+    evictions: list = field(default_factory=list)  # (step, layer, position)
+
+    @property
+    def num_evictions(self):
+        return len(self.evictions)
+
+
+@dataclass
+class PerplexityResult:
+    """Outcome of :meth:`GenerationEngine.perplexity`."""
+
+    nll_per_token: list
+    budget: int | None
+
+    @property
+    def mean_nll(self):
+        return float(np.mean(self.nll_per_token))
+
+    @property
+    def perplexity(self):
+        return float(np.exp(self.mean_nll))
+
+    @property
+    def num_tokens(self):
+        return len(self.nll_per_token)
+
+
+class GenerationEngine:
+    """Couples a :class:`CachedTransformer` with an eviction policy.
+
+    Parameters
+    ----------
+    model:
+        A :class:`repro.models.inference.CachedTransformer`.
+    policy:
+        An :class:`repro.core.policies.base.EvictionPolicy`.
+    budget:
+        Target KV cache size ``S`` per layer; ``None`` disables eviction
+        (full-cache baseline).
+    evictions_per_step:
+        Maximum evictions per layer per processed token; ``None`` means
+        "shrink to budget immediately".  The paper's Fig. 3 evicts exactly
+        one per generated token (its cache only ever exceeds budget by
+        one); this knob exists for the eviction-granularity ablation.
+    """
+
+    def __init__(self, model, policy, budget=None, evictions_per_step=None):
+        if budget is not None and budget <= 0:
+            raise ValueError(f"budget must be positive, got {budget}")
+        if evictions_per_step is not None and evictions_per_step <= 0:
+            raise ValueError("evictions_per_step must be positive")
+        self.model = model
+        self.policy = policy
+        self.budget = budget
+        self.evictions_per_step = evictions_per_step
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _capacity(self, prompt_length, max_new_tokens):
+        if self.budget is None:
+            return prompt_length + max_new_tokens + 1
+        # Prefill may transiently exceed the budget; steady state is
+        # budget + 1 (append happens before eviction).
+        return max(prompt_length, self.budget) + 1
+
+    def _observe_prefill(self, attention, positions):
+        """Replay the causal attention matrix row by row as votes."""
+        length = positions.shape[0]
+        for layer, attn in enumerate(attention):
+            for row in range(length):
+                self.policy.observe(
+                    layer,
+                    attn[:, row, : row + 1],
+                    positions[: row + 1],
+                    PREFILL,
+                )
+
+    def _observe_step(self, attention, cache):
+        for layer, attn in enumerate(attention):
+            self.policy.observe(
+                layer, attn, cache[layer].positions, GENERATION
+            )
+
+    def _enforce_budget(self, cache, step, log):
+        if self.budget is None:
+            return
+        for layer_index, layer_cache in enumerate(cache):
+            evicted = 0
+            while layer_cache.length > self.budget:
+                if (
+                    self.evictions_per_step is not None
+                    and evicted >= self.evictions_per_step
+                ):
+                    break
+                slot = self.policy.select_victim(
+                    layer_index, layer_cache.positions
+                )
+                position = layer_cache.evict(slot)
+                self.policy.on_evict(layer_index, slot)
+                log.append((step, layer_index, position))
+                evicted += 1
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self, prompt, max_new_tokens, sampler=greedy, seed=0, eos=None):
+        """Prefill ``prompt`` then generate up to ``max_new_tokens`` tokens.
+
+        Returns a :class:`GenerationResult`; ``tokens`` holds only the
+        generated continuation.
+        """
+        prompt = np.asarray(prompt)
+        if prompt.ndim != 1 or prompt.shape[0] == 0:
+            raise ValueError("prompt must be a non-empty 1-D token array")
+        rng = np.random.default_rng(seed)
+        self.policy.reset()
+
+        cache = self.model.new_cache(self._capacity(prompt.shape[0], max_new_tokens))
+        result = GenerationResult(tokens=[])
+
+        prefill = self.model.prefill(prompt, cache)
+        positions = np.arange(prompt.shape[0])
+        self._observe_prefill(prefill.attention, positions)
+        self._enforce_budget(cache, step=0, log=result.evictions)
+        result.cache_lengths.append(cache[0].length)
+
+        logits = prefill.logits
+        position = prompt.shape[0]
+        for step in range(1, max_new_tokens + 1):
+            token = sampler(logits, rng)
+            result.tokens.append(token)
+            if eos is not None and token == eos:
+                break
+            step_result = self.model.step(token, position, cache)
+            self._observe_step(step_result.attention, cache)
+            self._enforce_budget(cache, step, result.evictions)
+            result.cache_lengths.append(cache[0].length)
+            logits = step_result.logits
+            position += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Language modeling (Fig. 8 left)
+    # ------------------------------------------------------------------
+    def perplexity(self, tokens, prefill_length=None):
+        """Teacher-forced perplexity of ``tokens`` under the cache budget.
+
+        The first ``prefill_length`` tokens are prefetched in parallel
+        (default: the cache budget, so the cache starts exactly full, or
+        half the sequence when running without a budget); every later
+        token is processed auto-regressively with eviction active, which
+        is the "fixed target size … for language modeling" configuration
+        described under Fig. 3.
+
+        NLL is recorded for every token after the prefill.
+        """
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 1 or tokens.shape[0] < 2:
+            raise ValueError("need at least two tokens for perplexity")
+        total = tokens.shape[0]
+        if prefill_length is None:
+            prefill_length = self.budget if self.budget is not None else total // 2
+        prefill_length = int(min(max(prefill_length, 1), total - 1))
+        self.policy.reset()
+
+        cache = self.model.new_cache(
+            self._capacity(prefill_length, total - prefill_length)
+        )
+        evictions = []
+        nll = []
+
+        prefill = self.model.prefill(tokens[:prefill_length], cache)
+        self._observe_prefill(prefill.attention, np.arange(prefill_length))
+        self._enforce_budget(cache, step=0, log=evictions)
+        nll.append(_token_nll(prefill.logits, tokens[prefill_length]))
+
+        for i in range(prefill_length, total - 1):
+            step_result = self.model.step(tokens[i], i, cache)
+            self._observe_step(step_result.attention, cache)
+            self._enforce_budget(cache, i, evictions)
+            nll.append(_token_nll(step_result.logits, tokens[i + 1]))
+        return PerplexityResult(nll_per_token=nll, budget=self.budget)
+
+
+def _token_nll(logits, target):
+    probs = stable_softmax(logits)
+    return float(-np.log(max(probs[int(target)], 1e-300)))

@@ -1,0 +1,35 @@
+"""KV-cache eviction policies: the paper's voting algorithm and baselines."""
+
+from repro.core.policies.base import (
+    EvictionPolicy,
+    available_policies,
+    make_policy,
+    register_policy,
+)
+from repro.core.policies.extensions import (
+    DecayedAccumulationPolicy,
+    ScissorhandsPolicy,
+    TOVAPolicy,
+)
+from repro.core.policies.full import FullCachePolicy
+from repro.core.policies.h2o import H2OPolicy
+from repro.core.policies.random_policy import RandomEvictionPolicy
+from repro.core.policies.streaming import StreamingLLMPolicy
+from repro.core.policies.voting import VotingPolicy, adaptive_threshold, vote_mask
+
+__all__ = [
+    "EvictionPolicy",
+    "register_policy",
+    "make_policy",
+    "available_policies",
+    "FullCachePolicy",
+    "StreamingLLMPolicy",
+    "H2OPolicy",
+    "VotingPolicy",
+    "RandomEvictionPolicy",
+    "TOVAPolicy",
+    "ScissorhandsPolicy",
+    "DecayedAccumulationPolicy",
+    "adaptive_threshold",
+    "vote_mask",
+]

@@ -1,0 +1,92 @@
+"""Eviction policy interface and registry.
+
+A policy observes the attention-score stream the model produces (exactly
+the ``s'`` vectors the VEDA voting engine taps in hardware, paper Fig. 7)
+and, when the generation engine asks, names the cache slot to evict.
+
+Contract
+--------
+State is kept *slot-aligned* per layer: slot ``j`` of the policy's internal
+vectors corresponds to slot ``j`` of the layer's :class:`LayerKVCache`.
+The engine guarantees the following call order per layer:
+
+1. ``observe(layer, attn, positions, phase)`` once per processed token —
+   ``attn`` is ``(H, l)`` attention probabilities over the *current* cache
+   (the newest token occupies the last slot), ``positions`` the absolute
+   positions of the slots.
+2. zero or more ``select_victim(layer, positions)`` /
+   ``on_evict(layer, slot)`` pairs, one per eviction, until the cache is
+   within budget.  ``on_evict`` must compact slot-aligned state the same
+   way the cache compacts (delete slot, shift tail left).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["EvictionPolicy", "register_policy", "make_policy", "available_policies"]
+
+_REGISTRY = {}
+
+#: Phase tags passed to ``observe``.
+PREFILL = "prefill"
+GENERATION = "generation"
+
+
+class EvictionPolicy(ABC):
+    """Base class for KV-cache eviction policies."""
+
+    #: Registry name; subclasses override.
+    name = "base"
+
+    def __init__(self, n_layers):
+        if n_layers <= 0:
+            raise ValueError(f"n_layers must be positive, got {n_layers}")
+        self.n_layers = int(n_layers)
+
+    def reset(self):
+        """Clear per-sequence state (called before each new sequence)."""
+
+    def observe(self, layer, attn, positions, phase):
+        """Consume one token's attention row for ``layer``.
+
+        Default: ignore (policies like StreamingLLM are score-free).
+        """
+
+    @abstractmethod
+    def select_victim(self, layer, positions):
+        """Return the cache slot index to evict for ``layer``.
+
+        ``positions`` are the absolute positions of the occupied slots in
+        ascending order.  Must be side-effect free; the engine follows up
+        with :meth:`on_evict` once the eviction is committed.
+        """
+
+    def on_evict(self, layer, slot):
+        """Compact slot-aligned state after slot ``slot`` was evicted."""
+
+    def _check_layer(self, layer):
+        if not 0 <= layer < self.n_layers:
+            raise IndexError(f"layer {layer} out of range [0, {self.n_layers})")
+
+
+def register_policy(cls):
+    """Class decorator adding a policy to the name registry."""
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate policy name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_policy(name, n_layers, **kwargs):
+    """Instantiate a registered policy by name."""
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name](n_layers=n_layers, **kwargs)
+
+
+def available_policies():
+    """Sorted list of registered policy names."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,25 @@
+"""No-eviction baseline (the paper's "Baseline" in Fig. 8 right)."""
+
+from __future__ import annotations
+
+from repro.core.policies.base import EvictionPolicy, register_policy
+
+__all__ = ["FullCachePolicy"]
+
+
+@register_policy
+class FullCachePolicy(EvictionPolicy):
+    """Keeps every KV entry; selecting a victim is an error.
+
+    Use with an unbounded budget — the engine never asks a full-cache
+    policy to evict, and the cache grows one entry per generated token,
+    which is exactly the growing-``l`` behaviour the dataflow experiments
+    (Fig. 8 center) model for the no-compression baseline.
+    """
+
+    name = "full"
+
+    def select_victim(self, layer, positions):
+        raise RuntimeError(
+            "FullCachePolicy cannot evict; run it with an unbounded budget"
+        )

@@ -1,0 +1,94 @@
+"""H2O baseline: accumulated-attention-score ("heavy hitter") eviction.
+
+Zhang et al. (NeurIPS 2023), the paper's reference [21] and the strategy
+critiqued in Fig. 2(a): every token's attention row is accumulated
+column-wise into an importance vector, and the entry with the minimum
+accumulated score is evicted.  Published H2O additionally always protects
+the most recent ``recent_window`` tokens (the "local" half of its budget);
+both the protected variant (default, faithful to the H2O paper) and the
+*pure accumulation* variant (``recent_window=0``, the strawman analysed in
+VEDA Fig. 2a) are supported.
+
+The three biases the VEDA paper identifies live here by construction:
+
+- *item-count bias*: early slots appear in more attention rows, so their
+  accumulated scores have more summands;
+- *criteria bias*: rows of different lengths have different means (softmax
+  rows sum to 1), yet are summed on a common scale;
+- *outlier bias*: a single huge score keeps a slot alive forever.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policies.base import EvictionPolicy, register_policy
+
+__all__ = ["H2OPolicy"]
+
+
+@register_policy
+class H2OPolicy(EvictionPolicy):
+    """Accumulated-attention-score eviction with optional recency window."""
+
+    name = "h2o"
+
+    def __init__(self, n_layers, recent_window=16, head_reduction="mean"):
+        super().__init__(n_layers)
+        if recent_window < 0:
+            raise ValueError("recent_window must be non-negative")
+        if head_reduction not in ("mean", "sum"):
+            raise ValueError(f"unknown head_reduction {head_reduction!r}")
+        self.recent_window = int(recent_window)
+        self.head_reduction = head_reduction
+        self._scores = [np.zeros(0) for _ in range(self.n_layers)]
+
+    def reset(self):
+        self._scores = [np.zeros(0) for _ in range(self.n_layers)]
+
+    def accumulated(self, layer):
+        """The current importance vector for ``layer`` (slot-aligned)."""
+        self._check_layer(layer)
+        return self._scores[layer].copy()
+
+    def observe(self, layer, attn, positions, phase):
+        self._check_layer(layer)
+        attn = np.asarray(attn)
+        if attn.ndim != 2:
+            raise ValueError(f"attn must be (H, l), got shape {attn.shape}")
+        if self.head_reduction == "mean":
+            row = attn.mean(axis=0)
+        else:
+            row = attn.sum(axis=0)
+        length = row.shape[0]
+        scores = self._scores[layer]
+        if length > scores.shape[0]:
+            grown = np.zeros(length)
+            grown[: scores.shape[0]] = scores
+            scores = grown
+        scores[:length] += row
+        self._scores[layer] = scores
+
+    def select_victim(self, layer, positions):
+        self._check_layer(layer)
+        positions = np.asarray(positions)
+        length = positions.shape[0]
+        scores = self._scores[layer]
+        if scores.shape[0] < length:
+            # Slots observed zero times (possible if eviction is requested
+            # before any observation) count as zero importance.
+            padded = np.zeros(length)
+            padded[: scores.shape[0]] = scores
+            scores = padded
+        candidate_scores = scores[:length].copy()
+        if self.recent_window > 0 and length > self.recent_window:
+            # Protect the most recent slots (slots are position-sorted).
+            candidate_scores[length - self.recent_window :] = np.inf
+        elif self.recent_window >= length:
+            # Cannot protect everything; fall back to pure accumulation.
+            pass
+        return int(np.argmin(candidate_scores))
+
+    def on_evict(self, layer, slot):
+        self._check_layer(layer)
+        self._scores[layer] = np.delete(self._scores[layer], slot)

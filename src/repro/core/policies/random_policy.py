@@ -1,0 +1,42 @@
+"""Random eviction — a control baseline for the algorithm experiments.
+
+Not in the paper; included so tests and ablations can distinguish "any
+eviction is fine at this budget" from "the policy's choices matter".
+A sink-protected random policy is the natural null hypothesis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policies.base import EvictionPolicy, register_policy
+
+__all__ = ["RandomEvictionPolicy"]
+
+
+@register_policy
+class RandomEvictionPolicy(EvictionPolicy):
+    """Evicts a uniformly random slot outside a protected prefix."""
+
+    name = "random"
+
+    def __init__(self, n_layers, protected_prefix=4, seed=0):
+        super().__init__(n_layers)
+        if protected_prefix < 0:
+            raise ValueError("protected_prefix must be non-negative")
+        self.protected_prefix = int(protected_prefix)
+        self._rng = np.random.default_rng(seed)
+        self._seed = seed
+
+    def reset(self):
+        self._rng = np.random.default_rng(self._seed)
+
+    def select_victim(self, layer, positions):
+        self._check_layer(layer)
+        length = len(positions)
+        eligible = np.nonzero(np.asarray(positions) >= self.protected_prefix)[0]
+        if eligible.size == 0:
+            # Everything is protected; fall back to the newest slot so the
+            # engine can still make progress.
+            return length - 1
+        return int(self._rng.choice(eligible))

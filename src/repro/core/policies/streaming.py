@@ -1,0 +1,46 @@
+"""StreamingLLM baseline: attention sinks + sliding window.
+
+Xiao et al. (arXiv:2309.17453), cited by the VEDA paper as [18]: keep the
+first ``n_sinks`` tokens (the attention sink) plus the most recent window,
+evicting the oldest out-of-window entry.  Score-free — it never looks at
+attention values, which is why it is cheap but loses out-of-window
+information (the accuracy critique in the paper's introduction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policies.base import EvictionPolicy, register_policy
+
+__all__ = ["StreamingLLMPolicy"]
+
+
+@register_policy
+class StreamingLLMPolicy(EvictionPolicy):
+    """Evicts the oldest non-sink slot.
+
+    With a budget ``S`` the steady state is: ``n_sinks`` earliest tokens
+    plus the ``S - n_sinks`` most recent ones.
+    """
+
+    name = "streaming"
+
+    def __init__(self, n_layers, n_sinks=4):
+        super().__init__(n_layers)
+        if n_sinks < 0:
+            raise ValueError("n_sinks must be non-negative")
+        self.n_sinks = int(n_sinks)
+
+    def select_victim(self, layer, positions):
+        self._check_layer(layer)
+        positions = np.asarray(positions)
+        length = positions.shape[0]
+        if length == 0:
+            raise ValueError("select_victim on an empty cache")
+        # Slots are position-sorted, so the oldest non-sink entry is the
+        # first slot whose absolute position is beyond the sink prefix.
+        non_sink = np.nonzero(positions >= self.n_sinks)[0]
+        if non_sink.size == 0:
+            return length - 1
+        return int(non_sink[0])

@@ -1,0 +1,182 @@
+"""Voting-based KV cache eviction — the paper's core algorithm (Fig. 3).
+
+Every processed token is a *voter*: its (head-averaged) attention row
+``s'`` is compared against an adaptive threshold
+
+    ``T(i) = a * mean(s') - b * std(s')``
+
+and every position whose score falls below ``T(i)`` receives one vote.
+When the engine needs to evict, the position with the **most** votes goes
+(ties break to the earliest position).  Design points, each mapped to the
+bias it fixes (paper Sec. III):
+
+- *Item-count bias* → recent positions have had fewer chances to be voted
+  against, so they are naturally preserved.
+- *Criteria bias* → the threshold is recomputed per row from that row's
+  own mean (always ``1/l`` for a softmax row) and standard deviation: a
+  sparse row (high σ) lowers the threshold, an even row raises it.
+- *Outlier bias* → votes are uniform (weight 1), so one giant attention
+  score cannot immortalize a position.
+
+Reserved prefix: the first ``reserved_length`` (R = 32 in the paper)
+positions form the attention sink — they neither vote (rows with index
+< R skip voting) nor receive votes, and they are excluded from eviction.
+
+The hardware twin of this policy lives in
+:mod:`repro.accel.voting_engine` (FP16 datapath, saturating UINT16 vote
+counters) and is property-tested to make identical eviction decisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policies.base import EvictionPolicy, register_policy
+
+__all__ = ["VotingPolicy", "adaptive_threshold", "vote_mask"]
+
+
+def adaptive_threshold(row, a=1.0, b=0.2):
+    """The adaptive voting threshold ``T = a*mean - b*std`` for one row.
+
+    ``row`` is a (head-aggregated) softmax attention row; its mean is
+    ``1/len(row)`` by construction, so sparsity only enters through the
+    standard deviation, exactly the dynamic criteria adjustment the paper
+    describes.
+    """
+    row = np.asarray(row, dtype=np.float64)
+    if row.size == 0:
+        raise ValueError("threshold of an empty attention row")
+    return a * float(row.mean()) - b * float(row.std())
+
+
+def vote_mask(row, positions, reserved_length, a=1.0, b=0.2):
+    """Boolean vote vector for one attention row.
+
+    Positions inside the reserved prefix never receive votes.  When the
+    threshold is non-positive (extremely sparse row), only the minimum
+    eligible score receives a vote, per the paper: "the threshold may
+    theoretically drop below zero, in which case the algorithm identifies
+    the minimum attention score and votes accordingly".
+    """
+    row = np.asarray(row, dtype=np.float64)
+    positions = np.asarray(positions)
+    if row.shape != positions.shape:
+        raise ValueError(
+            f"row shape {row.shape} != positions shape {positions.shape}"
+        )
+    eligible = positions >= reserved_length
+    votes = np.zeros(row.shape[0], dtype=bool)
+    if not np.any(eligible):
+        return votes
+    threshold = adaptive_threshold(row, a=a, b=b)
+    if threshold > 0.0:
+        votes = (row < threshold) & eligible
+    else:
+        masked = np.where(eligible, row, np.inf)
+        votes[int(np.argmin(masked))] = True
+    return votes
+
+
+@register_policy
+class VotingPolicy(EvictionPolicy):
+    """The VEDA voting eviction policy.
+
+    Parameters
+    ----------
+    n_layers:
+        Number of transformer layers (votes are kept per layer).
+    a, b:
+        Threshold hyper-parameters; the paper reports ``a=1, b=0.2`` as
+        generally effective.
+    reserved_length:
+        Attention-sink prefix R (paper: 32): those positions never vote,
+        never receive votes, and are never evicted.
+    head_reduction:
+        How per-head rows are aggregated before voting; the paper
+        aggregates and averages across heads ("voting operates
+        layer-wise").
+    """
+
+    name = "voting"
+
+    def __init__(
+        self,
+        n_layers,
+        a=1.0,
+        b=0.2,
+        reserved_length=32,
+        head_reduction="mean",
+    ):
+        super().__init__(n_layers)
+        if reserved_length < 0:
+            raise ValueError("reserved_length must be non-negative")
+        if head_reduction not in ("mean", "sum"):
+            raise ValueError(f"unknown head_reduction {head_reduction!r}")
+        self.a = float(a)
+        self.b = float(b)
+        self.reserved_length = int(reserved_length)
+        self.head_reduction = head_reduction
+        self._votes = [np.zeros(0, dtype=np.int64) for _ in range(self.n_layers)]
+
+    def reset(self):
+        self._votes = [np.zeros(0, dtype=np.int64) for _ in range(self.n_layers)]
+
+    def vote_counts(self, layer):
+        """Slot-aligned vote counts for ``layer`` (copy, for diagnostics)."""
+        self._check_layer(layer)
+        return self._votes[layer].copy()
+
+    # ------------------------------------------------------------------
+    # Policy interface
+    # ------------------------------------------------------------------
+    def observe(self, layer, attn, positions, phase):
+        self._check_layer(layer)
+        attn = np.asarray(attn)
+        if attn.ndim != 2:
+            raise ValueError(f"attn must be (H, l), got shape {attn.shape}")
+        positions = np.asarray(positions)
+        length = attn.shape[1]
+
+        votes = self._votes[layer]
+        if length > votes.shape[0]:
+            grown = np.zeros(length, dtype=np.int64)
+            grown[: votes.shape[0]] = votes
+            votes = grown
+            self._votes[layer] = votes
+
+        # The newest token (last slot) is the voter; rows produced inside
+        # the reserved stage do not vote (Fig. 3, "Reserved Stage").
+        voter_position = int(positions[-1])
+        if voter_position < self.reserved_length:
+            return
+
+        if self.head_reduction == "mean":
+            row = attn.mean(axis=0)
+        else:
+            row = attn.sum(axis=0)
+        mask = vote_mask(
+            row, positions, self.reserved_length, a=self.a, b=self.b
+        )
+        votes[:length] += mask.astype(np.int64)
+
+    def select_victim(self, layer, positions):
+        self._check_layer(layer)
+        positions = np.asarray(positions)
+        length = positions.shape[0]
+        votes = self._votes[layer]
+        if votes.shape[0] < length:
+            padded = np.zeros(length, dtype=np.int64)
+            padded[: votes.shape[0]] = votes
+            votes = padded
+        eligible = positions >= self.reserved_length
+        if not np.any(eligible):
+            return length - 1
+        masked = np.where(eligible, votes[:length], -1)
+        # np.argmax returns the first maximal index, implementing the
+        # paper's earliest-position tie-break.
+        return int(np.argmax(masked))
+
+    def on_evict(self, layer, slot):
+        self._check_layer(layer)
+        self._votes[layer] = np.delete(self._votes[layer], slot)

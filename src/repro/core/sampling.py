@@ -1,0 +1,42 @@
+"""Token samplers for the generation engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numerics.online import stable_softmax
+
+__all__ = ["greedy", "temperature_sampler", "top_k_sampler"]
+
+
+def greedy(logits, rng=None):
+    """Argmax decoding (deterministic)."""
+    return int(np.argmax(logits))
+
+
+def temperature_sampler(temperature=1.0):
+    """Sampler drawing from softmax(logits / temperature)."""
+    if temperature <= 0:
+        raise ValueError("temperature must be positive; use greedy() for argmax")
+
+    def sample(logits, rng):
+        probs = stable_softmax(np.asarray(logits) / temperature)
+        return int(rng.choice(probs.shape[0], p=probs))
+
+    return sample
+
+
+def top_k_sampler(k, temperature=1.0):
+    """Sampler restricted to the ``k`` highest-probability tokens."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+
+    def sample(logits, rng):
+        logits = np.asarray(logits, dtype=np.float64)
+        if k < logits.shape[0]:
+            cutoff = np.partition(logits, -k)[-k]
+            logits = np.where(logits < cutoff, -np.inf, logits)
+        probs = stable_softmax(logits / temperature)
+        return int(rng.choice(probs.shape[0], p=probs))
+
+    return sample

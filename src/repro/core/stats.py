@@ -1,0 +1,138 @@
+"""Bias diagnostics for accumulation-based eviction (paper Fig. 2).
+
+The paper motivates voting with three biases of the accumulated-attention-
+score method.  This module makes those biases measurable so they can be
+demonstrated on real attention traces (examples/voting_bias_analysis.py)
+and unit-tested on constructed matrices:
+
+- :func:`accumulated_importance` — the Fig. 2(a) column sum.
+- :func:`item_count_bias` — how many summands each column received.
+- :func:`criteria_spread` — per-row means, showing the changing "1/l"
+  scale that makes a common threshold unfair across rows.
+- :func:`outlier_contribution` — fraction of a column's importance that
+  comes from its single largest score.
+- :func:`figure2_example` — the 8-token worked example from Fig. 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policies.voting import vote_mask
+
+__all__ = [
+    "accumulated_importance",
+    "item_count_bias",
+    "criteria_spread",
+    "outlier_contribution",
+    "vote_counts_from_rows",
+    "figure2_example",
+]
+
+
+def _check_causal(attn):
+    attn = np.asarray(attn, dtype=np.float64)
+    if attn.ndim != 2 or attn.shape[0] != attn.shape[1]:
+        raise ValueError(f"attn must be a square causal matrix, got {attn.shape}")
+    if np.any(np.triu(attn, k=1) != 0.0):
+        raise ValueError("attn has non-zero entries above the diagonal")
+    return attn
+
+
+def accumulated_importance(attn):
+    """Column-wise sum of a causal attention matrix (H2O's importance)."""
+    return _check_causal(attn).sum(axis=0)
+
+
+def item_count_bias(attn):
+    """Number of (causally valid) summands behind each column's sum.
+
+    Column ``j`` of an ``l×l`` causal matrix is summed over rows
+    ``j..l-1``, i.e. ``l - j`` items — the paper's red ① annotation: the
+    first token accumulates over every row while the newest accumulates
+    over one.
+    """
+    length = _check_causal(attn).shape[0]
+    return np.arange(length, 0, -1)
+
+
+def criteria_spread(attn):
+    """Mean attention score of each row (``1/(row index + 1)``).
+
+    The paper's ② annotation: a score of 1/3 is unimportant in a 2-item
+    row (mean 1/2) but important in a 6-item row (mean 1/6); summing
+    across rows mixes these scales.
+    """
+    attn = _check_causal(attn)
+    length = attn.shape[0]
+    row_lengths = np.arange(1, length + 1)
+    return attn.sum(axis=1) / row_lengths
+
+
+def outlier_contribution(attn):
+    """Per column: largest single score divided by the column sum.
+
+    Values near 1 mean one outlier row dominates the column's accumulated
+    importance — the paper's ③ annotation.
+    """
+    attn = _check_causal(attn)
+    sums = attn.sum(axis=0)
+    peaks = attn.max(axis=0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        ratio = np.where(sums > 0.0, peaks / np.maximum(sums, 1e-300), 0.0)
+    return ratio
+
+
+def vote_counts_from_rows(attn, reserved_length=0, a=1.0, b=0.2):
+    """Replay a causal attention matrix through the voting rule.
+
+    Returns the final vote-count vector (one entry per position), i.e. the
+    Fig. 2(b) "Vote Count Result" for the given matrix.
+    """
+    attn = _check_causal(attn)
+    length = attn.shape[0]
+    counts = np.zeros(length, dtype=np.int64)
+    positions = np.arange(length)
+    for i in range(length):
+        if i < reserved_length:
+            continue
+        row = attn[i, : i + 1]
+        mask = vote_mask(row, positions[: i + 1], reserved_length, a=a, b=b)
+        counts[: i + 1] += mask.astype(np.int64)
+    return counts
+
+
+def figure2_example():
+    """A worked example in the spirit of paper Fig. 2.
+
+    Builds an 8-token causal attention matrix containing an early outlier
+    column and a recent informative token, then reports both methods'
+    choices.  Returns a dict with the matrix, the accumulated importance
+    vector, its victim, the vote counts, and the voting victim.
+    """
+    length = 8
+    attn = np.zeros((length, length))
+    rng = np.random.default_rng(42)
+    for i in range(length):
+        row = rng.uniform(0.09, 0.11, size=i + 1)
+        # Token 2 received one huge outlier score from row 2 (outlier bias)
+        if i == 2:
+            row[2] = 5.0
+        # Position 3 becomes unimportant to every voter from row 5 on —
+        # late enough that its *accumulated* importance stays healthy.
+        if i >= 5:
+            row[3] = 0.001
+        attn[i, : i + 1] = row / row.sum()
+
+    importance = accumulated_importance(attn)
+    counts = vote_counts_from_rows(attn, reserved_length=2)
+    return {
+        "attention": attn,
+        "accumulated_importance": importance,
+        "accumulation_victim": int(np.argmin(importance)),
+        "vote_counts": counts,
+        "voting_victim": int(np.argmax(counts)),
+        "item_counts": item_count_bias(attn),
+        "row_means": criteria_spread(attn),
+        "outlier_fraction": outlier_contribution(attn),
+    }

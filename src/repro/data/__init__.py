@@ -1,0 +1,16 @@
+"""Synthetic long-book corpus, tokenizer, and LM dataset utilities."""
+
+from repro.data.corpus import WORD_LISTS, BookConfig, generate_book, generate_corpus
+from repro.data.datasets import BatchIterator, build_lm_data, make_windows
+from repro.data.tokenizer import WordTokenizer
+
+__all__ = [
+    "BookConfig",
+    "generate_book",
+    "generate_corpus",
+    "WORD_LISTS",
+    "WordTokenizer",
+    "make_windows",
+    "BatchIterator",
+    "build_lm_data",
+]

@@ -1,0 +1,211 @@
+"""Synthetic book corpus — the PG-19 stand-in.
+
+The paper evaluates eviction policies with language modeling on PG-19
+(long books), where the interesting failure mode is *losing long-range
+context*: a sliding window forgets early facts, while a good eviction
+policy keeps the pivotal kv vectors alive.  PG-19 itself is unavailable
+offline, so this module generates books with the same *measurable*
+property: facts introduced early (a character's profession, city, and
+prized object) are referenced hundreds of tokens later through recall
+sentences whose blanks are only predictable from the original
+introduction.
+
+Structure of a generated book:
+
+- an opening that introduces ``n_characters`` characters, each bound to a
+  profession, a city, and an object (the long-range facts);
+- a body mixing filler narrative (local n-gram structure, easy for a tiny
+  LM), dialogue, and *recall sentences* that re-state one of the bound
+  facts ("everyone knew mira was a baker .");
+- everything is lowercase word-level text with spaced punctuation so the
+  word tokenizer stays trivial.
+
+All randomness flows through an explicit ``numpy`` generator, so corpora
+are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BookConfig", "generate_book", "generate_corpus", "WORD_LISTS"]
+
+
+WORD_LISTS = {
+    "names": [
+        "mira", "tomas", "elena", "ravi", "sofia", "henrik", "amara", "jonas",
+        "leila", "oskar", "priya", "matteo", "ingrid", "farid", "nadia", "pavel",
+        "yuki", "dario", "wanda", "ciro", "helga", "bruno", "zara", "felix",
+    ],
+    "professions": [
+        "baker", "clockmaker", "fisherman", "painter", "scribe", "weaver",
+        "gardener", "smith", "astronomer", "carpenter", "healer", "mapmaker",
+    ],
+    "cities": [
+        "aldenport", "brimholt", "carvella", "dunmere", "eastwick", "farrowdale",
+        "gillsbury", "hartvale", "ironford", "jademoor", "kestrelby", "lunevale",
+    ],
+    "objects": [
+        "lantern", "compass", "violin", "ledger", "telescope", "loom",
+        "anvil", "chisel", "mortar", "sextant", "spindle", "quill",
+    ],
+    "places": [
+        "harbor", "market", "library", "workshop", "orchard", "bridge",
+        "square", "mill", "chapel", "garden", "tavern", "tower",
+    ],
+    "adjectives": [
+        "quiet", "narrow", "golden", "ancient", "misty", "crooked",
+        "bright", "weathered", "distant", "humble", "restless", "pale",
+    ],
+    "nouns": [
+        "street", "bell", "river", "lamp", "door", "roof",
+        "wall", "cart", "boat", "path", "gate", "field",
+    ],
+    "verbs_past": [
+        "waited", "wandered", "listened", "worked", "rested", "watched",
+        "lingered", "hurried", "paused", "returned", "smiled", "nodded",
+    ],
+    "dayparts": ["morning", "evening", "afternoon", "night", "dawn", "dusk"],
+    "exclaims": [
+        "remarkable", "impossible", "finally", "curious", "wonderful", "enough",
+    ],
+}
+
+
+@dataclass(frozen=True)
+class BookConfig:
+    """Knobs of a generated book.
+
+    Attributes
+    ----------
+    n_characters:
+        How many characters are introduced at the start.
+    n_sentences:
+        Number of body sentences after the introduction.
+    recall_probability:
+        Chance that a body sentence is a long-range recall of an
+        introduced fact (the dependency eviction policies fight over).
+    """
+
+    n_characters: int = 4
+    n_sentences: int = 80
+    recall_probability: float = 0.25
+
+    def __post_init__(self):
+        if self.n_characters < 1:
+            raise ValueError("need at least one character")
+        if self.n_characters > len(WORD_LISTS["names"]):
+            raise ValueError(
+                f"at most {len(WORD_LISTS['names'])} characters supported"
+            )
+        if not 0.0 <= self.recall_probability <= 1.0:
+            raise ValueError("recall_probability must be in [0, 1]")
+
+
+def _intro_sentence(name, profession, city, obj):
+    return [
+        name, "the", profession, "lived", "in", city,
+        "with", "a", obj, ".",
+    ]
+
+
+def _filler_sentence(rng):
+    lists = WORD_LISTS
+    return [
+        "the", _pick(rng, lists["adjectives"]), _pick(rng, lists["nouns"]),
+        _pick(rng, lists["verbs_past"]), "near", "the",
+        _pick(rng, lists["places"]), ".",
+    ]
+
+
+def _event_sentence(rng, name):
+    lists = WORD_LISTS
+    return [
+        "one", _pick(rng, lists["dayparts"]), name, "walked", "to", "the",
+        _pick(rng, lists["places"]), "and", _pick(rng, lists["verbs_past"]),
+        "quietly", ".",
+    ]
+
+
+def _dialogue_sentence(rng, name):
+    return ['"', _pick(rng, WORD_LISTS["exclaims"]), '"', "said", name, "."]
+
+
+def _recall_sentence(rng, name, facts):
+    """A sentence whose content word is only predictable from the
+    character's introduction (the long-range dependency).
+
+    The templates deliberately *reuse the introduction's n-grams*
+    ("<name> the <profession>", "in <city>", "the <object>") so that an
+    induction-style attention pattern — match the earlier occurrence,
+    copy its continuation — suffices to predict the fact.  Small
+    transformers learn such copy circuits quickly, which makes the
+    long-range dependency measurable at this model scale.
+    """
+    profession, city, obj = facts
+    lists = WORD_LISTS
+    kind = int(rng.integers(3))
+    if kind == 0:
+        return [
+            "people", "saw", name, "the", profession, "near", "the",
+            _pick(rng, lists["places"]), ".",
+        ]
+    if kind == 1:
+        return [name, "stayed", "in", city, "through", "the",
+                _pick(rng, lists["dayparts"]), "."]
+    return [name, "kept", "the", obj, "close", "at", "hand", "."]
+
+
+def _pick(rng, options):
+    return options[int(rng.integers(len(options)))]
+
+
+def generate_book(config, rng):
+    """Generate one book as a flat list of word tokens.
+
+    Character/fact bindings are sampled without replacement so each name
+    maps to exactly one (profession, city, object) triple within a book.
+    """
+    lists = WORD_LISTS
+    names = list(
+        rng.choice(lists["names"], size=config.n_characters, replace=False)
+    )
+    professions = rng.choice(
+        lists["professions"], size=config.n_characters, replace=False
+    )
+    cities = rng.choice(lists["cities"], size=config.n_characters, replace=False)
+    objects = rng.choice(lists["objects"], size=config.n_characters, replace=False)
+    bindings = {
+        name: (str(professions[i]), str(cities[i]), str(objects[i]))
+        for i, name in enumerate(names)
+    }
+
+    words = ["<bos>"]
+    for name in names:
+        profession, city, obj = bindings[name]
+        words.extend(_intro_sentence(name, profession, city, obj))
+
+    for _ in range(config.n_sentences):
+        roll = rng.random()
+        name = names[int(rng.integers(len(names)))]
+        if roll < config.recall_probability:
+            words.extend(_recall_sentence(rng, name, bindings[name]))
+        elif roll < config.recall_probability + 0.25:
+            words.extend(_event_sentence(rng, name))
+        elif roll < config.recall_probability + 0.40:
+            words.extend(_dialogue_sentence(rng, name))
+        else:
+            words.extend(_filler_sentence(rng))
+    words.append("<eos>")
+    return words
+
+
+def generate_corpus(n_books, config=None, seed=0):
+    """Generate ``n_books`` independent books (list of word lists)."""
+    if n_books <= 0:
+        raise ValueError("n_books must be positive")
+    config = config or BookConfig()
+    rng = np.random.default_rng(seed)
+    return [generate_book(config, rng) for _ in range(n_books)]

@@ -1,0 +1,81 @@
+"""Word-level tokenizer for the synthetic corpus."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["WordTokenizer"]
+
+_SPECIALS = ["<pad>", "<unk>", "<bos>", "<eos>"]
+
+
+class WordTokenizer:
+    """Maps whitespace-separated words to contiguous integer ids.
+
+    The vocabulary is fixed at construction (sorted for determinism);
+    unknown words encode to ``<unk>``.
+    """
+
+    def __init__(self, vocabulary):
+        words = [w for w in dict.fromkeys(vocabulary) if w not in _SPECIALS]
+        self._id_to_word = list(_SPECIALS) + sorted(words)
+        self._word_to_id = {w: i for i, w in enumerate(self._id_to_word)}
+
+    @classmethod
+    def from_corpus(cls, documents):
+        """Build from an iterable of word lists (or strings)."""
+        vocab = set()
+        for doc in documents:
+            words = doc.split() if isinstance(doc, str) else doc
+            vocab.update(words)
+        return cls(sorted(vocab))
+
+    # ------------------------------------------------------------------
+    @property
+    def vocab_size(self):
+        return len(self._id_to_word)
+
+    @property
+    def pad_id(self):
+        return self._word_to_id["<pad>"]
+
+    @property
+    def unk_id(self):
+        return self._word_to_id["<unk>"]
+
+    @property
+    def bos_id(self):
+        return self._word_to_id["<bos>"]
+
+    @property
+    def eos_id(self):
+        return self._word_to_id["<eos>"]
+
+    def token_id(self, word):
+        return self._word_to_id.get(word, self.unk_id)
+
+    def word(self, token_id):
+        return self._id_to_word[token_id]
+
+    def encode(self, text):
+        """Encode a string or word list to an int64 ndarray."""
+        words = text.split() if isinstance(text, str) else text
+        return np.array(
+            [self._word_to_id.get(w, self.unk_id) for w in words], dtype=np.int64
+        )
+
+    def decode(self, token_ids, skip_specials=False):
+        """Decode ids back to a space-joined string."""
+        words = []
+        for token_id in np.asarray(token_ids).ravel():
+            word = self._id_to_word[int(token_id)]
+            if skip_specials and word in _SPECIALS:
+                continue
+            words.append(word)
+        return " ".join(words)
+
+    def __len__(self):
+        return self.vocab_size
+
+    def __repr__(self):
+        return f"WordTokenizer(vocab_size={self.vocab_size})"

@@ -1,0 +1,40 @@
+"""One module per paper artifact (tables and figures of the evaluation).
+
+=============  =====================================================
+module         paper artifact
+=============  =====================================================
+fig8_left      Fig. 8 left — perplexity vs cache size
+fig8_center    Fig. 8 center — dataflow ablation latency
+fig8_right     Fig. 8 right — eviction speedup
+table1         Table I — area/power breakdown
+table2         Table II — accelerator + GPU comparison
+=============  =====================================================
+
+Each module's ``run()`` returns an
+:class:`repro.experiments.common.ExperimentResult`.
+"""
+
+from repro.experiments import (
+    ablations,
+    batching,
+    fig8_center,
+    fig8_left,
+    fig8_right,
+    policy_zoo,
+    table1,
+    table2,
+)
+from repro.experiments.common import ExperimentResult, format_table
+
+__all__ = [
+    "ablations",
+    "batching",
+    "policy_zoo",
+    "fig8_left",
+    "fig8_center",
+    "fig8_right",
+    "table1",
+    "table2",
+    "ExperimentResult",
+    "format_table",
+]

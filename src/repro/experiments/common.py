@@ -1,0 +1,64 @@
+"""Shared helpers for the experiment modules: table formatting and result
+containers.  Every experiment returns an :class:`ExperimentResult` whose
+``rows`` are plain dicts, so benches can both print the paper-style table
+and assert on the values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one paper artifact reproduction."""
+
+    experiment_id: str
+    title: str
+    rows: list = field(default_factory=list)
+    notes: str = ""
+
+    def column_names(self):
+        if not self.rows:
+            return []
+        return list(self.rows[0].keys())
+
+    def to_table(self):
+        """Render rows as a fixed-width text table."""
+        return format_table(self.rows, title=f"{self.experiment_id}: {self.title}")
+
+
+def format_table(rows, title=None):
+    """Format a list of dicts as an aligned text table."""
+    if not rows:
+        return "(empty table)"
+    columns = list(rows[0].keys())
+    rendered = [[_fmt(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)

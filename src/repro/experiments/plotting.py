@@ -1,0 +1,65 @@
+"""Dependency-free ASCII plotting for experiment results.
+
+The environment has no matplotlib; these renderers turn experiment rows
+into terminal line/bar charts so the *shapes* of the paper's figures are
+visible directly in CI logs and example output.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ascii_line_chart", "ascii_bar_chart"]
+
+
+def ascii_line_chart(series, width=60, height=16, title=None):
+    """Render ``{label: [(x, y), ...]}`` as an ASCII chart.
+
+    Each series gets its own marker character; axes are annotated with
+    min/max.  Points are plotted at nearest cells — adequate for trend
+    visualisation, not for reading values.
+    """
+    if not series:
+        return "(no data)"
+    markers = "*o+x#@%&"
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        return "(no data)"
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, points), marker in zip(series.items(), markers):
+        for x, y in points:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.3g} ┐")
+    for row in grid:
+        lines.append(" " * 11 + "│" + "".join(row))
+    lines.append(f"{y_lo:10.3g} ┘" + "─" * width)
+    lines.append(" " * 12 + f"{x_lo:<10.4g}{' ' * max(width - 20, 0)}{x_hi:>10.4g}")
+    legend = "   ".join(
+        f"{marker}={label}" for (label, _), marker in zip(series.items(), markers)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(values, width=48, title=None):
+    """Render ``{label: value}`` as horizontal bars."""
+    if not values:
+        return "(no data)"
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_width = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "█" * max(int(abs(value) / peak * width), 1 if value else 0)
+        lines.append(f"{str(label):>{label_width}} │{bar} {value:.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Llama-style transformer models: training graph and cached inference."""
+
+from repro.models.inference import CachedTransformer, StepResult, stable_softmax
+from repro.models.rope import RopeTable, apply_rope_numpy, apply_rope_tensor
+from repro.models.transformer import (
+    CausalSelfAttention,
+    FeedForward,
+    TransformerBlock,
+    TransformerLM,
+)
+
+__all__ = [
+    "TransformerLM",
+    "TransformerBlock",
+    "CausalSelfAttention",
+    "FeedForward",
+    "CachedTransformer",
+    "StepResult",
+    "stable_softmax",
+    "RopeTable",
+    "apply_rope_numpy",
+    "apply_rope_tensor",
+]

@@ -1,0 +1,258 @@
+"""Pure-numpy cached inference path (prefill + auto-regressive decode).
+
+This mirrors the two LLM phases described in the paper's background
+section: *prefilling* encodes the prompt in parallel and builds the KV
+cache; *generation* processes one token at a time, attending to the cache
+and extending it.  Per-row attention scores are surfaced to the caller so
+eviction policies (H2O's accumulation, VEDA's voting) can observe exactly
+the ``s'`` vectors the hardware voting engine sees.
+
+The weights come from a trained :class:`repro.models.transformer.TransformerLM`
+via ``state_dict``; ``tests/models/test_inference.py`` property-tests that
+prefill+decode reproduces the training graph's logits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.config import ModelConfig
+from repro.core.kv_cache import KVCache
+from repro.models.rope import RopeTable, apply_rope_numpy
+from repro.numerics.online import stable_softmax
+
+__all__ = ["CachedTransformer", "StepResult", "stable_softmax"]
+
+
+class StepResult:
+    """Output of one decode step (or one prefill).
+
+    Attributes
+    ----------
+    logits:
+        ``(V,)`` next-token logits (for prefill: logits of the last prompt
+        token, which predicts the first generated token).
+    attention:
+        Per-layer attention probabilities.  For a decode step this is a
+        list of ``(H, l)`` arrays (one row per head over the cache); for a
+        prefill it is a list of ``(H, L, L)`` causal matrices.
+    """
+
+    __slots__ = ("logits", "attention")
+
+    def __init__(self, logits, attention):
+        self.logits = logits
+        self.attention = attention
+
+
+class _LayerWeights:
+    """Flat numpy views of one transformer block's parameters."""
+
+    __slots__ = (
+        "attn_norm_w",
+        "attn_norm_b",
+        "ffn_norm_w",
+        "ffn_norm_b",
+        "wq",
+        "wk",
+        "wv",
+        "wo",
+        "w_gate",
+        "w_up",
+        "w_down",
+    )
+
+
+class CachedTransformer:
+    """Numpy inference engine for a trained :class:`TransformerLM`."""
+
+    def __init__(self, config: ModelConfig, state_dict):
+        self.config = config
+        self.rope = RopeTable(config.head_dim, config.max_seq_len, config.rope_theta)
+        self._load(state_dict)
+
+    @classmethod
+    def from_module(cls, module):
+        """Build directly from a training-graph model."""
+        return cls(module.config, module.state_dict())
+
+    # ------------------------------------------------------------------
+    # Weight loading
+    # ------------------------------------------------------------------
+    def _load(self, state):
+        config = self.config
+        self.embed = np.asarray(state["embed.weight"])
+        self.final_norm_w = np.asarray(state["final_norm.weight"])
+        self.final_norm_b = state.get("final_norm.bias")
+        if self.final_norm_b is not None:
+            self.final_norm_b = np.asarray(self.final_norm_b)
+        if config.tie_embeddings:
+            self.lm_head = self.embed.T
+        else:
+            self.lm_head = np.asarray(state["lm_head.weight"])
+        self.layers = []
+        for i in range(config.n_layers):
+            prefix = f"blocks.items.{i}."
+            lw = _LayerWeights()
+            lw.attn_norm_w = np.asarray(state[prefix + "attn_norm.weight"])
+            lw.attn_norm_b = _optional(state, prefix + "attn_norm.bias")
+            lw.ffn_norm_w = np.asarray(state[prefix + "ffn_norm.weight"])
+            lw.ffn_norm_b = _optional(state, prefix + "ffn_norm.bias")
+            lw.wq = np.asarray(state[prefix + "attn.wq.weight"])
+            lw.wk = np.asarray(state[prefix + "attn.wk.weight"])
+            lw.wv = np.asarray(state[prefix + "attn.wv.weight"])
+            lw.wo = np.asarray(state[prefix + "attn.wo.weight"])
+            if config.activation == "swiglu":
+                lw.w_gate = np.asarray(state[prefix + "ffn.w_gate.weight"])
+            else:
+                lw.w_gate = None
+            lw.w_up = np.asarray(state[prefix + "ffn.w_up.weight"])
+            lw.w_down = np.asarray(state[prefix + "ffn.w_down.weight"])
+            self.layers.append(lw)
+
+    # ------------------------------------------------------------------
+    # Elementwise helpers (match repro.nn.functional exactly)
+    # ------------------------------------------------------------------
+    def _norm(self, x, weight, bias):
+        if self.config.norm == "rmsnorm":
+            mean_square = np.mean(x**2, axis=-1, keepdims=True)
+            return x / np.sqrt(mean_square + 1e-6) * weight
+        mean = np.mean(x, axis=-1, keepdims=True)
+        centered = x - mean
+        variance = np.mean(centered**2, axis=-1, keepdims=True)
+        return centered / np.sqrt(variance + 1e-5) * weight + bias
+
+    def _ffn(self, lw, x):
+        if self.config.activation == "swiglu":
+            gate = x @ lw.w_gate
+            gate = gate / (1.0 + np.exp(-gate)) * (x @ lw.w_up)
+            return gate @ lw.w_down
+        hidden = x @ lw.w_up
+        if self.config.activation == "gelu":
+            c = math.sqrt(2.0 / math.pi)
+            hidden = 0.5 * hidden * (1.0 + np.tanh(c * (hidden + 0.044715 * hidden**3)))
+        else:
+            hidden = np.maximum(hidden, 0.0)
+        return hidden @ lw.w_down
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def new_cache(self, capacity=None):
+        """Fresh empty KV cache sized to ``capacity`` (default max_seq_len)."""
+        config = self.config
+        capacity = config.max_seq_len if capacity is None else int(capacity)
+        return KVCache(config.n_layers, config.n_heads, config.head_dim, capacity)
+
+    # ------------------------------------------------------------------
+    # Prefill
+    # ------------------------------------------------------------------
+    def prefill(self, tokens, cache, start_position=0):
+        """Encode the prompt in parallel and populate ``cache``.
+
+        Parameters
+        ----------
+        tokens:
+            Prompt token ids, shape (L,).
+        cache:
+            The :class:`KVCache` to populate (must have room for L entries).
+        start_position:
+            Absolute position of the first token (supports chunked prefill).
+
+        Returns
+        -------
+        StepResult
+            Logits for the token *after* the prompt and per-layer causal
+            attention matrices of shape (H, L, L).
+        """
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 1:
+            raise ValueError(f"tokens must be 1-D, got shape {tokens.shape}")
+        length = tokens.shape[0]
+        if length == 0:
+            raise ValueError("empty prompt")
+        config = self.config
+        heads, head_dim = config.n_heads, config.head_dim
+        positions = np.arange(start_position, start_position + length)
+        scale = 1.0 / math.sqrt(head_dim)
+
+        x = self.embed[tokens]
+        attention_records = []
+        mask = np.triu(np.ones((length, length), dtype=bool), k=1)
+        for layer_index, lw in enumerate(self.layers):
+            normed = self._norm(x, lw.attn_norm_w, lw.attn_norm_b)
+
+            def split(mat):
+                return mat.reshape(length, heads, head_dim).transpose(1, 0, 2)
+
+            q = apply_rope_numpy(split(normed @ lw.wq), positions, self.rope)
+            k = apply_rope_numpy(split(normed @ lw.wk), positions, self.rope)
+            v = split(normed @ lw.wv)
+            cache[layer_index].append_block(k, v, positions)
+
+            scores = np.einsum("hid,hjd->hij", q, k) * scale
+            scores = np.where(mask, -1e30, scores)
+            attn = stable_softmax(scores, axis=-1)
+            attention_records.append(attn)
+            context = np.einsum("hij,hjd->hid", attn, v)
+            merged = context.transpose(1, 0, 2).reshape(length, config.d_model)
+            x = x + merged @ lw.wo
+
+            normed = self._norm(x, lw.ffn_norm_w, lw.ffn_norm_b)
+            x = x + self._ffn(lw, normed)
+
+        x = self._norm(x, self.final_norm_w, self.final_norm_b)
+        logits = x[-1] @ self.lm_head
+        return StepResult(logits, attention_records)
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def step(self, token, position, cache):
+        """Decode one token at absolute ``position`` against ``cache``.
+
+        The token's own kv pair is appended *before* attention (a token
+        attends to itself), matching the paper's description of extending
+        the KV cache with the current key-value vector.
+
+        Returns a :class:`StepResult` whose ``attention`` entries are
+        ``(H, l)`` rows over the (post-append) cache.
+        """
+        config = self.config
+        heads, head_dim = config.n_heads, config.head_dim
+        scale = 1.0 / math.sqrt(head_dim)
+
+        x = self.embed[int(token)]  # (D,)
+        attention_records = []
+        for layer_index, lw in enumerate(self.layers):
+            layer_cache = cache[layer_index]
+            normed = self._norm(x, lw.attn_norm_w, lw.attn_norm_b)
+
+            q = (normed @ lw.wq).reshape(heads, head_dim)
+            k = (normed @ lw.wk).reshape(heads, head_dim)
+            v = (normed @ lw.wv).reshape(heads, head_dim)
+            q = apply_rope_numpy(q, position, self.rope)
+            k = apply_rope_numpy(k, position, self.rope)
+            layer_cache.append(k, v, position)
+
+            keys = layer_cache.keys  # (H, l, d)
+            values = layer_cache.values
+            scores = np.einsum("hd,hld->hl", q, keys) * scale
+            attn = stable_softmax(scores, axis=-1)  # (H, l)
+            attention_records.append(attn)
+            context = np.einsum("hl,hld->hd", attn, values)  # (H, d)
+            x = x + context.reshape(config.d_model) @ lw.wo
+
+            normed = self._norm(x, lw.ffn_norm_w, lw.ffn_norm_b)
+            x = x + self._ffn(lw, normed)
+
+        x = self._norm(x, self.final_norm_w, self.final_norm_b)
+        logits = x @ self.lm_head
+        return StepResult(logits, attention_records)
+
+
+def _optional(state, key):
+    value = state.get(key)
+    return None if value is None else np.asarray(value)

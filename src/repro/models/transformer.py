@@ -1,0 +1,149 @@
+"""Llama-style decoder-only transformer (training graph).
+
+This is the structure in paper Fig. 1: QKV generation, causal multi-head
+attention with row-wise softmax, output projection, and a feed-forward
+block, each wrapped in pre-normalization with residual connections.  The
+Llama-2 flavour (RMSNorm + SwiGLU + RoPE) is the default because the paper
+evaluates on Llama-2 7B; GELU/LayerNorm variants are supported for the
+ablations and tests.
+
+The forward pass here builds an autograd graph for training.  The cached
+inference path used by the eviction experiments is the pure-numpy
+:class:`repro.models.inference.CachedTransformer`, which loads this
+module's ``state_dict`` and is property-tested to produce identical
+logits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Embedding, LayerNorm, Linear, Module, ModuleList, Parameter, RMSNorm
+from repro.nn.tensor import Tensor
+from repro.models.rope import RopeTable, apply_rope_tensor
+
+__all__ = ["CausalSelfAttention", "FeedForward", "TransformerBlock", "TransformerLM"]
+
+
+def _make_norm(config):
+    if config.norm == "rmsnorm":
+        return RMSNorm(config.d_model)
+    return LayerNorm(config.d_model)
+
+
+class CausalSelfAttention(Module):
+    """Multi-head causal self-attention with RoPE (paper Fig. 1 step 1-3)."""
+
+    def __init__(self, config, rope, rng):
+        self.config = config
+        self.rope = rope
+        d = config.d_model
+        self.wq = Linear(d, d, bias=False, rng=rng)
+        self.wk = Linear(d, d, bias=False, rng=rng)
+        self.wv = Linear(d, d, bias=False, rng=rng)
+        self.wo = Linear(d, d, bias=False, rng=rng)
+
+    def forward(self, x, positions=None):
+        """``x``: (B, L, D) → (B, L, D)."""
+        batch, length, d_model = x.shape
+        heads = self.config.n_heads
+        head_dim = self.config.head_dim
+        if positions is None:
+            positions = np.arange(length)
+
+        def split_heads(tensor):
+            # (B, L, D) -> (B, H, L, d)
+            return tensor.reshape(batch, length, heads, head_dim).transpose(0, 2, 1, 3)
+
+        q = apply_rope_tensor(split_heads(self.wq(x)), positions, self.rope)
+        k = apply_rope_tensor(split_heads(self.wk(x)), positions, self.rope)
+        v = split_heads(self.wv(x))
+
+        scale = 1.0 / math.sqrt(head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (B, H, L, L)
+        mask = F.causal_mask(length)
+        scores = scores.masked_fill(mask, -1e30)
+        attn = F.softmax(scores, axis=-1)
+        out = attn @ v  # (B, H, L, d)
+        merged = out.transpose(0, 2, 1, 3).reshape(batch, length, d_model)
+        return self.wo(merged)
+
+
+class FeedForward(Module):
+    """FFN block: SwiGLU (Llama) or GELU/ReLU two-layer MLP."""
+
+    def __init__(self, config, rng):
+        self.activation = config.activation
+        d, d_ff = config.d_model, config.d_ff
+        if config.activation == "swiglu":
+            self.w_gate = Linear(d, d_ff, bias=False, rng=rng)
+            self.w_up = Linear(d, d_ff, bias=False, rng=rng)
+            self.w_down = Linear(d_ff, d, bias=False, rng=rng)
+        else:
+            self.w_up = Linear(d, d_ff, bias=False, rng=rng)
+            self.w_down = Linear(d_ff, d, bias=False, rng=rng)
+
+    def forward(self, x):
+        if self.activation == "swiglu":
+            return self.w_down(F.silu(self.w_gate(x)) * self.w_up(x))
+        hidden = self.w_up(x)
+        hidden = F.gelu(hidden) if self.activation == "gelu" else F.relu(hidden)
+        return self.w_down(hidden)
+
+
+class TransformerBlock(Module):
+    """Pre-norm block: x + Attn(Norm(x)); x + FFN(Norm(x))."""
+
+    def __init__(self, config, rope, rng):
+        self.attn_norm = _make_norm(config)
+        self.attn = CausalSelfAttention(config, rope, rng)
+        self.ffn_norm = _make_norm(config)
+        self.ffn = FeedForward(config, rng)
+
+    def forward(self, x, positions=None):
+        x = x + self.attn(self.attn_norm(x), positions=positions)
+        x = x + self.ffn(self.ffn_norm(x))
+        return x
+
+
+class TransformerLM(Module):
+    """Decoder-only language model head-to-toe (paper Fig. 1, N layers)."""
+
+    def __init__(self, config, seed=0):
+        rng = np.random.default_rng(seed)
+        self.config = config
+        self.rope = RopeTable(config.head_dim, config.max_seq_len, config.rope_theta)
+        self.embed = Embedding(config.vocab_size, config.d_model, rng=rng)
+        self.blocks = ModuleList(
+            TransformerBlock(config, self.rope, rng) for _ in range(config.n_layers)
+        )
+        self.final_norm = _make_norm(config)
+        if config.tie_embeddings:
+            self.lm_head = None
+        else:
+            self.lm_head = Linear(config.d_model, config.vocab_size, bias=False, rng=rng)
+
+    def forward(self, tokens, positions=None):
+        """``tokens``: int array (B, L) → logits Tensor (B, L, V)."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ValueError(f"tokens must be (B, L), got shape {tokens.shape}")
+        x = self.embed(tokens)
+        for block in self.blocks:
+            x = block(x, positions=positions)
+        x = self.final_norm(x)
+        if self.lm_head is not None:
+            return self.lm_head(x)
+        return x @ self.embed.weight.transpose(1, 0)
+
+    def loss(self, tokens):
+        """Next-token cross-entropy over a batch of sequences (B, L)."""
+        tokens = np.asarray(tokens)
+        logits = self.forward(tokens[:, :-1])
+        batch, length, vocab = logits.shape
+        flat_logits = logits.reshape(batch * length, vocab)
+        flat_targets = tokens[:, 1:].reshape(-1)
+        return F.cross_entropy(flat_logits, flat_targets)

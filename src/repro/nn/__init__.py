@@ -1,0 +1,47 @@
+"""Neural-network substrate: autograd tensors, layers, and optimizers.
+
+This package replaces PyTorch for the purposes of the reproduction: it is
+just enough machinery to define, train, and run the Llama-style language
+model in :mod:`repro.models` from scratch on CPU.
+"""
+
+from repro.nn import functional
+from repro.nn.layers import (
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    RMSNorm,
+)
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    clip_grad_norm,
+    constant_schedule,
+    cosine_schedule,
+)
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "functional",
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "RMSNorm",
+    "LayerNorm",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "cosine_schedule",
+    "constant_schedule",
+    "save_checkpoint",
+    "load_checkpoint",
+]

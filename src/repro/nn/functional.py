@@ -1,0 +1,133 @@
+"""Differentiable functional ops for the transformer substrate.
+
+Everything a Llama-style decoder needs on top of raw :class:`Tensor`
+arithmetic: activations, stable softmax/cross-entropy, RMSNorm/LayerNorm,
+embedding lookup, and dropout.  Each function builds the autodiff graph via
+Tensor ops, so no bespoke backward passes live here except where a fused
+implementation is materially more stable (cross-entropy).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "relu",
+    "gelu",
+    "silu",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "rmsnorm",
+    "layernorm",
+    "embedding",
+    "dropout",
+    "causal_mask",
+]
+
+
+def relu(x):
+    """Rectified linear unit."""
+    return x.masked_fill(x.data < 0.0, 0.0)
+
+
+def gelu(x):
+    """GELU with the tanh approximation (as used by GPT-style FFNs)."""
+    c = math.sqrt(2.0 / math.pi)
+    inner = (x + x**3 * 0.044715) * c
+    return x * (inner.tanh() + 1.0) * 0.5
+
+
+def silu(x):
+    """SiLU / swish, the activation in Llama's SwiGLU FFN."""
+    return x * x.sigmoid()
+
+
+def softmax(x, axis=-1):
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x, axis=-1):
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits, targets, ignore_index=None):
+    """Mean cross-entropy between ``logits`` (N, V) and integer ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(N, V)``.
+    targets:
+        Integer array of shape ``(N,)``.
+    ignore_index:
+        Target value whose positions are excluded from the mean (used to
+        mask padding).
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D (N, V), got shape {logits.shape}")
+    if targets.shape != (logits.shape[0],):
+        raise ValueError(
+            f"targets shape {targets.shape} incompatible with logits {logits.shape}"
+        )
+
+    if ignore_index is not None:
+        keep = targets != ignore_index
+        if not np.any(keep):
+            raise ValueError("all targets are ignored")
+        logits = logits[np.nonzero(keep)[0]]
+        targets = targets[keep]
+
+    log_probs = log_softmax(logits, axis=-1)
+    rows = np.arange(targets.shape[0])
+    picked = log_probs[rows, targets]
+    return -picked.mean()
+
+
+def rmsnorm(x, weight, eps=1e-6):
+    """Root-mean-square layer normalization (Llama-style, no mean removal)."""
+    mean_square = (x**2).mean(axis=-1, keepdims=True)
+    normed = x / ((mean_square + eps) ** 0.5)
+    return normed * weight
+
+
+def layernorm(x, weight, bias, eps=1e-5):
+    """Standard layer normalization over the last axis."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    variance = (centered**2).mean(axis=-1, keepdims=True)
+    normed = centered / ((variance + eps) ** 0.5)
+    return normed * weight + bias
+
+
+def embedding(weight, indices):
+    """Gather rows of ``weight`` (V, D) by integer ``indices``."""
+    indices = np.asarray(indices)
+    if np.any(indices < 0) or np.any(indices >= weight.shape[0]):
+        raise IndexError("embedding index out of range")
+    return weight[indices]
+
+
+def dropout(x, p, rng, training=True):
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    mask = rng.random(x.shape) >= p
+    return x * (mask.astype(np.float64) / (1.0 - p))
+
+
+def causal_mask(length):
+    """Boolean upper-triangular mask: True where attention is forbidden."""
+    return np.triu(np.ones((length, length), dtype=bool), k=1)

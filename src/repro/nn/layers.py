@@ -1,0 +1,160 @@
+"""Module system and standard layers for the transformer substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "RMSNorm",
+    "LayerNorm",
+    "ModuleList",
+]
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always requires grad)."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Minimal module base class with recursive parameter discovery."""
+
+    def parameters(self):
+        """All trainable parameters in definition order."""
+        return [param for _, param in self.named_parameters()]
+
+    def named_parameters(self, prefix=""):
+        """Yield ``(name, Parameter)`` pairs recursively."""
+        for name, value in vars(self).items():
+            full_name = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full_name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full_name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full_name}.{i}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{full_name}.{i}", item
+
+    def zero_grad(self):
+        for param in self.parameters():
+            param.grad = None
+
+    def num_parameters(self):
+        return sum(param.size for param in self.parameters())
+
+    def state_dict(self):
+        """Name → ndarray copy of every parameter."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state):
+        """Load parameter values in place; shapes must match exactly."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"parameter {name}: shape {value.shape} != {param.data.shape}"
+                )
+            param.data = value.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class ModuleList(Module):
+    """A list of submodules that participates in parameter discovery."""
+
+    def __init__(self, modules=()):
+        self.items = list(modules)
+
+    def append(self, module):
+        self.items.append(module)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self):
+        return len(self.items)
+
+    def __getitem__(self, index):
+        return self.items[index]
+
+
+class Linear(Module):
+    """Affine projection ``y = x W + b`` with Xavier-uniform init."""
+
+    def __init__(self, in_features, out_features, bias=True, rng=None):
+        rng = rng or np.random.default_rng(0)
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = Parameter(
+            rng.uniform(-limit, limit, size=(in_features, out_features))
+        )
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x):
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token embedding table with normal(0, 0.02) init (GPT convention)."""
+
+    def __init__(self, num_embeddings, embedding_dim, rng=None):
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(
+            rng.normal(0.0, 0.02, size=(num_embeddings, embedding_dim))
+        )
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+
+    def forward(self, indices):
+        return F.embedding(self.weight, indices)
+
+
+class RMSNorm(Module):
+    """Llama-style RMS normalization with learnable scale."""
+
+    def __init__(self, dim, eps=1e-6):
+        self.weight = Parameter(np.ones(dim))
+        self.eps = eps
+
+    def forward(self, x):
+        return F.rmsnorm(x, self.weight, eps=self.eps)
+
+
+class LayerNorm(Module):
+    """Standard layer normalization with learnable scale and shift."""
+
+    def __init__(self, dim, eps=1e-5):
+        self.weight = Parameter(np.ones(dim))
+        self.bias = Parameter(np.zeros(dim))
+        self.eps = eps
+
+    def forward(self, x):
+        return F.layernorm(x, self.weight, self.bias, eps=self.eps)

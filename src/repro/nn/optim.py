@@ -1,0 +1,132 @@
+"""Optimizers, learning-rate schedules, and gradient utilities."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "cosine_schedule",
+    "constant_schedule",
+]
+
+
+class Optimizer:
+    """Base class holding a parameter list."""
+
+    def __init__(self, parameters, lr):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self):
+        for param in self.parameters:
+            param.grad = None
+
+    def step(self):
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters, lr, momentum=0.0):
+        super().__init__(parameters, lr)
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self):
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum > 0.0:
+                velocity *= self.momentum
+                velocity += param.grad
+                param.data -= self.lr * velocity
+            else:
+                param.data -= self.lr * param.grad
+
+
+class Adam(Optimizer):
+    """Adam with decoupled weight decay (AdamW when ``weight_decay > 0``)."""
+
+    def __init__(
+        self,
+        parameters,
+        lr=1e-3,
+        betas=(0.9, 0.999),
+        eps=1e-8,
+        weight_decay=0.0,
+    ):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self):
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            if self.weight_decay > 0.0:
+                param.data -= self.lr * self.weight_decay * param.data
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_grad_norm(parameters, max_norm):
+    """Scale gradients in place so their global L2 norm is ≤ ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging).
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    total = math.sqrt(sum(float(np.sum(p.grad**2)) for p in parameters))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for param in parameters:
+            param.grad *= scale
+    return total
+
+
+def cosine_schedule(base_lr, warmup_steps, total_steps, min_lr_ratio=0.1):
+    """Linear warmup followed by cosine decay to ``min_lr_ratio * base_lr``."""
+    if warmup_steps < 0 or total_steps <= 0:
+        raise ValueError("invalid schedule horizon")
+
+    min_lr = base_lr * min_lr_ratio
+
+    def schedule(step):
+        if step < warmup_steps:
+            return base_lr * (step + 1) / max(warmup_steps, 1)
+        progress = (step - warmup_steps) / max(total_steps - warmup_steps, 1)
+        progress = min(max(progress, 0.0), 1.0)
+        return min_lr + 0.5 * (base_lr - min_lr) * (1.0 + math.cos(math.pi * progress))
+
+    return schedule
+
+
+def constant_schedule(base_lr):
+    """A schedule that always returns ``base_lr``."""
+
+    def schedule(step):
+        return base_lr
+
+    return schedule

@@ -1,0 +1,46 @@
+"""Checkpoint save/load for Module parameters (npz-based)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_META_KEY = "__meta__"
+
+
+def save_checkpoint(path, module, metadata=None):
+    """Serialize a module's parameters (and JSON metadata) to ``path``.
+
+    The file is a compressed ``.npz`` with one array per parameter plus an
+    optional JSON metadata blob (model config, training step, etc.).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = module.state_dict()
+    if _META_KEY in arrays:
+        raise ValueError(f"parameter name {_META_KEY!r} is reserved")
+    if metadata is not None:
+        arrays[_META_KEY] = np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        )
+    np.savez_compressed(path, **arrays)
+
+
+def load_checkpoint(path, module=None):
+    """Load a checkpoint; returns ``(state_dict, metadata)``.
+
+    When ``module`` is given, its parameters are populated in place.
+    """
+    path = Path(path)
+    with np.load(path) as bundle:
+        state = {name: bundle[name] for name in bundle.files if name != _META_KEY}
+        metadata = None
+        if _META_KEY in bundle.files:
+            metadata = json.loads(bytes(bundle[_META_KEY].tobytes()).decode("utf-8"))
+    if module is not None:
+        module.load_state_dict(state)
+    return state, metadata

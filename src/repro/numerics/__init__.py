@@ -1,0 +1,54 @@
+"""Numeric substrates shared by the algorithm and hardware models.
+
+This package hosts the arithmetic building blocks that the VEDA paper's
+hardware assumes:
+
+- :mod:`repro.numerics.fp16` — IEEE binary16 quantization helpers (VEDA's
+  default datapath format).
+- :mod:`repro.numerics.fixed_point` — saturating unsigned integer counters
+  (the voting engine stores vote counts as UINT16 and eviction indices as
+  UINT12).
+- :mod:`repro.numerics.online` — streaming (element-serial) reductions:
+  the online softmax normalizer of Milakov & Gimelshein and Welford's
+  running mean/variance, which are exactly what the SFU's reduction unit
+  computes one element at a time.
+"""
+
+from repro.numerics.fixed_point import SaturatingCounter, clamp_unsigned
+from repro.numerics.fp16 import (
+    FP16_MAX,
+    fp16_quantize,
+    fp16_relative_error,
+    is_fp16_representable,
+)
+from repro.numerics.error_analysis import (
+    gemv_error_sweep,
+    model_logit_error,
+    quantize_state_dict,
+    softmax_error,
+)
+from repro.numerics.online import (
+    OnlineSoftmaxNormalizer,
+    WelfordAccumulator,
+    online_softmax,
+    stable_softmax,
+    streaming_mean_std,
+)
+
+__all__ = [
+    "FP16_MAX",
+    "fp16_quantize",
+    "fp16_relative_error",
+    "is_fp16_representable",
+    "SaturatingCounter",
+    "clamp_unsigned",
+    "OnlineSoftmaxNormalizer",
+    "WelfordAccumulator",
+    "online_softmax",
+    "stable_softmax",
+    "streaming_mean_std",
+    "gemv_error_sweep",
+    "softmax_error",
+    "quantize_state_dict",
+    "model_logit_error",
+]

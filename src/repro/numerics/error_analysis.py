@@ -1,0 +1,98 @@
+"""FP16 datapath error analysis.
+
+VEDA computes in FP16 (Sec. VI).  This module quantifies what that costs
+at the three levels the hardware exercises:
+
+- :func:`gemv_error_sweep` — inner/outer-product GEMV error vs reduction
+  length on the bit-true PE array (tree summation bounds error growth to
+  ~log₂(k) rounding steps, vs k for sequential accumulation);
+- :func:`softmax_error` — streaming FP16 softmax vs float64;
+- :func:`quantize_state_dict` / :func:`model_logit_error` — end-to-end
+  effect of FP16 weights+activations on the tiny LM's logits and
+  next-token agreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel.pe_array import PEArray
+from repro.accel.sfu import SoftmaxUnit
+from repro.numerics.fp16 import fp16_quantize
+from repro.numerics.online import stable_softmax
+
+__all__ = [
+    "gemv_error_sweep",
+    "softmax_error",
+    "quantize_state_dict",
+    "model_logit_error",
+]
+
+
+def gemv_error_sweep(k_values=(16, 64, 256, 1024), n=32, seed=0):
+    """Relative FP16 GEMV error vs reduction length for both modes.
+
+    Returns rows of ``{k, inner_rel_error, outer_rel_error}`` where the
+    error is ‖fp16 − exact‖∞ / ‖exact‖∞ over a random GEMV.
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+    for k in k_values:
+        vector = rng.normal(size=k) / np.sqrt(k)
+        matrix = rng.normal(size=(k, n))
+        exact = vector @ matrix
+        scale = np.max(np.abs(exact)) or 1.0
+        array = PEArray(width=128, quantize=True)
+        inner = array.inner_product(vector, matrix)
+        outer = array.outer_product(vector, matrix)
+        rows.append(
+            {
+                "k": k,
+                "inner_rel_error": float(np.max(np.abs(inner - exact)) / scale),
+                "outer_rel_error": float(np.max(np.abs(outer - exact)) / scale),
+            }
+        )
+    return rows
+
+
+def softmax_error(lengths=(16, 128, 1024), seed=0):
+    """Max absolute error of the FP16 streaming softmax vs float64."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for length in lengths:
+        scores = rng.normal(size=length) * 3.0
+        exact = stable_softmax(scores)
+        unit = SoftmaxUnit(quantize=True)
+        approx = unit(scores)
+        rows.append(
+            {"length": length, "max_abs_error": float(np.max(np.abs(approx - exact)))}
+        )
+    return rows
+
+
+def quantize_state_dict(state):
+    """Round every parameter to FP16 (weights as stored in VEDA's HBM)."""
+    return {name: fp16_quantize(np.asarray(value)) for name, value in state.items()}
+
+
+def model_logit_error(model_module, tokens):
+    """Compare float64 logits against FP16-weight logits for one batch.
+
+    Returns ``(max_abs_logit_error, argmax_agreement_fraction)``.  The
+    forward pass itself stays float64 — this isolates *storage*
+    quantization, the dominant effect for inference accelerators.
+    """
+    from repro.models.inference import CachedTransformer
+
+    tokens = np.asarray(tokens)
+    exact = CachedTransformer(model_module.config, model_module.state_dict())
+    quantized = CachedTransformer(
+        model_module.config, quantize_state_dict(model_module.state_dict())
+    )
+
+    cache_a, cache_b = exact.new_cache(), quantized.new_cache()
+    out_a = exact.prefill(tokens, cache_a)
+    out_b = quantized.prefill(tokens, cache_b)
+    max_error = float(np.max(np.abs(out_a.logits - out_b.logits)))
+    agreement = float(np.argmax(out_a.logits) == np.argmax(out_b.logits))
+    return max_error, agreement

@@ -1,0 +1,103 @@
+"""Saturating unsigned integer helpers for the voting engine.
+
+The VEDA voting engine (paper Fig. 7) stores per-position vote counts in a
+4096-entry UINT16 buffer and the eviction index in a UINT12 register.  Both
+are modelled here as saturating unsigned integers: hardware counters do not
+wrap (a wrap would reset a heavily voted position's count to zero, which
+would be a functional bug), they clamp at their maximum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def clamp_unsigned(values, bits):
+    """Clamp ``values`` into the representable range of a ``bits``-wide
+    unsigned integer, rounding toward zero.
+
+    Parameters
+    ----------
+    values:
+        Scalar or array-like of non-negative numbers (negative inputs clamp
+        to zero, matching an unsigned datapath).
+    bits:
+        Counter width in bits; must be a positive integer.
+    """
+    if bits <= 0:
+        raise ValueError(f"bits must be positive, got {bits}")
+    limit = (1 << int(bits)) - 1
+    arr = np.asarray(values)
+    clamped = np.clip(arr, 0, limit)
+    result = clamped.astype(np.int64)
+    if np.isscalar(values) or np.ndim(values) == 0:
+        return int(result)
+    return result
+
+
+class SaturatingCounter:
+    """A vector of saturating unsigned counters.
+
+    Mirrors the vote-count buffer in the voting engine: ``increment`` adds a
+    0/1 vote mask, values saturate at ``2**bits - 1``, and entries can be
+    cleared when their KV vector is evicted (the hardware reuses the slot).
+    """
+
+    def __init__(self, size, bits=16):
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        if bits <= 0:
+            raise ValueError(f"bits must be positive, got {bits}")
+        self.size = int(size)
+        self.bits = int(bits)
+        self.max_value = (1 << self.bits) - 1
+        self._counts = np.zeros(self.size, dtype=np.int64)
+
+    @property
+    def counts(self):
+        """A read-only view of the current counter values."""
+        view = self._counts.view()
+        view.setflags(write=False)
+        return view
+
+    def increment(self, mask):
+        """Add ``mask`` (0/1 votes, or small increments) with saturation."""
+        mask = np.asarray(mask, dtype=np.int64)
+        if mask.shape != (self.size,):
+            raise ValueError(
+                f"mask shape {mask.shape} does not match counter size {self.size}"
+            )
+        if np.any(mask < 0):
+            raise ValueError("vote increments must be non-negative")
+        self._counts = np.minimum(self._counts + mask, self.max_value)
+
+    def clear(self, index):
+        """Reset one counter (slot reuse after eviction)."""
+        self._counts[index] = 0
+
+    def clear_all(self):
+        """Reset every counter (new layer / new sequence)."""
+        self._counts[:] = 0
+
+    def argmax_earliest(self, valid_length=None):
+        """Index of the maximum count; ties resolve to the earliest index.
+
+        ``np.argmax`` already returns the first maximal index, which
+        implements the paper's tie-break rule ("the earliest position is
+        selected for eviction").  ``valid_length`` restricts the search to
+        the occupied prefix of the buffer.
+        """
+        length = self.size if valid_length is None else int(valid_length)
+        if length <= 0:
+            raise ValueError("argmax over an empty counter range")
+        return int(np.argmax(self._counts[:length]))
+
+    def __len__(self):
+        return self.size
+
+    def __repr__(self):
+        occupied = int(np.count_nonzero(self._counts))
+        return (
+            f"SaturatingCounter(size={self.size}, bits={self.bits}, "
+            f"nonzero={occupied})"
+        )

@@ -1,0 +1,74 @@
+"""IEEE binary16 (FP16) quantization helpers.
+
+VEDA's datapath uses FP16 as the default arithmetic format (Sec. VI,
+"Experiment Setup").  The cycle-level simulator in :mod:`repro.accel` has a
+*functional* mode that rounds every intermediate value to FP16 exactly the
+way a 16-bit datapath would, so the bit-true hardware models in
+:mod:`repro.accel.pe_array` and :mod:`repro.accel.voting_engine` build on
+the helpers here.
+
+Only plain numpy is used; ``np.float16`` implements IEEE 754 binary16 with
+round-to-nearest-even, which matches the default rounding mode of the
+synthesized FP16 units the paper assumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Largest finite binary16 value (same as ``np.finfo(np.float16).max``).
+FP16_MAX = 65504.0
+
+#: Smallest positive *normal* binary16 value.
+FP16_MIN_NORMAL = 2.0 ** -14
+
+#: Machine epsilon of binary16.
+FP16_EPS = 2.0 ** -10
+
+
+def fp16_quantize(values, saturate=True):
+    """Round ``values`` to binary16 and return them as float64.
+
+    Parameters
+    ----------
+    values:
+        Scalar or array-like of real numbers.
+    saturate:
+        When True (hardware behaviour), values beyond ``±FP16_MAX`` clamp to
+        the largest finite magnitude instead of becoming ``inf``.  When
+        False, IEEE overflow-to-infinity semantics apply.
+
+    Returns
+    -------
+    numpy.ndarray or float
+        The quantized values widened back to float64 so downstream numpy
+        arithmetic keeps full precision *between* rounding points, exactly
+        as a hardware pipeline with FP16 registers and wider internal
+        accumulation would behave.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if saturate:
+        arr = np.clip(arr, -FP16_MAX, FP16_MAX)
+    with np.errstate(over="ignore"):
+        quantized = arr.astype(np.float16).astype(np.float64)
+    if np.isscalar(values) or np.ndim(values) == 0:
+        return float(quantized)
+    return quantized
+
+
+def is_fp16_representable(value):
+    """Return True when ``value`` survives an FP16 round trip unchanged."""
+    arr = np.asarray(value, dtype=np.float64)
+    round_trip = arr.astype(np.float16).astype(np.float64)
+    return bool(np.all(arr == round_trip))
+
+
+def fp16_relative_error(values):
+    """Element-wise relative quantization error of rounding to FP16.
+
+    Zeros contribute zero error (they are exactly representable).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    quantized = fp16_quantize(arr)
+    denom = np.where(arr == 0.0, 1.0, np.abs(arr))
+    return np.abs(quantized - arr) / denom

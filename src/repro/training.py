@@ -1,0 +1,88 @@
+"""Training loop for the tiny evaluation language models.
+
+A deliberately small, dependency-free trainer: AdamW, cosine schedule with
+warmup, gradient clipping, and loss history.  Used by :mod:`repro.zoo` to
+produce the Llama-2-7B stand-in for the algorithm experiments, and by
+``examples/train_tiny_lm.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import TrainingConfig
+from repro.data.datasets import BatchIterator
+from repro.nn.optim import Adam, clip_grad_norm, cosine_schedule
+
+__all__ = ["Trainer", "TrainResult"]
+
+
+@dataclass
+class TrainResult:
+    """Loss trajectory and timing of a training run."""
+
+    losses: list = field(default_factory=list)
+    grad_norms: list = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def final_loss(self):
+        if not self.losses:
+            raise ValueError("no steps recorded")
+        # Average the last few steps to smooth batch noise.
+        tail = self.losses[-10:]
+        return float(np.mean(tail))
+
+    @property
+    def initial_loss(self):
+        if not self.losses:
+            raise ValueError("no steps recorded")
+        return float(self.losses[0])
+
+
+class Trainer:
+    """Minimal LM trainer: next-token cross entropy on token windows."""
+
+    def __init__(self, model, training_config: TrainingConfig = None):
+        self.model = model
+        self.config = training_config or TrainingConfig()
+
+    def fit(self, windows, log_every=0):
+        """Train on an ``(N, L)`` window array; returns a TrainResult."""
+        cfg = self.config
+        windows = np.asarray(windows)
+        if windows.shape[1] > self.model.config.max_seq_len + 1:
+            raise ValueError(
+                f"window length {windows.shape[1]} exceeds model context "
+                f"{self.model.config.max_seq_len} + 1"
+            )
+        batches = BatchIterator(windows, cfg.batch_size, seed=cfg.seed)
+        optimizer = Adam(
+            self.model.parameters(),
+            lr=cfg.lr,
+            betas=cfg.betas,
+            weight_decay=cfg.weight_decay,
+        )
+        schedule = cosine_schedule(cfg.lr, cfg.warmup_steps, cfg.steps)
+
+        result = TrainResult()
+        start = time.perf_counter()
+        for step, batch in zip(range(cfg.steps), batches):
+            optimizer.lr = schedule(step)
+            loss = self.model.loss(batch)
+            optimizer.zero_grad()
+            loss.backward()
+            grad_norm = clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+            optimizer.step()
+            result.losses.append(loss.item())
+            result.grad_norms.append(grad_norm)
+            if log_every and (step % log_every == 0 or step == cfg.steps - 1):
+                print(
+                    f"step {step:4d}  loss {loss.item():.4f}  "
+                    f"lr {optimizer.lr:.2e}  |g| {grad_norm:.2f}"
+                )
+        result.seconds = time.perf_counter() - start
+        return result

@@ -1,0 +1,138 @@
+"""Model zoo: deterministic train-and-cache of evaluation models.
+
+The paper evaluates on pretrained Llama-2 7B.  With no network and no
+checkpoints, the reproduction *trains its own* small model once, caches
+the weights under ``.artifacts/zoo/``, and every experiment loads the same
+checkpoint — the moral equivalent of downloading a pretrained model.
+
+``get_pretrained("small")`` is the entry point used by the Fig. 8 (left)
+experiment and the examples.  The first call trains (a couple of minutes
+of numpy); later calls load from disk and verify the recorded metadata.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.config import ModelConfig, TrainingConfig, small_lm_config, tiny_config
+from repro.data.corpus import BookConfig, generate_corpus
+from repro.data.datasets import book_aligned_windows
+from repro.data.tokenizer import WordTokenizer
+from repro.models.inference import CachedTransformer
+from repro.models.transformer import TransformerLM
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.training import Trainer
+
+__all__ = ["default_corpus", "get_pretrained", "train_model", "zoo_dir", "ZOO_SPECS"]
+
+#: Corpus parameters shared by training and evaluation; evaluation books
+#: are generated with a disjoint seed (see default_corpus).
+_CORPUS_SEED_TRAIN = 11
+_CORPUS_SEED_EVAL = 1213
+_BOOK_CONFIG = BookConfig(n_characters=4, n_sentences=90, recall_probability=0.4)
+
+
+def zoo_dir():
+    """Directory where trained checkpoints are cached."""
+    return Path(__file__).resolve().parents[2] / ".artifacts" / "zoo"
+
+
+def default_corpus(split="train", n_books=None):
+    """The canonical synthetic corpus and its tokenizer.
+
+    The tokenizer is built from the *union* word lists, so train and eval
+    splits share one vocabulary regardless of sampling.
+    """
+    if split == "train":
+        seed, books = _CORPUS_SEED_TRAIN, n_books or 150
+    elif split == "eval":
+        seed, books = _CORPUS_SEED_EVAL, n_books or 8
+    else:
+        raise ValueError(f"unknown split {split!r}")
+    documents = generate_corpus(books, config=_BOOK_CONFIG, seed=seed)
+    # Fixed vocabulary: every word any template can emit, independent of
+    # sampling, so the tokenizer is identical across splits and runs.
+    from repro.data.corpus import WORD_LISTS
+
+    fixed_vocab = sorted(
+        set(word for words in WORD_LISTS.values() for word in words)
+        | {
+            "<bos>", "<eos>", "the", "lived", "in", "with", "a", ".", "one",
+            "walked", "to", "and", "quietly", '"', "said", "near", "people",
+            "saw", "stayed", "through", "kept", "close", "at", "hand",
+        }
+    )
+    tokenizer = WordTokenizer(fixed_vocab)
+    return tokenizer, documents
+
+
+#: name -> (model config factory, training config)
+ZOO_SPECS = {
+    "small": (
+        lambda vocab: small_lm_config(vocab_size=vocab),
+        TrainingConfig(seq_len=512, batch_size=4, steps=420, lr=3e-3, seed=2025),
+    ),
+    "micro": (
+        lambda vocab: tiny_config(vocab_size=vocab, max_seq_len=192),
+        TrainingConfig(seq_len=128, batch_size=8, steps=120, lr=5e-3, seed=7),
+    ),
+}
+
+
+def train_model(name="small", log_every=0):
+    """Train a zoo model from scratch; returns (module, tokenizer, result)."""
+    if name not in ZOO_SPECS:
+        raise KeyError(f"unknown zoo model {name!r}; available: {sorted(ZOO_SPECS)}")
+    config_factory, training_config = ZOO_SPECS[name]
+    tokenizer, documents = default_corpus("train")
+    config = config_factory(tokenizer.vocab_size)
+    windows = book_aligned_windows(
+        documents, tokenizer, seq_len=training_config.seq_len + 1
+    )
+    model = TransformerLM(config, seed=training_config.seed)
+    result = Trainer(model, training_config).fit(windows, log_every=log_every)
+    return model, tokenizer, result
+
+
+def get_pretrained(name="small", force_retrain=False, log_every=0):
+    """Load (training if needed) a zoo model.
+
+    Returns ``(CachedTransformer, WordTokenizer, metadata)``.
+    """
+    if name not in ZOO_SPECS:
+        raise KeyError(f"unknown zoo model {name!r}; available: {sorted(ZOO_SPECS)}")
+    path = zoo_dir() / f"{name}.npz"
+    tokenizer, _ = default_corpus("train", n_books=1)
+
+    if path.exists() and not force_retrain:
+        state, metadata = load_checkpoint(path)
+        config = ModelConfig(**metadata["model_config"])
+        model = CachedTransformer(config, state)
+        return model, tokenizer, metadata
+
+    module, tokenizer, result = train_model(name, log_every=log_every)
+    metadata = {
+        "name": name,
+        "model_config": _config_dict(module.config),
+        "final_loss": result.final_loss,
+        "initial_loss": result.initial_loss,
+        "train_seconds": result.seconds,
+    }
+    save_checkpoint(path, module, metadata=metadata)
+    return CachedTransformer.from_module(module), tokenizer, metadata
+
+
+def _config_dict(config: ModelConfig):
+    return {
+        "vocab_size": config.vocab_size,
+        "d_model": config.d_model,
+        "n_heads": config.n_heads,
+        "n_layers": config.n_layers,
+        "d_ff": config.d_ff,
+        "max_seq_len": config.max_seq_len,
+        "rope_theta": config.rope_theta,
+        "norm": config.norm,
+        "activation": config.activation,
+        "dropout": config.dropout,
+        "tie_embeddings": config.tie_embeddings,
+    }

@@ -1,0 +1,61 @@
+"""Area/power model vs paper Table I."""
+
+import pytest
+
+from repro.accel.area_power import PAPER_TABLE1, AreaPowerModel
+from repro.accel.config import veda_config
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AreaPowerModel(veda_config())
+
+
+class TestAgainstPaper:
+    @pytest.mark.parametrize("module_name", list(PAPER_TABLE1))
+    def test_module_area_within_5pct(self, model, module_name):
+        modeled = {m.name: m for m in model.breakdown()}[module_name]
+        paper_area, _ = PAPER_TABLE1[module_name]
+        assert modeled.area_mm2 == pytest.approx(paper_area, rel=0.05)
+
+    @pytest.mark.parametrize("module_name", list(PAPER_TABLE1))
+    def test_module_power_within_5pct(self, model, module_name):
+        modeled = {m.name: m for m in model.breakdown()}[module_name]
+        _, paper_power = PAPER_TABLE1[module_name]
+        assert modeled.power_mw == pytest.approx(paper_power, rel=0.05)
+
+    def test_sfu_below_3_percent_area(self, model):
+        """Paper: 'SFU consumes less than 3% due to element-serial
+        scheduling' — true of its area share (its power share is 3.5%
+        in the paper's own Table I)."""
+        breakdown = {m.name: m for m in model.breakdown()}
+        share = breakdown["Special Function Unit"].area_mm2 / breakdown["Total"].area_mm2
+        assert share < 0.03
+
+    def test_voting_overhead_about_6_5_percent(self, model):
+        breakdown = {m.name: m for m in model.breakdown()}
+        share = breakdown["Voting Engine"].power_mw / breakdown["Total"].power_mw
+        assert share == pytest.approx(0.065, abs=0.01)
+
+
+class TestParametricScaling:
+    def test_pe_array_scales_with_pe_count(self):
+        small = AreaPowerModel(veda_config(pe_arrays=1)).pe_array()
+        big = AreaPowerModel(veda_config(pe_arrays=2)).pe_array()
+        assert big.area_mm2 == pytest.approx(2 * small.area_mm2)
+        assert big.power_mw == pytest.approx(2 * small.power_mw)
+
+    def test_buffer_scales_with_capacity(self):
+        small = AreaPowerModel(veda_config(onchip_buffer_kb=128)).onchip_buffer()
+        big = AreaPowerModel(veda_config(onchip_buffer_kb=256)).onchip_buffer()
+        assert big.area_mm2 > small.area_mm2
+
+    def test_sfu_scales_with_units(self):
+        base = AreaPowerModel(veda_config()).sfu()
+        more = AreaPowerModel(veda_config(n_exp_units=4, n_div_units=4)).sfu()
+        assert more.area_mm2 > base.area_mm2
+        assert more.power_mw > base.power_mw
+
+    def test_totals_helpers(self, model):
+        assert model.total_area_mm2() == pytest.approx(1.058, rel=0.02)
+        assert model.total_power_w() == pytest.approx(0.375, rel=0.02)

@@ -1,0 +1,65 @@
+"""Layer-to-accelerator operator mapping."""
+
+import pytest
+
+from repro.accel.llm_mapping import LinearOp, decode_linear_ops, prefill_linear_ops
+from repro.config import llama2_7b_shapes, tiny_config
+
+
+class TestLinearOp:
+    def test_macs_and_bytes(self):
+        op = LinearOp("w", k=4096, n=4096)
+        assert op.macs == 4096 * 4096
+        assert op.weight_bytes == 4096 * 4096 * 2
+
+    def test_inner_cycles(self):
+        op = LinearOp("w", k=256, n=10, dataflow="inner")
+        assert op.compute_cycles(width=128) == 10 * 2
+
+    def test_outer_cycles(self):
+        op = LinearOp("w", k=10, n=256, dataflow="outer")
+        assert op.compute_cycles(width=128) == 10 * 2
+
+    def test_rows_multiply(self):
+        op = LinearOp("w", k=128, n=4, rows=7, dataflow="inner")
+        assert op.compute_cycles(width=128) == 7 * 4
+
+
+class TestDecodeOps:
+    def test_llama_op_set(self):
+        per_layer, head = decode_linear_ops(llama2_7b_shapes())
+        names = [op.name for op in per_layer]
+        assert names == ["wq", "wk", "wv", "wo", "ffn_gate", "ffn_up", "ffn_down"]
+        assert head[0].name == "lm_head"
+        assert head[0].n == 32000
+
+    def test_gelu_model_has_two_ffn_ops(self):
+        per_layer, _ = decode_linear_ops(tiny_config(activation="gelu"))
+        names = [op.name for op in per_layer]
+        assert "ffn_gate" not in names
+        assert names.count("ffn_up") == 1
+
+    def test_total_weight_bytes_match_7b(self):
+        """Per-token streamed weights ≈ the 7B parameter footprint."""
+        model = llama2_7b_shapes()
+        per_layer, head = decode_linear_ops(model)
+        total = model.n_layers * sum(op.weight_bytes for op in per_layer)
+        total += sum(op.weight_bytes for op in head)
+        params = total / 2
+        assert 6.4e9 < params < 7.1e9
+
+    def test_fig1_dataflow_colors(self):
+        """QKV generation consumes normalized input → outer (blue);
+        projections feeding reductions → inner (green)."""
+        per_layer, _ = decode_linear_ops(llama2_7b_shapes())
+        by_name = {op.name: op for op in per_layer}
+        assert by_name["wq"].dataflow == "outer"
+        assert by_name["wo"].dataflow == "inner"
+        assert by_name["ffn_down"].dataflow == "inner"
+
+
+class TestPrefillOps:
+    def test_rows_set_to_prompt(self):
+        per_layer, head = prefill_linear_ops(llama2_7b_shapes(), prompt_length=512)
+        assert all(op.rows == 512 for op in per_layer)
+        assert head[0].rows == 1  # LM head only runs on the last token

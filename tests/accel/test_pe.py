@@ -1,0 +1,60 @@
+"""Single PE: modes and registers."""
+
+import pytest
+
+from repro.accel.pe import PEMode, ProcessingElement
+
+
+class TestModes:
+    def test_disable_holds_state(self):
+        pe = ProcessingElement()
+        pe.load(2.0, 3.0)
+        pe.mode = PEMode.ACCUMULATE
+        pe.step()
+        pe.mode = PEMode.DISABLE
+        assert pe.step() is None
+        assert pe.acc_reg == 6.0
+
+    def test_accumulate(self):
+        pe = ProcessingElement()
+        pe.mode = PEMode.ACCUMULATE
+        pe.load(2.0, 3.0)
+        pe.step()
+        pe.load(1.0, 4.0)
+        pe.step()
+        assert pe.acc_reg == 10.0
+
+    def test_clear(self):
+        pe = ProcessingElement()
+        pe.mode = PEMode.ACCUMULATE
+        pe.load(5.0, 5.0)
+        pe.step()
+        pe.mode = PEMode.CLEAR
+        pe.step()
+        assert pe.acc_reg == 0.0
+
+    def test_transmit_type_a(self):
+        pe = ProcessingElement(type_b=False)
+        pe.mode = PEMode.TRANSMIT
+        pe.load(2.0, 3.0)
+        assert pe.step(transmitted=4.0) == 10.0
+
+    def test_transmit_type_b_adds_externals(self):
+        pe = ProcessingElement(type_b=True)
+        pe.mode = PEMode.TRANSMIT
+        assert pe.step(transmitted=4.0, second_operand=5.0) == 9.0
+
+    def test_type_b_requires_second_operand(self):
+        pe = ProcessingElement(type_b=True)
+        pe.mode = PEMode.TRANSMIT
+        with pytest.raises(ValueError):
+            pe.step(transmitted=1.0)
+
+    def test_fp16_rounding_in_registers(self):
+        pe = ProcessingElement()
+        pe.load(1.0 + 2.0**-12, 1.0)  # rounds to 1.0
+        assert pe.input_reg == 1.0
+        assert pe.multiply() == 1.0
+
+    def test_mode_encoding_is_2bit(self):
+        assert {int(m) for m in PEMode} <= set(range(4))

@@ -1,0 +1,148 @@
+"""Reconfigurable PE array: functional correctness and cycle counts."""
+
+import numpy as np
+import pytest
+
+from repro.accel.pe_array import (
+    PEArray,
+    adder_tree_types,
+    fixed_tree_cycles,
+    inner_product_cycles,
+    outer_product_cycles,
+    tree_sum_fp16,
+)
+from repro.numerics.fp16 import fp16_quantize
+
+
+class TestCycleFormulas:
+    def test_inner_basic(self):
+        assert inner_product_cycles(k=128, n=100, width=128) == 100
+
+    def test_inner_chunks_k(self):
+        assert inner_product_cycles(k=129, n=10, width=128) == 20
+
+    def test_outer_basic(self):
+        assert outer_product_cycles(k=100, n=128, width=128) == 100
+
+    def test_outer_chunks_n(self):
+        assert outer_product_cycles(k=10, n=129, width=128) == 20
+
+    def test_flexibility_advantage(self):
+        """The paper's point: for (1,l)×(l,d) with growing l, the outer
+        product absorbs l in time while a fixed inner product pads it to
+        tree epochs."""
+        d, width = 128, 128
+        for l in [100, 300, 513, 1000]:
+            flexible = outer_product_cycles(k=l, n=d, width=width)
+            fixed = fixed_tree_cycles(k=l, n=d, width=width)
+            assert flexible <= fixed
+        # the 256 -> 257 epoch jump from the paper's introduction
+        assert fixed_tree_cycles(k=257, n=128, width=128) == 3 * 128
+        assert outer_product_cycles(k=257, n=128, width=128) == 257
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            inner_product_cycles(0, 4, 128)
+        with pytest.raises(ValueError):
+            outer_product_cycles(4, 0, 128)
+
+
+class TestAdderTree:
+    def test_type_assignment(self):
+        types = adder_tree_types(8)
+        assert types == ["A", "B", "A", "B", "A", "B", "A", "B"]
+
+    def test_rejects_odd_width(self):
+        with pytest.raises(ValueError):
+            adder_tree_types(7)
+
+    def test_tree_sum_exact_for_exact_values(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert tree_sum_fp16(values) == 10.0
+
+    def test_tree_sum_empty(self):
+        assert tree_sum_fp16([]) == 0.0
+
+    def test_tree_sum_odd_length(self):
+        assert tree_sum_fp16([1.0, 2.0, 3.0]) == 6.0
+
+    def test_tree_sum_error_bounded(self, rng):
+        values = rng.normal(size=128)
+        exact = float(np.sum(values))
+        tree = tree_sum_fp16(values)
+        # FP16 pairwise tree: error grows with log2(n) * eps * magnitude.
+        assert abs(tree - exact) <= 2e-2 * max(np.abs(values).sum(), 1.0)
+
+
+class TestFunctionalArray:
+    def test_inner_matches_matmul_float64(self, rng):
+        array = PEArray(width=16, quantize=False)
+        v = rng.normal(size=24)
+        m = rng.normal(size=(24, 5))
+        out = array.inner_product(v, m)
+        np.testing.assert_allclose(out, v @ m, atol=1e-12)
+
+    def test_outer_matches_matmul_float64(self, rng):
+        array = PEArray(width=16, quantize=False)
+        v = rng.normal(size=7)
+        m = rng.normal(size=(7, 20))
+        out = array.outer_product(v, m)
+        np.testing.assert_allclose(out, v @ m, atol=1e-12)
+
+    def test_modes_agree_fp16_within_tolerance(self, rng):
+        """Inner and outer product compute the same GEMV; FP16 rounding
+        differences stay within a small bound."""
+        array = PEArray(width=8, quantize=True)
+        v = rng.normal(size=12)
+        m = rng.normal(size=(12, 8))
+        inner = array.inner_product(v, m)
+        outer = array.outer_product(v, m)
+        exact = v @ m
+        np.testing.assert_allclose(inner, exact, atol=0.05)
+        np.testing.assert_allclose(outer, exact, atol=0.05)
+
+    def test_fp16_quantization_actually_applied(self):
+        array = PEArray(width=4, quantize=True)
+        v = np.array([1.0 + 2.0**-12])  # rounds to 1.0 in fp16
+        m = np.array([[1.0]])
+        out = array.inner_product(v, m)
+        assert out[0] == 1.0
+
+    def test_cycle_accounting(self, rng):
+        array = PEArray(width=8)
+        v = rng.normal(size=16)
+        m = rng.normal(size=(16, 3))
+        array.inner_product(v, m)
+        assert array.cycles == inner_product_cycles(16, 3, 8)
+        array.reset_cycles()
+        array.outer_product(rng.normal(size=5), rng.normal(size=(5, 16)))
+        assert array.cycles == outer_product_cycles(5, 16, 8)
+
+    def test_gemv_dispatch(self, rng):
+        array = PEArray(width=8, quantize=False)
+        v = rng.normal(size=8)
+        m = rng.normal(size=(8, 8))
+        np.testing.assert_allclose(
+            array.gemv(v, m, "inner"), array.gemv(v, m, "outer"), atol=1e-12
+        )
+        with pytest.raises(ValueError):
+            array.gemv(v, m, "diagonal")
+
+    def test_shape_mismatch(self, rng):
+        array = PEArray(width=8)
+        with pytest.raises(ValueError):
+            array.inner_product(rng.normal(size=4), rng.normal(size=(5, 2)))
+
+    def test_attention_no_transpose_equivalence(self, rng):
+        """The flexible-product trick: q×Kᵀ via inner product over K rows
+        and s'×V via outer product over V rows — K and V both stored
+        (l, d), no transpose — equals the mathematical attention."""
+        l, d = 10, 8
+        array = PEArray(width=8, quantize=False)
+        q = rng.normal(size=d)
+        K = rng.normal(size=(l, d))
+        V = rng.normal(size=(l, d))
+        s = array.inner_product(q, K.T)  # (d, l) accessed column-wise = K rows
+        np.testing.assert_allclose(s, q @ K.T, atol=1e-12)
+        o = array.outer_product(s, V)
+        np.testing.assert_allclose(o, (q @ K.T) @ V, atol=1e-10)

@@ -1,0 +1,94 @@
+"""RTL-like PE grid vs the vectorized array and the analytic formulas —
+the reproduction's version of "cross-validated with RTL simulations"."""
+
+import numpy as np
+import pytest
+
+from repro.accel.pe_array import (
+    PEArray,
+    inner_product_cycles,
+    outer_product_cycles,
+)
+from repro.accel.rtl_array import RTLArray
+
+
+@pytest.fixture()
+def grid():
+    return RTLArray(rows=2, cols=4, quantize=True)  # width 8, fast tests
+
+
+class TestAgainstReference:
+    def test_inner_matches_float64(self, rng):
+        grid = RTLArray(2, 4, quantize=False)
+        v = rng.normal(size=13)
+        m = rng.normal(size=(13, 5))
+        np.testing.assert_allclose(grid.inner_product(v, m), v @ m, atol=1e-12)
+
+    def test_outer_matches_float64(self, rng):
+        grid = RTLArray(2, 4, quantize=False)
+        v = rng.normal(size=6)
+        m = rng.normal(size=(6, 11))
+        np.testing.assert_allclose(grid.outer_product(v, m), v @ m, atol=1e-12)
+
+    def test_inner_bit_identical_to_pe_array(self, grid, rng):
+        """Same tree topology + same rounding points ⇒ bit-identical
+        FP16 results as the vectorized functional model."""
+        array = PEArray(width=8, quantize=True)
+        v = rng.normal(size=19)
+        m = rng.normal(size=(19, 4))
+        np.testing.assert_array_equal(
+            grid.inner_product(v, m), array.inner_product(v, m)
+        )
+
+    def test_outer_bit_identical_to_pe_array(self, grid, rng):
+        array = PEArray(width=8, quantize=True)
+        v = rng.normal(size=9)
+        m = rng.normal(size=(9, 13))
+        np.testing.assert_array_equal(
+            grid.outer_product(v, m), array.outer_product(v, m)
+        )
+
+
+class TestCycleCrossValidation:
+    @pytest.mark.parametrize("k,n", [(8, 3), (9, 3), (16, 1), (5, 20)])
+    def test_inner_cycles_match_analytic(self, grid, rng, k, n):
+        grid.reset_cycles()
+        grid.inner_product(rng.normal(size=k), rng.normal(size=(k, n)))
+        assert grid.cycles == inner_product_cycles(k, n, width=8)
+
+    @pytest.mark.parametrize("k,n", [(3, 8), (3, 9), (1, 16), (20, 5)])
+    def test_outer_cycles_match_analytic(self, grid, rng, k, n):
+        grid.reset_cycles()
+        grid.outer_product(rng.normal(size=k), rng.normal(size=(k, n)))
+        assert grid.cycles == outer_product_cycles(k, n, width=8)
+
+
+class TestGridStructure:
+    def test_type_b_at_odd_columns(self, grid):
+        for row in grid.grid:
+            for c, pe in enumerate(row):
+                assert pe.type_b == (c % 2 == 1)
+
+    def test_width(self):
+        assert RTLArray(8, 8).width == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RTLArray(rows=0)
+        with pytest.raises(ValueError):
+            RTLArray(rows=2, cols=3)
+
+    def test_shape_mismatch(self, grid, rng):
+        with pytest.raises(ValueError):
+            grid.inner_product(rng.normal(size=4), rng.normal(size=(5, 2)))
+        with pytest.raises(ValueError):
+            grid.outer_product(rng.normal(size=4), rng.normal(size=(5, 2)))
+
+    def test_reconfiguration_between_ops(self, grid, rng):
+        """The same grid switches between modes at runtime (the paper's
+        runtime reconfigurability): inner then outer on one instance."""
+        v = rng.normal(size=8)
+        m = rng.normal(size=(8, 8))
+        s = grid.inner_product(v, m)
+        o = grid.outer_product(s, m)
+        np.testing.assert_allclose(o, (v @ m) @ m, atol=0.5)

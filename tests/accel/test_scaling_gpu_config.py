@@ -1,0 +1,110 @@
+"""Technology scaling, GPU roofline, and hardware config."""
+
+import pytest
+
+from repro.accel.config import HardwareConfig, ablation_configs, baseline_config, veda_config
+from repro.accel.gpu_model import RTX4090, GPUSpec, decode_energy_per_token, decode_tokens_per_second
+from repro.accel.scaling import (
+    SUPPORTED_NODES,
+    area_factor,
+    energy_factor,
+    scale_area,
+    scale_energy_efficiency,
+)
+
+
+class TestScaling:
+    def test_identity(self):
+        assert area_factor(28, 28) == 1.0
+        assert energy_factor(40, 40) == 1.0
+
+    def test_shrink_improves(self):
+        assert area_factor(55, 28) < 1.0
+        assert energy_factor(55, 28) < 1.0
+
+    def test_round_trip(self):
+        assert area_factor(55, 28) * area_factor(28, 55) == pytest.approx(1.0)
+
+    def test_scale_area(self):
+        scaled = scale_area(16.9, 55, 28)
+        assert scaled == pytest.approx(16.9 / 3.86, rel=1e-9)
+
+    def test_efficiency_improves_at_smaller_node(self):
+        assert scale_energy_efficiency(192.0, 55, 28) > 192.0
+
+    def test_paper_claim_holds_after_scaling(self):
+        """VEDA (653 GOPS/W @28nm) still beats Sanger and SpAtten scaled
+        to 28 nm — the paper's '(it remains true after technology
+        scaling)' parenthetical."""
+        sanger = scale_energy_efficiency(192.0, 55, 28)
+        spatten = scale_energy_efficiency(382.0, 40, 28)
+        assert sanger < 653
+        assert spatten < 653
+
+    def test_unknown_node(self):
+        with pytest.raises(KeyError):
+            area_factor(32, 28)
+
+    def test_nodes_sorted(self):
+        assert SUPPORTED_NODES == sorted(SUPPORTED_NODES)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            scale_area(-1.0, 55, 28)
+
+
+class TestGPUModel:
+    def test_memory_bound_decode(self):
+        """7B FP16 decode ≈ bandwidth / model bytes, ~50 tokens/s."""
+        tps = decode_tokens_per_second(RTX4090, 13.48e9)
+        assert 45 < tps < 60
+
+    def test_kv_bytes_slow_it_down(self):
+        base = decode_tokens_per_second(RTX4090, 13.48e9)
+        with_kv = decode_tokens_per_second(RTX4090, 13.48e9, kv_bytes_per_token=2e9)
+        assert with_kv < base
+
+    def test_energy_per_token(self):
+        tps = decode_tokens_per_second(RTX4090, 13.48e9)
+        energy = decode_energy_per_token(RTX4090, 13.48e9)
+        assert energy == pytest.approx(450.0 / tps)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            GPUSpec("bad", fp16_tflops=0, mem_bandwidth_gb_s=1, board_power_w=1)
+        with pytest.raises(ValueError):
+            GPUSpec("bad", 1, 1, 1, efficiency=0.0)
+
+    def test_model_bytes_validation(self):
+        with pytest.raises(ValueError):
+            decode_tokens_per_second(RTX4090, 0)
+
+
+class TestHardwareConfig:
+    def test_paper_defaults(self):
+        hw = veda_config()
+        assert hw.n_pe == 128
+        assert hw.peak_gops == 256.0
+        assert hw.bytes_per_cycle == 256.0
+        assert hw.onchip_buffer_bytes == 256 * 1024
+
+    def test_baseline_flags(self):
+        hw = baseline_config()
+        assert not hw.flexible_dataflow
+        assert not hw.element_serial
+
+    def test_ablation_configs_ordered(self):
+        configs = ablation_configs()
+        assert list(configs) == ["Baseline", "Baseline+F", "Baseline+F+E"]
+        assert configs["Baseline+F"].flexible_dataflow
+        assert not configs["Baseline+F"].element_serial
+
+    def test_overrides(self):
+        hw = veda_config(pe_arrays=4)
+        assert hw.n_pe == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(pe_rows=0)
+        with pytest.raises(ValueError):
+            HardwareConfig(dram_strided_derate=0.0)

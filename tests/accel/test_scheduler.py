@@ -1,0 +1,118 @@
+"""Attention cycle model and the Fig. 6(a) timeline."""
+
+import pytest
+
+from repro.accel.config import ablation_configs, baseline_config, veda_config
+from repro.accel.scheduler import (
+    attention_timeline,
+    decode_attention,
+    prefill_attention,
+)
+
+
+class TestDecodeAttention:
+    def test_flexible_attention_linear_in_l(self):
+        hw = veda_config()
+        a = decode_attention(256, head_dim=128, n_heads=1, hw=hw)
+        b = decode_attention(512, head_dim=128, n_heads=1, hw=hw)
+        # qk and sv both scale with l exactly (no padding).
+        assert b.qk == 2 * a.qk
+        assert b.sv == 2 * a.sv
+
+    def test_element_serial_removes_softmax_stall(self):
+        on = decode_attention(512, 128, 1, veda_config())
+        off = decode_attention(512, 128, 1, veda_config(element_serial=False))
+        assert on.softmax < off.softmax
+        assert on.qk == off.qk and on.sv == off.sv
+
+    def test_baseline_sv_penalty(self):
+        """Fixed dataflow pays tree padding and strided V access on s'×V."""
+        flexible = decode_attention(513, 128, 1, veda_config())
+        fixed = decode_attention(513, 128, 1, baseline_config())
+        assert fixed.sv > flexible.sv
+        assert fixed.qk == flexible.qk  # qK identical in both designs
+
+    def test_heads_scale_linearly(self):
+        one = decode_attention(100, 128, 1, veda_config())
+        many = decode_attention(100, 128, 32, veda_config())
+        assert many.total == pytest.approx(32 * one.total)
+
+    def test_variant_ordering(self):
+        """Baseline >= +F >= +F+E at any cache length."""
+        for l in [64, 257, 512, 1500]:
+            totals = {
+                name: decode_attention(l, 128, 32, hw).total
+                for name, hw in ablation_configs().items()
+            }
+            assert totals["Baseline"] >= totals["Baseline+F"] >= totals["Baseline+F+E"]
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            decode_attention(0, 128, 1, veda_config())
+
+
+class TestPrefillAttention:
+    def test_causal_skip_halves_compute(self):
+        """Flexible prefill compute ≈ half of the full l² (upper triangle
+        skipped)."""
+        hw = veda_config()
+        breakdown = prefill_attention(256, 128, 1, hw)
+        assert breakdown.qk == pytest.approx(256 * 257 / 2)
+
+    def test_baseline_tile_padding(self):
+        flexible = prefill_attention(300, 128, 1, veda_config())
+        fixed = prefill_attention(300, 128, 1, baseline_config(element_serial=True))
+        assert fixed.qk > flexible.qk
+        assert fixed.sv > flexible.sv
+
+    def test_variant_ordering(self):
+        totals = {
+            name: prefill_attention(512, 128, 8, hw).total
+            for name, hw in ablation_configs().items()
+        }
+        assert totals["Baseline"] > totals["Baseline+F"] > totals["Baseline+F+E"]
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            prefill_attention(0, 128, 1, veda_config())
+
+
+class TestBreakdownArithmetic:
+    def test_total_and_add(self):
+        a = decode_attention(10, 128, 1, veda_config())
+        b = decode_attention(20, 128, 1, veda_config())
+        combined = a + b
+        assert combined.total == pytest.approx(a.total + b.total)
+
+    def test_scaled(self):
+        a = decode_attention(10, 128, 1, veda_config())
+        assert a.scaled(3).total == pytest.approx(3 * a.total)
+
+
+class TestTimeline:
+    def test_element_serial_overlaps(self):
+        """Fig. 6(a): with E, SFU work runs concurrently with the PE
+        array; total ≈ qk + sv + drain."""
+        hw = veda_config()
+        segments, total = attention_timeline(100, 128, hw)
+        assert total == 100 + hw.element_serial_drain + 100
+        sfu = [s for s in segments if s.engine == "sfu"]
+        pe = [s for s in segments if s.engine == "pe_array"]
+        assert len(sfu) == 2 and len(pe) == 2
+        # normalization and s'×V occupy the same interval (overlap).
+        norm = next(s for s in sfu if "normalize" in s.label)
+        sv = next(s for s in pe if "s'×V" in s.label)
+        assert norm.start == sv.start and norm.end == sv.end
+
+    def test_conventional_serializes(self):
+        hw = veda_config(element_serial=False)
+        segments, total = attention_timeline(100, 128, hw)
+        stall = next(s for s in segments if s.engine == "sfu")
+        sv = [s for s in segments if s.engine == "pe_array"][1]
+        assert sv.start == stall.end  # PE array idles during the SFU stage
+        assert total > 200
+
+    def test_element_serial_faster(self):
+        _, fast = attention_timeline(500, 128, veda_config())
+        _, slow = attention_timeline(500, 128, veda_config(element_serial=False))
+        assert fast < slow

@@ -1,0 +1,93 @@
+"""SFU: streaming softmax/layernorm units and stall model."""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.accel.config import veda_config
+from repro.accel.sfu import (
+    LayerNormUnit,
+    SoftmaxUnit,
+    layernorm_stall_cycles,
+    softmax_stall_cycles,
+)
+
+
+@pytest.fixture()
+def hw():
+    return veda_config()
+
+
+class TestStallModel:
+    def test_element_serial_is_o1(self, hw):
+        """The headline claim: stall independent of length (O(1) SFU)."""
+        short = softmax_stall_cycles(16, hw, element_serial=True)
+        long = softmax_stall_cycles(4096, hw, element_serial=True)
+        assert short == long == hw.element_serial_drain
+
+    def test_conventional_scales_with_length(self, hw):
+        s1 = softmax_stall_cycles(256, hw, element_serial=False)
+        s2 = softmax_stall_cycles(512, hw, element_serial=False)
+        assert s2 > s1
+        assert s2 - s1 == 128  # 256 extra elements / 2 exp units
+
+    def test_layernorm_element_serial(self, hw):
+        assert layernorm_stall_cycles(4096, hw, True) == hw.element_serial_drain
+
+    def test_layernorm_conventional(self, hw):
+        stall = layernorm_stall_cycles(4096, hw, False)
+        assert stall == 2048 + 2048 + hw.softmax_stage_overhead
+
+    def test_rejects_bad_length(self, hw):
+        with pytest.raises(ValueError):
+            softmax_stall_cycles(0, hw, True)
+        with pytest.raises(ValueError):
+            layernorm_stall_cycles(-1, hw, False)
+
+
+class TestSoftmaxUnit:
+    def test_matches_scipy_float64(self, rng):
+        unit = SoftmaxUnit(quantize=False)
+        x = rng.normal(size=64) * 4
+        np.testing.assert_allclose(unit(x), special.softmax(x), atol=1e-12)
+
+    def test_fp16_close_to_exact(self, rng):
+        unit = SoftmaxUnit(quantize=True)
+        x = rng.normal(size=32)
+        np.testing.assert_allclose(unit(x), special.softmax(x), atol=2e-3)
+
+    def test_reduction_then_normalize_stages(self, rng):
+        unit = SoftmaxUnit(quantize=False)
+        x = rng.normal(size=16)
+        normalizer = unit.reduce(x)
+        assert normalizer.max == pytest.approx(np.max(x))
+        out = unit.normalize(x, normalizer)
+        assert out.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_op_counters(self, rng):
+        unit = SoftmaxUnit()
+        unit(rng.normal(size=10))
+        # reduction: 1 exp per element; normalization: 1 exp + 1 div each.
+        assert unit.counters.exp_ops == 20
+        assert unit.counters.div_ops == 10
+
+
+class TestLayerNormUnit:
+    def test_matches_reference(self, rng):
+        unit = LayerNormUnit(quantize=False)
+        x = rng.normal(size=128) * 3 + 5
+        out = unit(x)
+        expected = (x - x.mean()) / np.sqrt(x.var() + 1e-5)
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    def test_fp16_close(self, rng):
+        unit = LayerNormUnit(quantize=True)
+        x = rng.normal(size=64)
+        expected = (x - x.mean()) / np.sqrt(x.var() + 1e-5)
+        np.testing.assert_allclose(unit(x), expected, atol=5e-3)
+
+    def test_sqrt_counter(self, rng):
+        unit = LayerNormUnit()
+        unit(rng.normal(size=8))
+        assert unit.counters.sqrt_ops == 1
+        assert unit.counters.div_ops == 8

@@ -1,0 +1,111 @@
+"""Prefill tiling plans and the batching analysis."""
+
+import math
+
+import pytest
+
+from repro.accel.config import veda_config
+from repro.accel.tiling import (
+    TilePlan,
+    compute_bound_prompt_threshold,
+    plan_weight_tiling,
+    prefill_gemm_cycles,
+)
+from repro.experiments import batching
+
+
+class TestTilePlanning:
+    def test_llama_weight_needs_tiling(self):
+        """A 4096×4096 FP16 matrix cannot sit in 256 KB."""
+        plan = plan_weight_tiling(4096, 4096, buffer_bytes=256 * 1024)
+        assert plan.n_tiles > 1
+        assert plan.fits_buffer
+
+    def test_small_weight_single_tile(self):
+        plan = plan_weight_tiling(128, 128, buffer_bytes=256 * 1024)
+        assert plan.n_tiles == 1
+        assert plan.tile_rows == 128 and plan.tile_cols == 128
+
+    def test_full_rows_preferred(self):
+        """While a reduction row fits, tiles keep k intact (no partial-sum
+        spill)."""
+        plan = plan_weight_tiling(4096, 4096, buffer_bytes=256 * 1024)
+        assert plan.tile_rows == 4096
+
+    def test_huge_k_splits_rows(self):
+        plan = plan_weight_tiling(10**6, 4, buffer_bytes=64 * 1024)
+        assert plan.tile_rows < 10**6
+        assert plan.tile_cols == 1
+
+    def test_tile_count_covers_matrix(self):
+        plan = plan_weight_tiling(1000, 777, buffer_bytes=32 * 1024)
+        covers = (
+            math.ceil(1000 / plan.tile_rows) * math.ceil(777 / plan.tile_cols)
+        )
+        assert plan.n_tiles == covers
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_weight_tiling(0, 4, 1024)
+        with pytest.raises(ValueError):
+            plan_weight_tiling(4, 4, 0)
+        with pytest.raises(ValueError):
+            plan_weight_tiling(4, 4, 1024, reserve_fraction=1.0)
+
+
+class TestPrefillRoofline:
+    def test_long_prompt_compute_bound(self):
+        hw = veda_config()
+        plan = plan_weight_tiling(4096, 4096, hw.onchip_buffer_bytes)
+        total, compute, memory = prefill_gemm_cycles(
+            plan, prompt_length=512, width=hw.tree_width,
+            bytes_per_cycle=hw.bytes_per_cycle,
+        )
+        assert compute > memory
+        assert total == pytest.approx(compute)
+
+    def test_balanced_design_threshold(self):
+        """VEDA pairs 128 lanes with 256 B/cycle FP16: the compute/memory
+        crossover sits at P* = 1 (decode itself is balanced)."""
+        hw = veda_config()
+        assert compute_bound_prompt_threshold(
+            hw.tree_width, hw.bytes_per_cycle
+        ) == 1
+
+    def test_narrow_memory_raises_threshold(self):
+        assert compute_bound_prompt_threshold(128, 32.0) == 8
+
+    def test_cycles_validation(self):
+        plan = TilePlan(4, 4, 4, 4, 1, 32, True)
+        with pytest.raises(ValueError):
+            prefill_gemm_cycles(plan, 0, 128, 256.0)
+
+
+class TestBatchingAnalysis:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return batching.run()
+
+    def test_linear_amortizes_on_cloud_ratio(self, result):
+        linear = [row["linear_cycles/token"] for row in result.rows]
+        assert linear == sorted(linear, reverse=True)
+        assert linear[-1] < 0.25 * linear[0]  # big win at batch 16
+
+    def test_attention_flat(self, result):
+        attn = {row["attention_cycles/token"] for row in result.rows}
+        assert len(attn) == 1  # identical at every batch size
+
+    def test_attention_share_grows(self, result):
+        """The paper's point: batching makes attention the bottleneck."""
+        shares = [row["attention_share_%"] for row in result.rows]
+        assert shares == sorted(shares)
+        assert shares[-1] > 3 * shares[0]
+
+    def test_veda_balanced_gains_nothing(self):
+        """On VEDA's own compute:bandwidth ratio, batching does not move
+        per-token linear cost — decode already saturates the machine."""
+        from repro.accel.config import veda_config
+
+        result = batching.run(hw=veda_config())
+        linear = [row["linear_cycles/token"] for row in result.rows]
+        assert max(linear) == pytest.approx(min(linear))

@@ -1,0 +1,126 @@
+"""Hardware voting engine: bit-true behaviour and policy equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.accel.voting_engine import VotingEngine
+from repro.core.policies.base import GENERATION
+from repro.core.policies.voting import VotingPolicy
+from repro.models.inference import stable_softmax
+
+
+def random_attention(rng, heads, length, sharpness=3.0):
+    logits = rng.normal(size=(heads, length)) * sharpness
+    return stable_softmax(logits, axis=-1)
+
+
+class TestBasics:
+    def test_votes_accumulate(self):
+        engine = VotingEngine(capacity=16, reserved_length=0, b=0.0)
+        attn = np.array([[0.5, 0.3, 0.1, 0.1]])
+        engine.process_token(attn, np.arange(4))
+        engine.process_token(attn, np.arange(4))
+        np.testing.assert_array_equal(engine.vote_counts, [0, 0, 2, 2])
+
+    def test_reserved_rows_skip(self):
+        engine = VotingEngine(capacity=16, reserved_length=8)
+        attn = np.array([[0.2, 0.3, 0.5]])
+        votes = engine.process_token(attn, np.arange(3))
+        assert not votes.any()
+
+    def test_eviction_index_tie_earliest(self):
+        engine = VotingEngine(capacity=16, reserved_length=0, b=0.0)
+        engine.process_token(np.array([[0.4, 0.1, 0.1, 0.4]]), np.arange(4))
+        assert engine.eviction_index(np.arange(4)) == 1
+
+    def test_eviction_respects_reserved(self):
+        engine = VotingEngine(capacity=16, reserved_length=4)
+        engine.process_token(
+            np.full((1, 8), 1.0 / 8), np.arange(8)
+        )
+        assert engine.eviction_index(np.arange(8)) >= 4
+
+    def test_index_fits_uint12(self):
+        engine = VotingEngine(capacity=4096, reserved_length=0)
+        idx = engine.eviction_index(np.arange(100))
+        assert 0 <= idx < 4096
+
+    def test_capacity_addressability(self):
+        with pytest.raises(ValueError):
+            VotingEngine(capacity=8192, index_bits=12)
+
+    def test_on_evict_compacts(self):
+        engine = VotingEngine(capacity=16, reserved_length=0, b=0.0)
+        engine.process_token(np.array([[0.5, 0.1, 0.3, 0.1]]), np.arange(4))
+        engine.on_evict(1)
+        np.testing.assert_array_equal(engine.vote_counts, [0, 0, 1])
+
+    def test_busy_cycles_track_stream(self):
+        engine = VotingEngine(capacity=64)
+        engine.process_token(np.full((2, 10), 0.1), np.arange(10))
+        assert engine.busy_cycles == 2 * 10 + 4
+
+    def test_reset(self):
+        engine = VotingEngine(capacity=16, reserved_length=0)
+        engine.process_token(np.array([[0.9, 0.1]]), np.arange(2))
+        engine.reset()
+        assert engine.length == 0
+        assert engine.busy_cycles == 0
+
+
+class TestPolicyEquivalence:
+    """The FP16/UINT16 engine must make (near-)identical decisions to the
+    float64 VotingPolicy — quantization may flip borderline votes, so a
+    small disagreement rate is tolerated but decisions must agree in the
+    overwhelming majority of random trials."""
+
+    def test_vote_agreement_rate(self, rng):
+        agreements = 0
+        trials = 60
+        for t in range(trials):
+            length = int(rng.integers(8, 48))
+            attn = random_attention(rng, heads=4, length=length)
+            positions = np.arange(length)
+
+            policy = VotingPolicy(n_layers=1, reserved_length=4)
+            policy.observe(0, attn, positions, GENERATION)
+
+            engine = VotingEngine(capacity=64, reserved_length=4)
+            engine.process_token(attn, positions)
+
+            if np.array_equal(policy.vote_counts(0), engine.vote_counts):
+                agreements += 1
+        assert agreements >= trials * 0.9
+
+    def test_eviction_decision_agreement(self, rng):
+        matches = 0
+        trials = 40
+        for t in range(trials):
+            length = int(rng.integers(16, 64))
+            positions = np.arange(length)
+            policy = VotingPolicy(n_layers=1, reserved_length=4)
+            engine = VotingEngine(capacity=128, reserved_length=4)
+            for _ in range(5):
+                attn = random_attention(rng, heads=2, length=length)
+                policy.observe(0, attn, positions, GENERATION)
+                engine.process_token(attn, positions)
+            if policy.select_victim(0, positions) == engine.eviction_index(positions):
+                matches += 1
+        assert matches >= trials * 0.9
+
+    def test_exact_agreement_on_fp16_inputs(self, rng):
+        """When inputs are already FP16-representable and well separated
+        from the threshold, decisions must agree exactly."""
+        length = 16
+        row = np.full(length, 1.0 / 16)  # fp16-exact
+        row[5] = 1.0 / 8
+        row[9] = 0.0
+        row = row / row.sum()
+        attn = np.tile(row, (2, 1))
+        positions = np.arange(length)
+
+        policy = VotingPolicy(n_layers=1, reserved_length=2)
+        policy.observe(0, attn, positions, GENERATION)
+        engine = VotingEngine(capacity=32, reserved_length=2)
+        engine.process_token(attn, positions)
+        assert policy.select_victim(0, positions) == engine.eviction_index(positions)

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.config import tiny_config
+from repro.models.inference import CachedTransformer
+from repro.models.transformer import TransformerLM
+
+
+@pytest.fixture(scope="session")
+def tiny_model():
+    """An untrained tiny model (deterministic weights)."""
+    return TransformerLM(tiny_config(), seed=1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_inference(tiny_model):
+    """The cached-inference twin of :func:`tiny_model`."""
+    return CachedTransformer.from_module(tiny_model)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(99)

@@ -1,0 +1,78 @@
+"""Attention-trace analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import attention_sparsity, row_entropy, sink_mass
+
+
+def synthetic_attention(length=64, heads=2, sink_share=0.5, seed=0):
+    """Causal attention where each row puts ``sink_share`` on position 0."""
+    rng = np.random.default_rng(seed)
+    attn = np.zeros((heads, length, length))
+    for i in range(length):
+        rest = rng.uniform(size=(heads, i + 1))
+        rest[:, 0] = 0.0
+        rest = rest / np.maximum(rest.sum(axis=-1, keepdims=True), 1e-12)
+        attn[:, i, : i + 1] = (1 - sink_share) * rest
+        attn[:, i, 0] += sink_share
+    return attn
+
+
+class TestSinkMass:
+    def test_detects_sink(self):
+        attn = synthetic_attention(sink_share=0.5)
+        mass = sink_mass([attn], sink_length=1)
+        assert mass[0] == pytest.approx(0.5, abs=0.02)
+
+    def test_no_sink_uniform(self):
+        length = 64
+        attn = np.zeros((1, length, length))
+        for i in range(length):
+            attn[0, i, : i + 1] = 1.0 / (i + 1)
+        mass = sink_mass([attn], sink_length=4)
+        # Uniform rows: sink share ≈ 4 / row length.
+        assert mass[0] < 0.15
+
+    def test_per_layer_output(self):
+        attn = synthetic_attention()
+        assert len(sink_mass([attn, attn])) == 2
+
+
+class TestSparsity:
+    def test_one_hot_is_sparse(self):
+        length = 64
+        attn = np.zeros((1, length, length))
+        for i in range(length):
+            attn[0, i, max(i - 1, 0)] = 1.0
+        frac = attention_sparsity([attn], mass=0.9)
+        assert frac[0] < 0.1
+
+    def test_uniform_is_dense(self):
+        length = 64
+        attn = np.zeros((1, length, length))
+        for i in range(length):
+            attn[0, i, : i + 1] = 1.0 / (i + 1)
+        frac = attention_sparsity([attn], mass=0.9)
+        assert frac[0] > 0.8
+
+    def test_mass_validation(self):
+        with pytest.raises(ValueError):
+            attention_sparsity([], mass=1.5)
+
+
+class TestEntropy:
+    def test_bounds(self):
+        attn = synthetic_attention()
+        values = row_entropy([attn])
+        assert 0.0 <= values[0] <= 1.0
+
+    def test_uniform_maximal(self):
+        length = 64
+        uniform = np.zeros((1, length, length))
+        onehot = np.zeros((1, length, length))
+        for i in range(length):
+            uniform[0, i, : i + 1] = 1.0 / (i + 1)
+            onehot[0, i, i] = 1.0
+        assert row_entropy([uniform])[0] > 0.99
+        assert row_entropy([onehot])[0] < 0.05

@@ -1,0 +1,170 @@
+"""Generation engine: budgets, eviction wiring, perplexity protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import GenerationEngine, budget_from_ratio
+from repro.core.policies import (
+    FullCachePolicy,
+    StreamingLLMPolicy,
+    VotingPolicy,
+)
+from repro.core.sampling import greedy
+
+
+@pytest.fixture()
+def prompt(rng):
+    return rng.integers(0, 64, size=24)
+
+
+class TestBudgetFromRatio:
+    def test_paper_formula(self):
+        assert budget_from_ratio(0.5, 512) == 256
+        assert budget_from_ratio(0.2, 512) == 102
+
+    def test_reserved_lower_bound(self):
+        assert budget_from_ratio(0.01, 100, minimum=32) == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            budget_from_ratio(0.0, 100)
+        with pytest.raises(ValueError):
+            budget_from_ratio(1.5, 100)
+
+
+class TestGenerate:
+    def test_unbounded_cache_grows(self, tiny_inference, prompt):
+        engine = GenerationEngine(
+            tiny_inference, FullCachePolicy(tiny_inference.config.n_layers)
+        )
+        result = engine.generate(prompt, max_new_tokens=6)
+        assert len(result.tokens) == 6
+        assert result.cache_lengths[-1] == 24 + 6
+        assert result.num_evictions == 0
+
+    def test_budget_enforced_every_step(self, tiny_inference, prompt):
+        n_layers = tiny_inference.config.n_layers
+        engine = GenerationEngine(
+            tiny_inference, VotingPolicy(n_layers, reserved_length=2), budget=16
+        )
+        result = engine.generate(prompt, max_new_tokens=8)
+        assert all(length <= 16 for length in result.cache_lengths)
+        # prefill 24 -> evict 8 per layer, then 1 per step per layer
+        assert result.num_evictions == n_layers * (24 - 16) + n_layers * 8
+
+    def test_streaming_budget(self, tiny_inference, prompt):
+        engine = GenerationEngine(
+            tiny_inference,
+            StreamingLLMPolicy(tiny_inference.config.n_layers, n_sinks=2),
+            budget=12,
+        )
+        result = engine.generate(prompt, max_new_tokens=5)
+        assert result.cache_lengths[-1] == 12
+
+    def test_deterministic_greedy(self, tiny_inference, prompt):
+        n_layers = tiny_inference.config.n_layers
+        a = GenerationEngine(
+            tiny_inference, VotingPolicy(n_layers), budget=16
+        ).generate(prompt, 5)
+        b = GenerationEngine(
+            tiny_inference, VotingPolicy(n_layers), budget=16
+        ).generate(prompt, 5)
+        assert a.tokens == b.tokens
+
+    def test_eos_stops(self, tiny_inference, prompt):
+        engine = GenerationEngine(
+            tiny_inference, FullCachePolicy(tiny_inference.config.n_layers)
+        )
+        # Force every sampled token to be 7 and declare it EOS.
+        result = engine.generate(
+            prompt, max_new_tokens=10, sampler=lambda logits, rng: 7, eos=7
+        )
+        assert result.tokens == [7]
+
+    def test_evictions_per_step_limit(self, tiny_inference, prompt):
+        n_layers = tiny_inference.config.n_layers
+        engine = GenerationEngine(
+            tiny_inference,
+            VotingPolicy(n_layers, reserved_length=2),
+            budget=8,
+            evictions_per_step=1,
+        )
+        result = engine.generate(prompt, max_new_tokens=4)
+        # Prefill put 24 entries; with 1 eviction/step the cache shrinks
+        # by one per processed step, so it cannot have reached budget yet.
+        assert result.cache_lengths[-1] > 8
+        # but the eviction log grows exactly 1 per layer per step.
+        steps_processed = 1 + 4  # prefill + 4 generation steps
+        assert result.num_evictions == n_layers * steps_processed
+
+    def test_rejects_empty_prompt(self, tiny_inference):
+        engine = GenerationEngine(
+            tiny_inference, FullCachePolicy(tiny_inference.config.n_layers)
+        )
+        with pytest.raises(ValueError):
+            engine.generate(np.array([], dtype=int), 4)
+
+    def test_rejects_bad_budget(self, tiny_inference):
+        with pytest.raises(ValueError):
+            GenerationEngine(
+                tiny_inference,
+                FullCachePolicy(tiny_inference.config.n_layers),
+                budget=0,
+            )
+
+
+class TestPerplexity:
+    def test_full_cache_matches_training_nll(self, tiny_model, tiny_inference, rng):
+        """Engine NLL with no eviction == training-graph cross entropy."""
+        from repro.nn import functional as F
+        from repro.nn.tensor import Tensor
+
+        tokens = rng.integers(0, 64, size=20)
+        engine = GenerationEngine(
+            tiny_inference, FullCachePolicy(tiny_inference.config.n_layers)
+        )
+        result = engine.perplexity(tokens, prefill_length=10)
+
+        logits = tiny_model(tokens[None, :-1]).numpy()[0]
+        expected = []
+        for i in range(9, 19):
+            row = Tensor(logits[i][None, :])
+            nll = F.cross_entropy(row, np.array([tokens[i + 1]]))
+            expected.append(nll.item())
+        np.testing.assert_allclose(result.nll_per_token, expected, atol=1e-9)
+
+    def test_eviction_changes_nll(self, tiny_inference, rng):
+        tokens = rng.integers(0, 64, size=32)
+        full = GenerationEngine(
+            tiny_inference, FullCachePolicy(tiny_inference.config.n_layers)
+        ).perplexity(tokens, prefill_length=8)
+        tiny_budget = GenerationEngine(
+            tiny_inference,
+            StreamingLLMPolicy(tiny_inference.config.n_layers, n_sinks=1),
+            budget=4,
+        ).perplexity(tokens, prefill_length=8)
+        assert full.num_tokens == tiny_budget.num_tokens
+        assert full.nll_per_token != tiny_budget.nll_per_token
+
+    def test_perplexity_is_exp_mean_nll(self, tiny_inference, rng):
+        tokens = rng.integers(0, 64, size=16)
+        engine = GenerationEngine(
+            tiny_inference, FullCachePolicy(tiny_inference.config.n_layers)
+        )
+        result = engine.perplexity(tokens, prefill_length=4)
+        assert result.perplexity == pytest.approx(np.exp(result.mean_nll))
+
+    def test_token_count(self, tiny_inference, rng):
+        tokens = rng.integers(0, 64, size=30)
+        engine = GenerationEngine(
+            tiny_inference, FullCachePolicy(tiny_inference.config.n_layers)
+        )
+        result = engine.perplexity(tokens, prefill_length=10)
+        assert result.num_tokens == 20  # tokens 10..29 predicted
+
+    def test_too_short_rejected(self, tiny_inference):
+        engine = GenerationEngine(
+            tiny_inference, FullCachePolicy(tiny_inference.config.n_layers)
+        )
+        with pytest.raises(ValueError):
+            engine.perplexity(np.array([1]))

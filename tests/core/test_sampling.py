@@ -1,0 +1,52 @@
+"""Token samplers."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import greedy, temperature_sampler, top_k_sampler
+
+
+class TestGreedy:
+    def test_argmax(self):
+        assert greedy(np.array([0.1, 0.9, 0.3])) == 1
+
+    def test_rng_ignored(self):
+        assert greedy(np.array([1.0, 2.0]), rng=None) == 1
+
+
+class TestTemperature:
+    def test_low_temperature_approaches_greedy(self):
+        sample = temperature_sampler(temperature=0.01)
+        rng = np.random.default_rng(0)
+        logits = np.array([0.0, 5.0, 1.0])
+        picks = {sample(logits, rng) for _ in range(20)}
+        assert picks == {1}
+
+    def test_high_temperature_spreads(self):
+        sample = temperature_sampler(temperature=100.0)
+        rng = np.random.default_rng(0)
+        logits = np.array([0.0, 5.0, 1.0])
+        picks = {sample(logits, rng) for _ in range(200)}
+        assert len(picks) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            temperature_sampler(0.0)
+
+
+class TestTopK:
+    def test_restricts_support(self):
+        sample = top_k_sampler(k=2)
+        rng = np.random.default_rng(0)
+        logits = np.array([10.0, 9.0, -5.0, -6.0])
+        picks = {sample(logits, rng) for _ in range(100)}
+        assert picks <= {0, 1}
+
+    def test_k_larger_than_vocab(self):
+        sample = top_k_sampler(k=100)
+        rng = np.random.default_rng(0)
+        assert sample(np.array([0.0, 1.0]), rng) in (0, 1)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            top_k_sampler(0)

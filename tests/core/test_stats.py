@@ -1,0 +1,109 @@
+"""Fig. 2 bias diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import (
+    accumulated_importance,
+    criteria_spread,
+    figure2_example,
+    item_count_bias,
+    outlier_contribution,
+    vote_counts_from_rows,
+)
+
+
+def causal_uniform(length):
+    attn = np.zeros((length, length))
+    for i in range(length):
+        attn[i, : i + 1] = 1.0 / (i + 1)
+    return attn
+
+
+class TestAccumulation:
+    def test_column_sums(self):
+        attn = causal_uniform(3)
+        imp = accumulated_importance(attn)
+        np.testing.assert_allclose(imp, [1 + 0.5 + 1 / 3, 0.5 + 1 / 3, 1 / 3])
+
+    def test_rejects_non_causal(self):
+        attn = np.ones((3, 3))
+        with pytest.raises(ValueError):
+            accumulated_importance(attn)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            accumulated_importance(np.zeros((2, 3)))
+
+
+class TestBiasDiagnostics:
+    def test_item_count_bias(self):
+        counts = item_count_bias(causal_uniform(6))
+        np.testing.assert_array_equal(counts, [6, 5, 4, 3, 2, 1])
+
+    def test_criteria_spread_is_inverse_length(self):
+        spreads = criteria_spread(causal_uniform(4))
+        np.testing.assert_allclose(spreads, [1.0, 0.5, 1 / 3, 0.25])
+
+    def test_outlier_contribution(self):
+        attn = causal_uniform(4)
+        attn[2, 1] = 9.0
+        attn[2, :3] /= attn[2, :3].sum()
+        frac = outlier_contribution(attn)
+        assert frac[1] > 0.5  # the outlier dominates column 1
+
+    def test_uniform_attention_recency_bias(self):
+        """With uniform attention, accumulation evicts the newest token."""
+        imp = accumulated_importance(causal_uniform(8))
+        assert np.argmin(imp) == 7
+
+
+class TestVoteReplay:
+    def test_uniform_attention_no_votes(self):
+        """Uniform rows have std=0 and all elements == mean: nothing is
+        below threshold, so no votes are cast."""
+        counts = vote_counts_from_rows(causal_uniform(6), reserved_length=0)
+        assert counts.sum() == 0
+
+    def test_persistent_low_scorer_collects_votes(self):
+        length = 8
+        attn = np.zeros((length, length))
+        for i in range(length):
+            row = np.full(i + 1, 1.0)
+            if i >= 2:
+                row[2] = 0.05
+            attn[i, : i + 1] = row / row.sum()
+        counts = vote_counts_from_rows(attn, reserved_length=0)
+        assert counts.argmax() == 2
+
+    def test_reserved_rows_and_columns(self):
+        attn = causal_uniform(6)
+        attn[4, 0] = 0.001
+        attn[4, :5] /= attn[4, :5].sum()
+        counts = vote_counts_from_rows(attn, reserved_length=2)
+        assert counts[0] == 0 and counts[1] == 0
+
+
+class TestFigure2Example:
+    def test_voting_targets_genuinely_unimportant(self):
+        example = figure2_example()
+        # Position 3 is constructed to be unimportant to every voter.
+        assert example["voting_victim"] == 3
+
+    def test_accumulation_disagrees(self):
+        example = figure2_example()
+        # Accumulation's minimum lands on the newest position (item-count
+        # bias), not on the genuinely unimportant one.
+        assert example["accumulation_victim"] == 7
+        assert example["accumulation_victim"] != example["voting_victim"]
+
+    def test_outlier_column_protected_by_accumulation(self):
+        example = figure2_example()
+        imp = example["accumulated_importance"]
+        # Column 2 holds the outlier: its accumulated importance is
+        # inflated far above the genuinely comparable column 3.
+        assert imp[2] > 3 * imp[3]
+        # …while voting is outlier-blind: column 2 collects no more votes
+        # than its uniform neighbours.
+        counts = example["vote_counts"]
+        assert counts[2] <= counts[3]

@@ -1,0 +1,184 @@
+"""The voting-based eviction policy (paper Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies.base import GENERATION, PREFILL
+from repro.core.policies.voting import VotingPolicy, adaptive_threshold, vote_mask
+
+
+class TestAdaptiveThreshold:
+    def test_uniform_row(self):
+        """Even distribution: std=0 so T = a * 1/l (highest threshold)."""
+        row = np.full(10, 0.1)
+        assert adaptive_threshold(row) == pytest.approx(0.1)
+
+    def test_sparse_row_lowers_threshold(self):
+        """Sparse (spiky) rows have large std → lower threshold (paper:
+        'a sparse attention score results in ... a lower threshold')."""
+        uniform = np.full(8, 1 / 8)
+        sparse = np.zeros(8)
+        sparse[0] = 1.0
+        assert adaptive_threshold(sparse) < adaptive_threshold(uniform)
+
+    def test_mean_is_inverse_length(self, rng):
+        """Softmax rows sum to 1, so mean = 1/l regardless of content."""
+        row = rng.dirichlet(np.ones(16))
+        t_mean = adaptive_threshold(row, a=1.0, b=0.0)
+        assert t_mean == pytest.approx(1.0 / 16)
+
+    def test_hyperparameters(self):
+        row = np.array([0.7, 0.1, 0.1, 0.1])
+        t1 = adaptive_threshold(row, a=1.0, b=0.0)
+        t2 = adaptive_threshold(row, a=1.0, b=0.5)
+        assert t2 < t1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            adaptive_threshold(np.array([]))
+
+
+class TestVoteMask:
+    def test_below_threshold_votes(self):
+        row = np.array([0.5, 0.3, 0.1, 0.1])  # mean 0.25
+        mask = vote_mask(row, np.arange(4), reserved_length=0, b=0.0)
+        np.testing.assert_array_equal(mask, [False, False, True, True])
+
+    def test_reserved_positions_never_voted(self):
+        row = np.array([0.01, 0.01, 0.49, 0.49])
+        mask = vote_mask(row, np.arange(4), reserved_length=2, b=0.0)
+        assert not mask[0] and not mask[1]
+
+    def test_negative_threshold_votes_minimum_only(self):
+        # Extremely spiky row: T = mean - 0.2*std < 0 for large spike.
+        row = np.zeros(32)
+        row[5] = 1.0
+        row[7] = 1e-6
+        assert adaptive_threshold(row) < 0
+        mask = vote_mask(row, np.arange(32), reserved_length=0)
+        assert mask.sum() == 1
+        assert mask[np.argmin(row)]
+
+    def test_negative_threshold_respects_reserved(self):
+        row = np.zeros(32)
+        row[8] = 1.0
+        assert adaptive_threshold(row) < 0
+        # minimum ties at every zero slot; first *eligible* one wins,
+        # which must be outside the reserved prefix.
+        mask = vote_mask(row, np.arange(32), reserved_length=4)
+        voted = np.nonzero(mask)[0]
+        assert voted.size == 1 and voted[0] == 4
+
+    def test_all_reserved_no_votes(self):
+        row = np.full(4, 0.25)
+        mask = vote_mask(row, np.arange(4), reserved_length=10)
+        assert not mask.any()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            vote_mask(np.ones(3), np.arange(4), 0)
+
+
+class TestVotingPolicy:
+    def _observe_uniformish(self, policy, length, spiky_at=None):
+        row = np.full(length, 1.0 / length)
+        if spiky_at is not None:
+            row[:] = 0.5 / (length - 1)
+            row[spiky_at] = 0.5
+        policy.observe(0, row[None, :], np.arange(length), GENERATION)
+
+    def test_reserved_rows_do_not_vote(self):
+        policy = VotingPolicy(n_layers=1, reserved_length=8)
+        # Voter at position 5 (< R): must not vote.
+        attn = np.array([[0.1, 0.1, 0.1, 0.2, 0.2, 0.3]])
+        policy.observe(0, attn, np.arange(6), PREFILL)
+        assert policy.vote_counts(0).sum() == 0
+
+    def test_votes_accumulate(self):
+        policy = VotingPolicy(n_layers=1, reserved_length=0, b=0.0)
+        attn = np.array([[0.5, 0.3, 0.1, 0.1]])
+        policy.observe(0, attn, np.arange(4), GENERATION)
+        policy.observe(0, attn, np.arange(4), GENERATION)
+        np.testing.assert_array_equal(policy.vote_counts(0), [0, 0, 2, 2])
+
+    def test_select_victim_max_votes(self):
+        policy = VotingPolicy(n_layers=1, reserved_length=0, b=0.0)
+        attn = np.array([[0.4, 0.05, 0.4, 0.15]])
+        policy.observe(0, attn, np.arange(4), GENERATION)
+        assert policy.select_victim(0, np.arange(4)) == 1
+
+    def test_tie_breaks_earliest(self):
+        policy = VotingPolicy(n_layers=1, reserved_length=0, b=0.0)
+        attn = np.array([[0.4, 0.1, 0.1, 0.4]])
+        policy.observe(0, attn, np.arange(4), GENERATION)
+        # slots 1 and 2 tie with one vote each; earliest (1) wins.
+        assert policy.select_victim(0, np.arange(4)) == 1
+
+    def test_reserved_never_evicted(self):
+        policy = VotingPolicy(n_layers=1, reserved_length=4)
+        # All votes are zero: victim must still be a non-reserved slot.
+        assert policy.select_victim(0, np.arange(10)) >= 4
+
+    def test_head_averaging(self):
+        """Layer-wise aggregation: heads are averaged before voting."""
+        policy = VotingPolicy(n_layers=1, reserved_length=0, b=0.0)
+        # Head 0 says slot 1 is unimportant; head 1 says it is pivotal.
+        attn = np.array([[0.6, 0.05, 0.35], [0.1, 0.7, 0.2]])
+        policy.observe(0, attn, np.arange(3), GENERATION)
+        counts = policy.vote_counts(0)
+        # Averaged row: [0.35, 0.375, 0.275]; mean 1/3: only slot 2 below.
+        np.testing.assert_array_equal(counts, [0, 0, 1])
+
+    def test_on_evict_compacts_votes(self):
+        policy = VotingPolicy(n_layers=1, reserved_length=0, b=0.0)
+        attn = np.array([[0.5, 0.3, 0.1, 0.1]])
+        policy.observe(0, attn, np.arange(4), GENERATION)
+        policy.on_evict(0, 2)
+        np.testing.assert_array_equal(policy.vote_counts(0), [0, 0, 1])
+
+    def test_recency_preserved(self):
+        """Item-count fairness: recent slots have fewer vote chances.
+
+        After many steps of uniform-ish attention with a persistent
+        low-score early slot, the victim should be that early slot, not a
+        recent one (contrast with H2O's item-count bias test).
+        """
+        policy = VotingPolicy(n_layers=1, reserved_length=2, b=0.0)
+        length = 12
+        for step in range(6, length + 1):
+            row = np.full(step, 1.0 / step)
+            row[3] = row[3] / 10  # persistently unimportant position 3
+            row = row / row.sum()
+            policy.observe(0, row[None, :], np.arange(step), GENERATION)
+        assert policy.select_victim(0, np.arange(length)) == 3
+
+    def test_outlier_does_not_immortalize(self):
+        """Uniform weight voting: one huge score cannot save a slot that
+        is judged unimportant by every later voter (paper bias ③)."""
+        policy = VotingPolicy(n_layers=1, reserved_length=0, b=0.0)
+        # Step 1: slot 1 gets an enormous score (outlier).
+        policy.observe(0, np.array([[0.01, 0.99]]), np.arange(2), GENERATION)
+        # Later steps: slot 1 consistently unimportant.
+        for step in range(3, 8):
+            row = np.full(step, 1.0 / step)
+            row[1] = row[1] / 20
+            row = row / row.sum()
+            policy.observe(0, row[None, :], np.arange(step), GENERATION)
+        assert policy.select_victim(0, np.arange(7)) == 1
+
+    def test_reset(self):
+        policy = VotingPolicy(n_layers=1, reserved_length=0)
+        self._observe_uniformish(policy, 4, spiky_at=0)
+        policy.reset()
+        assert policy.vote_counts(0).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VotingPolicy(n_layers=1, reserved_length=-1)
+        with pytest.raises(ValueError):
+            VotingPolicy(n_layers=1, head_reduction="median")
+        policy = VotingPolicy(n_layers=1)
+        with pytest.raises(ValueError):
+            policy.observe(0, np.ones(4), np.arange(4), GENERATION)
+        with pytest.raises(IndexError):
+            policy.select_victim(5, np.arange(4))

@@ -1,0 +1,111 @@
+"""Synthetic book corpus: structure and long-range dependencies."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import WORD_LISTS, BookConfig, generate_book, generate_corpus
+
+
+@pytest.fixture()
+def book():
+    return generate_book(BookConfig(n_characters=3, n_sentences=40), np.random.default_rng(5))
+
+
+class TestBookStructure:
+    def test_bos_eos(self, book):
+        assert book[0] == "<bos>"
+        assert book[-1] == "<eos>"
+
+    def test_deterministic(self):
+        cfg = BookConfig()
+        a = generate_book(cfg, np.random.default_rng(1))
+        b = generate_book(cfg, np.random.default_rng(1))
+        assert a == b
+
+    def test_intros_come_first(self, book):
+        """Character introductions precede the body."""
+        # The first sentence after <bos> is an intro: name the profession ...
+        assert book[1] in WORD_LISTS["names"]
+        assert book[2] == "the"
+        assert book[3] in WORD_LISTS["professions"]
+
+    def test_unique_bindings_within_book(self, book):
+        """Each introduced character has exactly one profession binding."""
+        bindings = {}
+        i = 1
+        for _ in range(3):
+            name, _, prof = book[i], book[i + 1], book[i + 2]
+            assert name not in bindings
+            bindings[name] = prof
+            i += 10  # intro template length
+        assert len(set(bindings.values())) == 3  # professions sampled w/o replacement
+
+    def test_recall_sentences_consistent(self):
+        """Every 'NAME the X' occurrence matches the introduced profession."""
+        cfg = BookConfig(n_characters=4, n_sentences=80, recall_probability=0.5)
+        book = generate_book(cfg, np.random.default_rng(9))
+        bindings = {}
+        i = 1
+        for _ in range(4):
+            bindings[book[i]] = book[i + 2]
+            i += 10
+        names = set(bindings)
+        for j in range(len(book) - 2):
+            if book[j] in names and book[j + 1] == "the" and book[j + 2] in WORD_LISTS["professions"]:
+                assert book[j + 2] == bindings[book[j]]
+
+    def test_city_recalls_consistent(self):
+        cfg = BookConfig(n_characters=4, n_sentences=80, recall_probability=0.5)
+        book = generate_book(cfg, np.random.default_rng(21))
+        city_of = {}
+        i = 1
+        for _ in range(4):
+            # intro: name the prof lived in CITY with a OBJ .
+            city_of[book[i]] = book[i + 5]
+            i += 10
+        for j in range(len(book) - 3):
+            if book[j] in city_of and book[j + 1] == "stayed" and book[j + 2] == "in":
+                assert book[j + 3] == city_of[book[j]]
+
+
+class TestConfigValidation:
+    def test_zero_characters(self):
+        with pytest.raises(ValueError):
+            BookConfig(n_characters=0)
+
+    def test_too_many_characters(self):
+        with pytest.raises(ValueError):
+            BookConfig(n_characters=999)
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            BookConfig(recall_probability=1.5)
+
+
+class TestCorpus:
+    def test_book_count(self):
+        corpus = generate_corpus(5, seed=3)
+        assert len(corpus) == 5
+
+    def test_books_differ(self):
+        corpus = generate_corpus(3, seed=3)
+        assert corpus[0] != corpus[1]
+
+    def test_seed_reproducibility(self):
+        assert generate_corpus(2, seed=7) == generate_corpus(2, seed=7)
+
+    def test_rejects_zero_books(self):
+        with pytest.raises(ValueError):
+            generate_corpus(0)
+
+    def test_vocabulary_closed(self):
+        """Every emitted word is in the fixed template vocabulary."""
+        known = set(w for words in WORD_LISTS.values() for w in words)
+        known |= {
+            "<bos>", "<eos>", "the", "lived", "in", "with", "a", ".", "one",
+            "walked", "to", "and", "quietly", '"', "said", "near", "people",
+            "saw", "stayed", "through", "kept", "close", "at", "hand",
+        }
+        for book in generate_corpus(4, seed=2):
+            unknown = set(book) - known
+            assert not unknown, f"words outside fixed vocab: {unknown}"

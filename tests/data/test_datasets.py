@@ -1,0 +1,62 @@
+"""Dataset windowing and batching."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import BatchIterator, build_lm_data, make_windows
+from repro.data.tokenizer import WordTokenizer
+
+
+class TestMakeWindows:
+    def test_non_overlapping(self):
+        windows = make_windows(np.arange(10), seq_len=4)
+        assert windows.shape == (2, 4)
+        np.testing.assert_array_equal(windows[0], [0, 1, 2, 3])
+        np.testing.assert_array_equal(windows[1], [4, 5, 6, 7])
+
+    def test_overlapping_stride(self):
+        windows = make_windows(np.arange(8), seq_len=4, stride=2)
+        assert windows.shape == (3, 4)
+        np.testing.assert_array_equal(windows[1], [2, 3, 4, 5])
+
+    def test_short_stream(self):
+        windows = make_windows(np.arange(3), seq_len=8)
+        assert windows.shape == (0, 8)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            make_windows(np.arange(10), seq_len=1)
+        with pytest.raises(ValueError):
+            make_windows(np.arange(10), seq_len=4, stride=0)
+        with pytest.raises(ValueError):
+            make_windows(np.zeros((2, 2)), seq_len=2)
+
+
+class TestBatchIterator:
+    def test_batch_shape(self):
+        windows = np.arange(40).reshape(10, 4)
+        batches = BatchIterator(windows, batch_size=3, seed=0)
+        batch = next(batches)
+        assert batch.shape == (3, 4)
+
+    def test_deterministic_given_seed(self):
+        windows = np.arange(40).reshape(10, 4)
+        a = next(BatchIterator(windows, 4, seed=5))
+        b = next(BatchIterator(windows, 4, seed=5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_small_pool_replaces(self):
+        windows = np.arange(8).reshape(2, 4)
+        batch = next(BatchIterator(windows, batch_size=5, seed=0))
+        assert batch.shape == (5, 4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BatchIterator(np.zeros((0, 4)), 2)
+
+
+class TestBuildLmData:
+    def test_concatenates_documents(self):
+        tok = WordTokenizer(["a", "b"])
+        windows = build_lm_data([["a", "b"], ["b", "a"]], tok, seq_len=2)
+        assert windows.shape == (2, 2)

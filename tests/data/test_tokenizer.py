@@ -1,0 +1,66 @@
+"""Word tokenizer."""
+
+import numpy as np
+import pytest
+
+from repro.data.tokenizer import WordTokenizer
+
+
+@pytest.fixture()
+def tok():
+    return WordTokenizer(["apple", "banana", "cherry"])
+
+
+class TestBasics:
+    def test_specials_first(self, tok):
+        assert tok.pad_id == 0
+        assert tok.unk_id == 1
+        assert tok.bos_id == 2
+        assert tok.eos_id == 3
+
+    def test_vocab_size(self, tok):
+        assert tok.vocab_size == 7
+        assert len(tok) == 7
+
+    def test_encode_decode_roundtrip(self, tok):
+        text = "apple cherry banana"
+        ids = tok.encode(text)
+        assert tok.decode(ids) == text
+
+    def test_encode_list_input(self, tok):
+        ids = tok.encode(["apple", "banana"])
+        assert ids.dtype == np.int64
+        assert ids.shape == (2,)
+
+    def test_unknown_maps_to_unk(self, tok):
+        ids = tok.encode("durian apple")
+        assert ids[0] == tok.unk_id
+        assert tok.decode(ids) == "<unk> apple"
+
+    def test_skip_specials_on_decode(self, tok):
+        ids = tok.encode(["<bos>", "apple", "<eos>"])
+        assert tok.decode(ids, skip_specials=True) == "apple"
+
+    def test_token_id_and_word(self, tok):
+        i = tok.token_id("banana")
+        assert tok.word(i) == "banana"
+
+
+class TestConstruction:
+    def test_deterministic_ordering(self):
+        a = WordTokenizer(["zebra", "ant", "moose"])
+        b = WordTokenizer(["moose", "zebra", "ant"])
+        assert a.encode("zebra ant").tolist() == b.encode("zebra ant").tolist()
+
+    def test_duplicates_ignored(self):
+        tok = WordTokenizer(["a", "a", "b"])
+        assert tok.vocab_size == 6
+
+    def test_specials_in_input_not_duplicated(self):
+        tok = WordTokenizer(["<bos>", "word"])
+        assert tok.vocab_size == 5
+
+    def test_from_corpus(self):
+        tok = WordTokenizer.from_corpus([["hello", "world"], "hello again"])
+        assert tok.token_id("again") != tok.unk_id
+        assert tok.vocab_size == 7

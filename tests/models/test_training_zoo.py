@@ -1,0 +1,84 @@
+"""Trainer and model zoo (micro model only — the small model is slow)."""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig, tiny_config
+from repro.data.datasets import book_aligned_windows
+from repro.models.transformer import TransformerLM
+from repro.training import TrainResult, Trainer
+from repro.zoo import ZOO_SPECS, default_corpus, get_pretrained
+
+
+class TestTrainer:
+    def test_loss_decreases(self):
+        cfg = tiny_config(vocab_size=32)
+        model = TransformerLM(cfg, seed=0)
+        rng = np.random.default_rng(0)
+        # Learnable structure: noisy repeats of a fixed pattern.
+        base = np.tile(np.arange(16), 5)
+        windows = np.stack([np.roll(base, r)[:64] for r in range(10)])
+        training = TrainingConfig(seq_len=63, batch_size=4, steps=25, lr=5e-3)
+        result = Trainer(model, training).fit(windows)
+        assert result.final_loss < result.initial_loss * 0.8
+        assert len(result.losses) == 25
+        assert result.seconds > 0
+
+    def test_rejects_oversized_windows(self):
+        cfg = tiny_config(max_seq_len=16)
+        model = TransformerLM(cfg, seed=0)
+        windows = np.zeros((2, 64), dtype=int)
+        with pytest.raises(ValueError):
+            Trainer(model, TrainingConfig(steps=1)).fit(windows)
+
+    def test_result_requires_steps(self):
+        with pytest.raises(ValueError):
+            TrainResult().final_loss
+
+
+class TestCorpusHelpers:
+    def test_default_corpus_splits_differ(self):
+        tok_a, train_docs = default_corpus("train", n_books=3)
+        tok_b, eval_docs = default_corpus("eval", n_books=3)
+        assert train_docs != eval_docs
+        # identical fixed vocabulary across splits
+        assert tok_a.vocab_size == tok_b.vocab_size
+        assert tok_a.encode("lantern").tolist() == tok_b.encode("lantern").tolist()
+
+    def test_unknown_split(self):
+        with pytest.raises(ValueError):
+            default_corpus("test")
+
+    def test_book_aligned_windows(self):
+        tokenizer, docs = default_corpus("train", n_books=4)
+        windows = book_aligned_windows(docs, tokenizer, seq_len=64)
+        assert windows.shape[1] == 64
+        # every window starts at a book start: first token is <bos>
+        assert np.all(windows[:, 0] == tokenizer.bos_id)
+
+    def test_book_aligned_rejects_too_long(self):
+        tokenizer, docs = default_corpus("train", n_books=2)
+        with pytest.raises(ValueError):
+            book_aligned_windows(docs, tokenizer, seq_len=10**6)
+
+
+class TestZoo:
+    def test_specs_exist(self):
+        assert "small" in ZOO_SPECS and "micro" in ZOO_SPECS
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_pretrained("enormous")
+
+    @pytest.mark.slow
+    def test_micro_roundtrip(self, tmp_path, monkeypatch):
+        """Training + caching + reloading produce identical weights."""
+        import repro.zoo as zoo
+
+        monkeypatch.setattr(zoo, "zoo_dir", lambda: tmp_path)
+        model_a, tok_a, meta_a = get_pretrained("micro")
+        assert (tmp_path / "micro.npz").exists()
+        model_b, tok_b, meta_b = get_pretrained("micro")
+        np.testing.assert_array_equal(model_a.embed, model_b.embed)
+        assert meta_b["model_config"] == meta_a["model_config"]
+        assert meta_a["final_loss"] < meta_a["initial_loss"]

@@ -1,0 +1,112 @@
+"""Training-graph transformer."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, tiny_config
+from repro.models.transformer import TransformerLM
+from repro.nn.optim import Adam
+
+
+class TestForward:
+    def test_logit_shape(self, tiny_model, rng):
+        cfg = tiny_model.config
+        tokens = rng.integers(0, cfg.vocab_size, size=(2, 10))
+        logits = tiny_model(tokens)
+        assert logits.shape == (2, 10, cfg.vocab_size)
+
+    def test_deterministic(self, tiny_model, rng):
+        tokens = rng.integers(0, 64, size=(1, 8))
+        a = tiny_model(tokens).numpy()
+        b = tiny_model(tokens).numpy()
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_1d_tokens(self, tiny_model):
+        with pytest.raises(ValueError):
+            tiny_model(np.zeros(5, dtype=int))
+
+    def test_causality(self, tiny_model, rng):
+        """Changing a future token must not change earlier logits."""
+        tokens = rng.integers(0, 64, size=(1, 12))
+        base = tiny_model(tokens).numpy()
+        perturbed = tokens.copy()
+        perturbed[0, -1] = (perturbed[0, -1] + 1) % 64
+        out = tiny_model(perturbed).numpy()
+        np.testing.assert_allclose(out[0, :-1], base[0, :-1], atol=1e-10)
+        assert not np.allclose(out[0, -1], base[0, -1])
+
+    def test_untied_head(self, rng):
+        cfg = tiny_config(tie_embeddings=False)
+        model = TransformerLM(cfg, seed=0)
+        assert model.lm_head is not None
+        tokens = rng.integers(0, cfg.vocab_size, size=(1, 4))
+        assert model(tokens).shape == (1, 4, cfg.vocab_size)
+
+    def test_gelu_layernorm_variant(self, rng):
+        cfg = tiny_config(norm="layernorm", activation="gelu")
+        model = TransformerLM(cfg, seed=0)
+        tokens = rng.integers(0, cfg.vocab_size, size=(1, 6))
+        logits = model(tokens)
+        assert np.all(np.isfinite(logits.numpy()))
+
+
+class TestLoss:
+    def test_initial_loss_near_uniform(self, rng):
+        cfg = tiny_config()
+        model = TransformerLM(cfg, seed=3)
+        tokens = rng.integers(0, cfg.vocab_size, size=(4, 20))
+        loss = model.loss(tokens)
+        assert loss.item() == pytest.approx(np.log(cfg.vocab_size), rel=0.25)
+
+    def test_loss_backward_touches_all_params(self, rng):
+        cfg = tiny_config()
+        model = TransformerLM(cfg, seed=3)
+        tokens = rng.integers(0, cfg.vocab_size, size=(2, 10))
+        model.loss(tokens).backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, f"no grad for {name}"
+            assert np.any(param.grad != 0.0), f"zero grad for {name}"
+
+
+class TestTrainingStep:
+    def test_few_steps_reduce_loss(self, rng):
+        cfg = tiny_config()
+        model = TransformerLM(cfg, seed=7)
+        # Learnable data: a repeating pattern.
+        pattern = np.tile(np.arange(8), 6)[None, :]
+        opt = Adam(model.parameters(), lr=3e-3)
+        losses = []
+        for _ in range(15):
+            loss = model.loss(pattern)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.7
+
+
+class TestConfigValidation:
+    def test_divisibility(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                vocab_size=10, d_model=30, n_heads=4, n_layers=1, d_ff=16,
+                max_seq_len=16,
+            )
+
+    def test_odd_head_dim(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                vocab_size=10, d_model=9, n_heads=3, n_layers=1, d_ff=16,
+                max_seq_len=16,
+            )
+
+    def test_unknown_norm(self):
+        with pytest.raises(ValueError):
+            tiny_config(norm="batchnorm")
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            tiny_config(activation="tanh")
+
+    def test_head_dim(self):
+        assert tiny_config().head_dim == 16

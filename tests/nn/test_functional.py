@@ -1,0 +1,159 @@
+"""Functional ops: forward values and gradients."""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestActivations:
+    def test_relu_values(self):
+        out = F.relu(Tensor([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out.numpy(), [0.0, 0.0, 2.0])
+
+    def test_relu_grad(self):
+        t = Tensor([-1.0, 2.0], requires_grad=True)
+        F.relu(t).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0])
+
+    def test_gelu_matches_scipy(self, rng):
+        x = rng.normal(size=100)
+        ours = F.gelu(Tensor(x)).numpy()
+        exact = x * 0.5 * (1.0 + special.erf(x / np.sqrt(2.0)))
+        # tanh approximation: accurate to ~1e-3
+        np.testing.assert_allclose(ours, exact, atol=5e-3)
+
+    def test_silu_values(self, rng):
+        x = rng.normal(size=50)
+        ours = F.silu(Tensor(x)).numpy()
+        np.testing.assert_allclose(ours, x / (1.0 + np.exp(-x)), atol=1e-12)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(4, 7)) * 5
+        out = F.softmax(Tensor(x)).numpy()
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_matches_scipy(self, rng):
+        x = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(
+            F.softmax(Tensor(x)).numpy(), special.softmax(x, axis=-1), atol=1e-12
+        )
+
+    def test_stable_under_large_inputs(self):
+        out = F.softmax(Tensor([1000.0, 1000.0])).numpy()
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+    def test_log_softmax(self, rng):
+        x = rng.normal(size=(2, 6))
+        np.testing.assert_allclose(
+            F.log_softmax(Tensor(x)).numpy(),
+            special.log_softmax(x, axis=-1),
+            atol=1e-12,
+        )
+
+    def test_softmax_grad(self, rng):
+        x = rng.normal(size=(5,))
+        t = Tensor(x, requires_grad=True)
+        # d/dx of softmax picked at index 2
+        F.softmax(t)[2].backward()
+        s = special.softmax(x)
+        expected = s[2] * (np.eye(5)[2] - s)
+        np.testing.assert_allclose(t.grad, expected, atol=1e-10)
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self, rng):
+        logits = rng.normal(size=(6, 10))
+        targets = rng.integers(0, 10, size=6)
+        loss = F.cross_entropy(Tensor(logits), targets)
+        manual = -np.mean(
+            special.log_softmax(logits, axis=-1)[np.arange(6), targets]
+        )
+        assert loss.item() == pytest.approx(manual, abs=1e-12)
+
+    def test_uniform_logits_give_log_vocab(self):
+        logits = Tensor(np.zeros((4, 16)))
+        loss = F.cross_entropy(logits, np.zeros(4, dtype=int))
+        assert loss.item() == pytest.approx(np.log(16.0))
+
+    def test_ignore_index(self, rng):
+        logits = rng.normal(size=(4, 5))
+        targets = np.array([1, 2, -1, 3])
+        loss = F.cross_entropy(Tensor(logits), targets, ignore_index=-1)
+        kept = F.cross_entropy(Tensor(logits[[0, 1, 3]]), targets[[0, 1, 3]])
+        assert loss.item() == pytest.approx(kept.item())
+
+    def test_all_ignored_raises(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3))), np.array([-1, -1]), ignore_index=-1)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3, 4))), np.zeros(2, dtype=int))
+
+    def test_gradient_direction(self, rng):
+        # Gradient should reduce loss when followed.
+        logits = Tensor(rng.normal(size=(3, 8)), requires_grad=True)
+        targets = np.array([0, 1, 2])
+        loss = F.cross_entropy(logits, targets)
+        loss.backward()
+        stepped = logits.numpy() - 0.5 * logits.grad
+        new_loss = F.cross_entropy(Tensor(stepped), targets)
+        assert new_loss.item() < loss.item()
+
+
+class TestNorms:
+    def test_layernorm_zero_mean_unit_var(self, rng):
+        x = rng.normal(size=(3, 16)) * 4 + 2
+        out = F.layernorm(Tensor(x), Tensor(np.ones(16)), Tensor(np.zeros(16))).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_rmsnorm_scale_invariance_shape(self, rng):
+        x = rng.normal(size=(2, 8))
+        out = F.rmsnorm(Tensor(x), Tensor(np.ones(8))).numpy()
+        rms = np.sqrt(np.mean(out**2, axis=-1))
+        np.testing.assert_allclose(rms, 1.0, atol=1e-3)
+
+    def test_rmsnorm_weight_applies(self, rng):
+        x = rng.normal(size=(8,))
+        w = np.full(8, 2.0)
+        out = F.rmsnorm(Tensor(x), Tensor(w)).numpy()
+        base = F.rmsnorm(Tensor(x), Tensor(np.ones(8))).numpy()
+        np.testing.assert_allclose(out, 2.0 * base)
+
+
+class TestEmbeddingDropoutMask:
+    def test_embedding_lookup(self, rng):
+        w = Tensor(rng.normal(size=(10, 4)), requires_grad=True)
+        out = F.embedding(w, np.array([1, 1, 3]))
+        np.testing.assert_allclose(out.numpy()[0], w.numpy()[1])
+        out.sum().backward()
+        assert w.grad[1].sum() == pytest.approx(8.0)  # row 1 used twice
+
+    def test_embedding_range_check(self):
+        w = Tensor(np.zeros((4, 2)))
+        with pytest.raises(IndexError):
+            F.embedding(w, np.array([4]))
+
+    def test_dropout_off_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(5, 5)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        np.testing.assert_allclose(out.numpy(), x.numpy())
+
+    def test_dropout_scales_survivors(self, rng):
+        x = Tensor(np.ones((1000,)))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=True).numpy()
+        assert set(np.round(np.unique(out), 6)) <= {0.0, 2.0}
+        assert out.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_causal_mask(self):
+        mask = F.causal_mask(3)
+        expected = np.array(
+            [[False, True, True], [False, False, True], [False, False, False]]
+        )
+        np.testing.assert_array_equal(mask, expected)

@@ -1,0 +1,122 @@
+"""Module system and layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    RMSNorm,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(8, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(5, 8))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 4, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_bias_applied(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        layer.bias.data[:] = [1.0, -1.0]
+        out = layer(Tensor(np.zeros((1, 2))))
+        np.testing.assert_allclose(out.numpy(), [[1.0, -1.0]])
+
+    def test_xavier_scale(self):
+        layer = Linear(100, 100, rng=np.random.default_rng(0))
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(layer.weight.numpy()).max() <= limit
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(12, 6, rng=rng)
+        out = emb(np.array([[0, 1], [2, 3]]))
+        assert out.shape == (2, 2, 6)
+
+
+class TestNormLayers:
+    def test_rmsnorm_params(self):
+        norm = RMSNorm(8)
+        assert len(norm.parameters()) == 1
+
+    def test_layernorm_params(self):
+        norm = LayerNorm(8)
+        assert len(norm.parameters()) == 2
+
+    def test_rmsnorm_forward(self, rng):
+        norm = RMSNorm(16)
+        out = norm(Tensor(rng.normal(size=(4, 16)))).numpy()
+        np.testing.assert_allclose(np.sqrt(np.mean(out**2, axis=-1)), 1.0, atol=1e-3)
+
+
+class _Nested(Module):
+    def __init__(self):
+        self.inner = Linear(2, 2)
+        self.scale = Parameter(np.ones(1))
+        self.blocks = ModuleList([Linear(2, 2), Linear(2, 2)])
+
+    def forward(self, x):
+        return self.blocks[1](self.blocks[0](self.inner(x))) * self.scale
+
+
+class TestModuleSystem:
+    def test_named_parameters_recursive(self):
+        model = _Nested()
+        names = dict(model.named_parameters())
+        assert "inner.weight" in names
+        assert "scale" in names
+        assert "blocks.items.0.weight" in names
+        assert "blocks.items.1.bias" in names
+
+    def test_num_parameters(self):
+        model = _Nested()
+        assert model.num_parameters() == sum(p.size for p in model.parameters())
+
+    def test_zero_grad(self):
+        model = _Nested()
+        out = model(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_state_dict_roundtrip(self, rng):
+        m1, m2 = _Nested(), _Nested()
+        for p in m1.parameters():
+            p.data = rng.normal(size=p.data.shape)
+        m2.load_state_dict(m1.state_dict())
+        for (n1, p1), (n2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_load_state_dict_missing_key(self):
+        model = _Nested()
+        state = model.state_dict()
+        state.pop("scale")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_shape_mismatch(self):
+        model = _Nested()
+        state = model.state_dict()
+        state["scale"] = np.ones(3)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_module_list_len_iter(self):
+        ml = ModuleList([Linear(1, 1), Linear(1, 1)])
+        assert len(ml) == 2
+        assert len(list(iter(ml))) == 2
+        ml.append(Linear(1, 1))
+        assert len(ml) == 3

@@ -1,0 +1,120 @@
+"""Optimizers, schedules, and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD, Adam, clip_grad_norm, constant_schedule, cosine_schedule
+
+
+def quadratic_loss(param):
+    """L = sum((p - 3)^2); gradient 2(p-3)."""
+    param.grad = 2.0 * (param.data - 3.0)
+    return float(np.sum((param.data - 3.0) ** 2))
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            quadratic_loss(p)
+            opt.step()
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        p_plain, p_mom = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        plain, mom = SGD([p_plain], lr=0.01), SGD([p_mom], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            quadratic_loss(p_plain)
+            plain.step()
+            quadratic_loss(p_mom)
+            mom.step()
+        assert abs(p_mom.data[0] - 3.0) < abs(p_plain.data[0] - 3.0)
+
+    def test_skips_none_grads(self):
+        p = Parameter(np.ones(2))
+        opt = SGD([p], lr=0.5)
+        opt.step()  # no grad set: no movement
+        np.testing.assert_array_equal(p.data, np.ones(2))
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            quadratic_loss(p)
+            opt.step()
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-3)
+
+    def test_first_step_is_lr_sized(self):
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([5.0])
+        opt.step()
+        # Bias correction makes the first step ≈ lr regardless of grad scale.
+        assert p.data[0] == pytest.approx(-0.1, rel=1e-3)
+
+    def test_weight_decay_shrinks_params(self):
+        p = Parameter(np.full(2, 10.0))
+        opt = Adam([p], lr=0.01, weight_decay=0.1)
+        p.grad = np.zeros(2)
+        opt.step()
+        assert np.all(np.abs(p.data) < 10.0)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(0.5)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_clips_above_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_global_norm_across_params(self):
+        p1, p2 = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        p1.grad, p2.grad = np.array([3.0]), np.array([4.0])
+        clip_grad_norm([p1, p2], max_norm=1.0)
+        total = np.sqrt(p1.grad[0] ** 2 + p2.grad[0] ** 2)
+        assert total == pytest.approx(1.0)
+
+
+class TestSchedules:
+    def test_cosine_warmup_rises(self):
+        sched = cosine_schedule(1.0, warmup_steps=10, total_steps=100)
+        values = [sched(i) for i in range(10)]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_cosine_decays_to_min(self):
+        sched = cosine_schedule(1.0, warmup_steps=0, total_steps=100, min_lr_ratio=0.1)
+        assert sched(100) == pytest.approx(0.1)
+        assert sched(50) < sched(1)
+
+    def test_cosine_clamps_beyond_horizon(self):
+        sched = cosine_schedule(1.0, warmup_steps=0, total_steps=10)
+        assert sched(1000) == pytest.approx(sched(10))
+
+    def test_constant(self):
+        sched = constant_schedule(0.5)
+        assert sched(0) == sched(10**6) == 0.5
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            cosine_schedule(1.0, warmup_steps=-1, total_steps=10)

@@ -1,0 +1,51 @@
+"""Checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Module
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+
+
+class _Small(Module):
+    def __init__(self, seed=0):
+        rng = np.random.default_rng(seed)
+        self.a = Linear(3, 3, rng=rng)
+        self.b = Linear(3, 2, rng=rng)
+
+    def forward(self, x):
+        return self.b(self.a(x))
+
+
+def test_roundtrip(tmp_path):
+    model = _Small(seed=5)
+    path = tmp_path / "model.npz"
+    save_checkpoint(path, model, metadata={"step": 42, "name": "test"})
+    fresh = _Small(seed=99)
+    state, metadata = load_checkpoint(path, module=fresh)
+    assert metadata == {"step": 42, "name": "test"}
+    for (_, p1), (_, p2) in zip(model.named_parameters(), fresh.named_parameters()):
+        np.testing.assert_array_equal(p1.data, p2.data)
+
+
+def test_load_without_module(tmp_path):
+    model = _Small()
+    path = tmp_path / "m.npz"
+    save_checkpoint(path, model)
+    state, metadata = load_checkpoint(path)
+    assert metadata is None
+    assert set(state) == set(model.state_dict())
+
+
+def test_creates_parent_dirs(tmp_path):
+    path = tmp_path / "deep" / "nested" / "m.npz"
+    save_checkpoint(path, _Small())
+    assert path.exists()
+
+
+def test_metadata_roundtrip_types(tmp_path):
+    path = tmp_path / "m.npz"
+    meta = {"f": 1.5, "i": 3, "list": [1, 2], "nested": {"x": "y"}}
+    save_checkpoint(path, _Small(), metadata=meta)
+    _, loaded = load_checkpoint(path)
+    assert loaded == meta

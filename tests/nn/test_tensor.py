@@ -1,0 +1,235 @@
+"""Gradient checks and semantics of the autograd Tensor."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+
+def numerical_grad(fn, x, eps=1e-6):
+    """Central-difference gradient of a scalar-valued fn at x."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_unary(op, x, atol=1e-5):
+    t = Tensor(x, requires_grad=True)
+    out = op(t)
+    out.sum().backward()
+    expected = numerical_grad(lambda v: float(op(Tensor(v)).sum().numpy()), x)
+    np.testing.assert_allclose(t.grad, expected, atol=atol)
+
+
+class TestElementwiseGrads:
+    def test_add(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+        np.testing.assert_allclose(b.grad, np.ones((3, 4)))
+
+    def test_add_broadcast(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_mul(self, rng):
+        x = rng.normal(size=(2, 5))
+        check_unary(lambda t: t * t, x)
+
+    def test_div(self, rng):
+        a = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        b = Tensor(rng.uniform(1.0, 2.0, size=(4,)), requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, 1.0 / b.numpy())
+        np.testing.assert_allclose(b.grad, -a.numpy() / b.numpy() ** 2)
+
+    def test_pow(self, rng):
+        x = rng.uniform(0.5, 2.0, size=(3, 3))
+        check_unary(lambda t: t**3, x)
+
+    def test_neg_sub(self, rng):
+        a = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        (a - b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(4))
+        np.testing.assert_allclose(b.grad, -np.ones(4))
+
+    def test_rsub_rdiv(self):
+        a = Tensor([2.0, 4.0], requires_grad=True)
+        out = 1.0 - a
+        np.testing.assert_allclose(out.numpy(), [-1.0, -3.0])
+        out2 = 8.0 / a
+        np.testing.assert_allclose(out2.numpy(), [4.0, 2.0])
+
+
+class TestTranscendentalGrads:
+    def test_exp(self, rng):
+        check_unary(lambda t: t.exp(), rng.normal(size=(3, 2)))
+
+    def test_log(self, rng):
+        check_unary(lambda t: t.log(), rng.uniform(0.5, 3.0, size=(4,)))
+
+    def test_tanh(self, rng):
+        check_unary(lambda t: t.tanh(), rng.normal(size=(5,)))
+
+    def test_sqrt(self, rng):
+        check_unary(lambda t: t.sqrt(), rng.uniform(0.5, 4.0, size=(3,)))
+
+    def test_sigmoid(self, rng):
+        check_unary(lambda t: t.sigmoid(), rng.normal(size=(6,)))
+
+
+class TestReductions:
+    def test_sum_axis(self, rng):
+        t = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        t.sum(axis=1).sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((2, 3, 4)))
+
+    def test_sum_keepdims(self, rng):
+        t = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        out = t.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((2, 3)))
+
+    def test_mean(self, rng):
+        t = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        t.mean().backward()
+        np.testing.assert_allclose(t.grad, np.full((4, 5), 1.0 / 20))
+
+    def test_max_grad_flows_to_argmax(self):
+        t = Tensor([1.0, 5.0, 3.0], requires_grad=True)
+        t.max().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_max_axis(self, rng):
+        t = Tensor([[1.0, 2.0], [4.0, 3.0]], requires_grad=True)
+        t.max(axis=1).sum().backward()
+        np.testing.assert_allclose(t.grad, [[0, 1], [1, 0]])
+
+    def test_max_ties_split(self):
+        t = Tensor([2.0, 2.0], requires_grad=True)
+        t.max().backward()
+        np.testing.assert_allclose(t.grad, [0.5, 0.5])
+
+
+class TestMatmulAndShape:
+    def test_matmul_grad(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 2)) @ b.numpy().T)
+        np.testing.assert_allclose(b.grad, a.numpy().T @ np.ones((3, 2)))
+
+    def test_batched_matmul(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 4, 5)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 3, 5)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        assert b.grad.shape == (2, 4, 5)
+
+    def test_matmul_broadcast_weights(self, rng):
+        # (B, L, D) @ (D, V): weight grad must be unbroadcast-summed.
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        (x @ w).sum().backward()
+        assert w.grad.shape == (4, 5)
+        expected = np.einsum("bld,blv->dv", x.numpy(), np.ones((2, 3, 5)))
+        np.testing.assert_allclose(w.grad, expected)
+
+    def test_reshape_transpose(self, rng):
+        t = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        out = t.reshape(2, 3, 2).transpose(1, 0, 2)
+        assert out.shape == (3, 2, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((2, 6)))
+
+    def test_getitem_gather(self, rng):
+        t = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        idx = np.array([0, 2, 2])
+        out = t[idx]
+        assert out.shape == (3, 3)
+        out.sum().backward()
+        expected = np.zeros((5, 3))
+        expected[0] = 1
+        expected[2] = 2  # row 2 gathered twice: gradients accumulate
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_concatenate(self, rng):
+        a = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 3)))
+
+    def test_masked_fill(self):
+        t = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        mask = np.array([False, True, False])
+        out = t.masked_fill(mask, -99.0)
+        np.testing.assert_allclose(out.numpy(), [1.0, -99.0, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [1.0, 0.0, 1.0])
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_over_uses(self):
+        t = Tensor([2.0], requires_grad=True)
+        (t * 3.0 + t * 4.0).backward()
+        np.testing.assert_allclose(t.grad, [7.0])
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_seed_shape_check(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward(grad=np.ones(3))
+
+    def test_no_grad_context(self):
+        t = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = t * 2.0
+        assert is_grad_enabled()
+        assert not out.requires_grad
+        assert out._backward is None
+
+    def test_detach(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        (t * d).backward()
+        np.testing.assert_allclose(t.grad, [1.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        t = Tensor([1.0], requires_grad=True)
+        out = t
+        for _ in range(3000):
+            out = out + 1.0
+        out.backward()
+        np.testing.assert_allclose(t.grad, [1.0])
+
+    def test_diamond_graph(self):
+        t = Tensor([3.0], requires_grad=True)
+        a = t * 2.0
+        out = a * a
+        out.backward()
+        np.testing.assert_allclose(t.grad, [24.0])  # d(4t^2)/dt = 8t

@@ -1,0 +1,50 @@
+"""FP16 datapath error analysis."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.error_analysis import (
+    gemv_error_sweep,
+    model_logit_error,
+    quantize_state_dict,
+    softmax_error,
+)
+
+
+class TestGemvErrorSweep:
+    def test_errors_small_and_reported(self):
+        rows = gemv_error_sweep(k_values=(16, 256))
+        assert [row["k"] for row in rows] == [16, 256]
+        for row in rows:
+            assert 0 <= row["inner_rel_error"] < 0.02
+            assert 0 <= row["outer_rel_error"] < 0.02
+
+    def test_tree_beats_or_matches_sequential_growth(self):
+        """Inner (tree) error grows slower than the outer (sequential)
+        error as k increases — a known property of pairwise summation."""
+        rows = gemv_error_sweep(k_values=(16, 1024))
+        growth_inner = rows[1]["inner_rel_error"] / max(rows[0]["inner_rel_error"], 1e-9)
+        growth_outer = rows[1]["outer_rel_error"] / max(rows[0]["outer_rel_error"], 1e-9)
+        assert growth_inner <= growth_outer * 4  # lax: same order at worst
+
+
+class TestSoftmaxError:
+    def test_bounded(self):
+        rows = softmax_error(lengths=(16, 256))
+        for row in rows:
+            assert row["max_abs_error"] < 5e-3
+
+
+class TestModelQuantization:
+    def test_quantize_state_dict_roundtrip(self, tiny_model):
+        quantized = quantize_state_dict(tiny_model.state_dict())
+        for name, value in quantized.items():
+            np.testing.assert_array_equal(
+                value, np.asarray(value, dtype=np.float16).astype(np.float64)
+            )
+
+    def test_logit_error_small(self, tiny_model, rng):
+        tokens = rng.integers(0, 64, size=24)
+        max_error, agreement = model_logit_error(tiny_model, tokens)
+        assert max_error < 0.5  # untrained logits are O(1)
+        assert agreement in (0.0, 1.0)

@@ -1,0 +1,82 @@
+"""Saturating counters (voting-engine storage semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.fixed_point import SaturatingCounter, clamp_unsigned
+
+
+class TestClamp:
+    def test_in_range_passthrough(self):
+        assert clamp_unsigned(100, 12) == 100
+
+    def test_saturates_at_max(self):
+        assert clamp_unsigned(5000, 12) == 4095
+        assert clamp_unsigned(70000, 16) == 65535
+
+    def test_negative_clamps_to_zero(self):
+        assert clamp_unsigned(-5, 8) == 0
+
+    def test_array(self):
+        out = clamp_unsigned(np.array([-1, 10, 300]), 8)
+        np.testing.assert_array_equal(out, [0, 10, 255])
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            clamp_unsigned(1, 0)
+
+
+class TestSaturatingCounter:
+    def test_increment(self):
+        c = SaturatingCounter(4, bits=16)
+        c.increment(np.array([1, 0, 1, 0]))
+        c.increment(np.array([1, 0, 0, 0]))
+        np.testing.assert_array_equal(c.counts, [2, 0, 1, 0])
+
+    def test_saturation_no_wrap(self):
+        c = SaturatingCounter(2, bits=4)  # max 15
+        for _ in range(20):
+            c.increment(np.array([1, 0]))
+        np.testing.assert_array_equal(c.counts, [15, 0])
+
+    def test_argmax_earliest_tie_break(self):
+        c = SaturatingCounter(5)
+        c.increment(np.array([0, 2, 1, 2, 0]))
+        assert c.argmax_earliest() == 1  # first of the tied maxima
+
+    def test_argmax_valid_length(self):
+        c = SaturatingCounter(5)
+        c.increment(np.array([0, 1, 0, 9, 0]))
+        assert c.argmax_earliest(valid_length=3) == 1
+
+    def test_clear_slot(self):
+        c = SaturatingCounter(3)
+        c.increment(np.array([4, 5, 6]))
+        c.clear(1)
+        np.testing.assert_array_equal(c.counts, [4, 0, 6])
+
+    def test_clear_all(self):
+        c = SaturatingCounter(3)
+        c.increment(np.array([1, 1, 1]))
+        c.clear_all()
+        np.testing.assert_array_equal(c.counts, [0, 0, 0])
+
+    def test_counts_read_only(self):
+        c = SaturatingCounter(2)
+        with pytest.raises(ValueError):
+            c.counts[0] = 5
+
+    def test_negative_increment_rejected(self):
+        c = SaturatingCounter(2)
+        with pytest.raises(ValueError):
+            c.increment(np.array([-1, 0]))
+
+    def test_shape_mismatch_rejected(self):
+        c = SaturatingCounter(3)
+        with pytest.raises(ValueError):
+            c.increment(np.array([1, 0]))
+
+    def test_empty_argmax_rejected(self):
+        c = SaturatingCounter(3)
+        with pytest.raises(ValueError):
+            c.argmax_earliest(valid_length=0)

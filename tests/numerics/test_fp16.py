@@ -1,0 +1,65 @@
+"""FP16 quantization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.fp16 import (
+    FP16_MAX,
+    fp16_quantize,
+    fp16_relative_error,
+    is_fp16_representable,
+)
+
+
+class TestQuantize:
+    def test_exact_values_unchanged(self):
+        for v in [0.0, 1.0, -2.5, 0.125, 1024.0]:
+            assert fp16_quantize(v) == v
+
+    def test_rounding_happens(self):
+        # 1 + 2^-11 is not representable in fp16 (10 mantissa bits).
+        value = 1.0 + 2.0**-11
+        assert fp16_quantize(value) != value
+
+    def test_saturation(self):
+        assert fp16_quantize(1e6) == FP16_MAX
+        assert fp16_quantize(-1e6) == -FP16_MAX
+
+    def test_no_saturation_gives_inf(self):
+        assert np.isinf(fp16_quantize(1e6, saturate=False))
+
+    def test_array_shape_preserved(self, rng):
+        x = rng.normal(size=(3, 4))
+        out = fp16_quantize(x)
+        assert out.shape == (3, 4)
+        assert out.dtype == np.float64
+
+    def test_scalar_returns_float(self):
+        assert isinstance(fp16_quantize(1.5), float)
+
+    def test_idempotent(self, rng):
+        x = rng.normal(size=100)
+        once = fp16_quantize(x)
+        np.testing.assert_array_equal(once, fp16_quantize(once))
+
+
+class TestRepresentable:
+    def test_detects_representable(self):
+        assert is_fp16_representable(0.5)
+        assert is_fp16_representable(np.array([1.0, 2.0, 4.0]))
+
+    def test_detects_unrepresentable(self):
+        assert not is_fp16_representable(1.0 + 2.0**-11)
+
+
+class TestRelativeError:
+    def test_zero_error_for_exact(self):
+        np.testing.assert_array_equal(fp16_relative_error([1.0, 2.0]), [0.0, 0.0])
+
+    def test_error_bounded_by_eps(self, rng):
+        x = rng.uniform(0.1, 100.0, size=1000)
+        err = fp16_relative_error(x)
+        assert err.max() <= 2.0**-10  # half eps rounding bound ~2^-11, be lax
+
+    def test_zero_input_no_nan(self):
+        assert fp16_relative_error([0.0])[0] == 0.0

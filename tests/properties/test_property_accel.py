@@ -1,0 +1,108 @@
+"""Property-based tests: accelerator invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.config import baseline_config, veda_config
+from repro.accel.pe_array import (
+    PEArray,
+    inner_product_cycles,
+    outer_product_cycles,
+)
+from repro.accel.scheduler import decode_attention, prefill_attention
+
+dims = st.integers(1, 300)
+widths = st.sampled_from([8, 16, 64, 128])
+
+
+class TestCycleFormulaProperties:
+    @given(dims, dims, widths)
+    @settings(max_examples=100, deadline=None)
+    def test_cycles_cover_work(self, k, n, width):
+        """No configuration computes faster than peak: cycles × width ≥
+        total MACs."""
+        macs = k * n
+        assert inner_product_cycles(k, n, width) * width >= macs
+        assert outer_product_cycles(k, n, width) * width >= macs
+
+    @given(dims, dims, widths)
+    @settings(max_examples=100, deadline=None)
+    def test_flexible_choice_at_least_as_good(self, k, n, width):
+        """min(inner, outer) ≤ fixed inner — runtime reconfiguration can
+        only help."""
+        flexible = min(
+            inner_product_cycles(k, n, width), outer_product_cycles(k, n, width)
+        )
+        assert flexible <= inner_product_cycles(k, n, width)
+
+    @given(dims, widths)
+    @settings(max_examples=100, deadline=None)
+    def test_temporal_dim_exactly_absorbed(self, l, width):
+        """The dimension mapped to time costs exactly its size (the
+        paper's flexibility claim): no rounding on n for inner, none on
+        k for outer."""
+        assert inner_product_cycles(width, l, width) == l
+        assert outer_product_cycles(l, width, width) == l
+
+
+class TestFunctionalArrayProperties:
+    @given(
+        st.integers(1, 24),
+        st.integers(1, 24),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_modes_agree_with_reference(self, k, n, seed):
+        rng = np.random.default_rng(seed)
+        v = rng.normal(size=k)
+        m = rng.normal(size=(k, n))
+        array = PEArray(width=8, quantize=False)
+        np.testing.assert_allclose(array.inner_product(v, m), v @ m, atol=1e-9)
+        np.testing.assert_allclose(array.outer_product(v, m), v @ m, atol=1e-9)
+
+    @given(st.integers(1, 16), st.integers(1, 16), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_fp16_error_bounded(self, k, n, seed):
+        rng = np.random.default_rng(seed)
+        v = rng.uniform(-1, 1, size=k)
+        m = rng.uniform(-1, 1, size=(k, n))
+        array = PEArray(width=8, quantize=True)
+        exact = v @ m
+        for mode in ("inner", "outer"):
+            out = array.gemv(v, m, mode)
+            bound = 2e-3 * (np.abs(v) @ np.abs(m) + 1.0)
+            assert np.all(np.abs(out - exact) <= bound)
+
+
+class TestSchedulerProperties:
+    @given(st.integers(1, 2048), st.sampled_from([64, 128]), st.integers(1, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_variant_ordering_decode(self, l, head_dim, heads):
+        veda = decode_attention(l, head_dim, heads, veda_config())
+        plus_f = decode_attention(
+            l, head_dim, heads, baseline_config(flexible_dataflow=True)
+        )
+        base = decode_attention(l, head_dim, heads, baseline_config())
+        assert base.total >= plus_f.total >= veda.total
+
+    @given(st.integers(1, 2048))
+    @settings(max_examples=40, deadline=None)
+    def test_decode_monotone_in_cache_length(self, l):
+        hw = veda_config()
+        a = decode_attention(l, 128, 8, hw).total
+        b = decode_attention(l + 1, 128, 8, hw).total
+        assert b >= a
+
+    @given(st.integers(1, 256))
+    @settings(max_examples=20, deadline=None)
+    def test_prefill_at_least_decode_sum(self, p):
+        """Prefill attention (causal) costs at least the sum of decode
+        steps at each length — it is the same work batched."""
+        hw = veda_config()
+        prefill = prefill_attention(p, 128, 1, hw).total
+        decode_sum = sum(decode_attention(i, 128, 1, hw).total for i in range(1, p + 1))
+        # element-serial drains are per-op in both; allow small slack.
+        assert prefill <= decode_sum + p * hw.element_serial_drain + 1

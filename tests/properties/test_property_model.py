@@ -1,0 +1,79 @@
+"""Property-based tests: model substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kv_cache import LayerKVCache
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestSoftmaxGraphProperties:
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_rows_simplex(self, seed, n):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(3, n)) * 8)
+        out = F.softmax(x).numpy()
+        assert np.all(out >= 0)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-9)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_cross_entropy_non_negative(self, seed, vocab):
+        rng = np.random.default_rng(seed)
+        logits = Tensor(rng.normal(size=(4, vocab)))
+        targets = rng.integers(0, vocab, size=4)
+        assert F.cross_entropy(logits, targets).item() >= 0.0
+
+
+class TestKVCacheProperties:
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.lists(st.booleans(), min_size=1, max_size=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_append_evict_consistency(self, seed, ops):
+        """Arbitrary interleavings of append/evict keep positions sorted,
+        unique, and consistent with payloads."""
+        rng = np.random.default_rng(seed)
+        cache = LayerKVCache(n_heads=1, head_dim=2, capacity=80)
+        payload = {}
+        next_pos = 0
+        for do_append in ops:
+            if do_append or cache.length == 0:
+                if cache.length >= cache.capacity:
+                    continue
+                k = rng.normal(size=(1, 2))
+                cache.append(k, -k, next_pos)
+                payload[next_pos] = k
+                next_pos += 1
+            else:
+                slot = int(rng.integers(cache.length))
+                evicted = cache.evict(slot)
+                del payload[evicted]
+        positions = cache.positions
+        assert list(positions) == sorted(set(positions))
+        for slot, pos in enumerate(positions):
+            np.testing.assert_array_equal(cache.keys[:, slot], payload[pos])
+
+
+class TestGradientProperties:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_linearity_of_backward(self, seed):
+        """grad(a*f + b*g) == a*grad(f) + b*grad(g)."""
+        rng = np.random.default_rng(seed)
+        x_data = rng.normal(size=5)
+
+        def grad_of(scale_f, scale_g):
+            x = Tensor(x_data, requires_grad=True)
+            out = scale_f * (x**2).sum() + scale_g * x.exp().sum()
+            out.backward()
+            return x.grad
+
+        g_f = grad_of(1.0, 0.0)
+        g_g = grad_of(0.0, 1.0)
+        combined = grad_of(2.0, 3.0)
+        np.testing.assert_allclose(combined, 2 * g_f + 3 * g_g, atol=1e-9)

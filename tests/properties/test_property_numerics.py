@@ -1,0 +1,126 @@
+"""Property-based tests: numeric substrates."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+from scipy import special
+
+from repro.numerics.fixed_point import SaturatingCounter, clamp_unsigned
+from repro.numerics.fp16 import fp16_quantize
+from repro.numerics.online import (
+    OnlineSoftmaxNormalizer,
+    WelfordAccumulator,
+    online_softmax,
+    stable_softmax,
+)
+
+finite_floats = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+float_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 64),
+    elements=finite_floats,
+)
+
+
+class TestOnlineSoftmaxProperties:
+    @given(float_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_two_pass(self, x):
+        np.testing.assert_allclose(
+            online_softmax(x), stable_softmax(x), atol=1e-10
+        )
+
+    @given(float_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_sums_to_one(self, x):
+        assert online_softmax(x).sum() == np.float64(1.0).__class__(
+            online_softmax(x).sum()
+        )
+        np.testing.assert_allclose(online_softmax(x).sum(), 1.0, atol=1e-9)
+
+    @given(float_arrays, finite_floats)
+    @settings(max_examples=50, deadline=None)
+    def test_shift_invariance(self, x, shift):
+        np.testing.assert_allclose(
+            online_softmax(x), online_softmax(x + shift), atol=1e-9
+        )
+
+    @given(float_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_order_of_stream_does_not_matter_for_state(self, x):
+        forward = OnlineSoftmaxNormalizer()
+        for v in x:
+            forward.update(v)
+        backward = OnlineSoftmaxNormalizer()
+        for v in x[::-1]:
+            backward.update(v)
+        assert forward.max == backward.max
+        np.testing.assert_allclose(forward.exp_sum, backward.exp_sum, rtol=1e-9)
+
+
+class TestWelfordProperties:
+    @given(float_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_numpy(self, x):
+        acc = WelfordAccumulator()
+        acc.update_many(x)
+        np.testing.assert_allclose(acc.mean, np.mean(x), atol=1e-8)
+        np.testing.assert_allclose(acc.variance, np.var(x), atol=1e-6)
+
+    @given(float_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_variance_non_negative(self, x):
+        acc = WelfordAccumulator()
+        acc.update_many(x)
+        assert acc.variance >= 0.0
+
+
+class TestFP16Properties:
+    @given(float_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, x):
+        once = fp16_quantize(x)
+        np.testing.assert_array_equal(once, fp16_quantize(once))
+
+    @given(float_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone(self, x):
+        """Quantization preserves (weak) ordering."""
+        ordered = np.sort(x)
+        quantized = fp16_quantize(ordered)
+        assert np.all(np.diff(quantized) >= 0.0)
+
+    @given(finite_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_sign_preserved(self, v):
+        q = fp16_quantize(v)
+        assert np.sign(q) == np.sign(v) or q == 0.0
+
+
+class TestSaturatingCounterProperties:
+    @given(
+        st.lists(
+            hnp.arrays(dtype=np.int64, shape=8, elements=st.integers(0, 3)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_max_never_negative(self, increments):
+        counter = SaturatingCounter(8, bits=6)  # max 63
+        for inc in increments:
+            counter.increment(inc)
+        assert np.all(counter.counts <= 63)
+        assert np.all(counter.counts >= 0)
+
+    @given(
+        hnp.arrays(dtype=np.int64, shape=8, elements=st.integers(0, 100)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_clamped_sum(self, inc):
+        counter = SaturatingCounter(8, bits=6)
+        counter.increment(inc)
+        np.testing.assert_array_equal(counter.counts, clamp_unsigned(inc, 6))

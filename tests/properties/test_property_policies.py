@@ -1,0 +1,137 @@
+"""Property-based tests: eviction-policy invariants.
+
+These are the system-level safety properties: under arbitrary softmax
+attention streams and arbitrary eviction pressure, every policy must keep
+its slot-aligned state consistent with the cache, never evict reserved
+positions, and keep the cache within budget.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import (
+    H2OPolicy,
+    StreamingLLMPolicy,
+    VotingPolicy,
+)
+from repro.core.policies.base import GENERATION
+from repro.models.inference import stable_softmax
+
+
+@st.composite
+def attention_stream(draw):
+    """A sequence of growing attention rows (heads × length)."""
+    heads = draw(st.integers(1, 4))
+    start = draw(st.integers(4, 10))
+    steps = draw(st.integers(3, 12))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    rows = []
+    for i in range(steps):
+        length = start + i
+        logits = rng.normal(size=(heads, length)) * draw(
+            st.sampled_from([0.5, 2.0, 6.0])
+        )
+        rows.append(stable_softmax(logits, axis=-1))
+    return rows
+
+
+def drive(policy, rows, budget, reserved=0):
+    """Feed rows to a policy, evicting to budget; returns positions."""
+    positions = list(range(rows[0].shape[1]))
+    next_pos = positions[-1] + 1
+    for row in rows[1:]:
+        positions.append(next_pos)
+        next_pos += 1
+        attn = row[:, : len(positions)]
+        policy.observe(0, attn[:, : len(positions)], np.array(positions), GENERATION)
+        while len(positions) > budget:
+            slot = policy.select_victim(0, np.array(positions))
+            assert 0 <= slot < len(positions)
+            positions.pop(slot)
+            policy.on_evict(0, slot)
+    return positions
+
+
+class TestVotingInvariants:
+    @given(attention_stream(), st.integers(5, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_cache_bounded_and_sorted(self, rows, budget):
+        policy = VotingPolicy(n_layers=1, reserved_length=2)
+        positions = drive(policy, rows, budget)
+        assert len(positions) <= budget
+        assert positions == sorted(positions)
+
+    @given(attention_stream(), st.integers(6, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_reserved_positions_survive(self, rows, budget):
+        reserved = 3
+        policy = VotingPolicy(n_layers=1, reserved_length=reserved)
+        positions = drive(policy, rows, budget)
+        for p in range(min(reserved, rows[0].shape[1])):
+            assert p in positions
+
+    @given(attention_stream(), st.integers(5, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_vote_state_stays_aligned(self, rows, budget):
+        policy = VotingPolicy(n_layers=1, reserved_length=2)
+        positions = drive(policy, rows, budget)
+        counts = policy.vote_counts(0)
+        assert counts.shape[0] >= len(positions) or counts.shape[0] == len(positions)
+
+    @given(attention_stream())
+    @settings(max_examples=30, deadline=None)
+    def test_votes_monotone_without_eviction(self, rows):
+        """Without eviction, per-slot vote counts never decrease."""
+        policy = VotingPolicy(n_layers=1, reserved_length=2)
+        previous = np.zeros(0, dtype=np.int64)
+        positions = list(range(rows[0].shape[1]))
+        next_pos = positions[-1] + 1
+        for row in rows[1:]:
+            positions.append(next_pos)
+            next_pos += 1
+            policy.observe(
+                0, row[:, : len(positions)], np.array(positions), GENERATION
+            )
+            current = policy.vote_counts(0)
+            assert np.all(current[: previous.shape[0]] >= previous)
+            previous = current
+
+
+class TestH2OInvariants:
+    @given(attention_stream(), st.integers(5, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_cache_bounded(self, rows, budget):
+        policy = H2OPolicy(n_layers=1, recent_window=2)
+        positions = drive(policy, rows, budget)
+        assert len(positions) <= budget
+
+    @given(attention_stream())
+    @settings(max_examples=30, deadline=None)
+    def test_accumulated_scores_non_negative_monotone(self, rows):
+        policy = H2OPolicy(n_layers=1, recent_window=0)
+        positions = list(range(rows[0].shape[1]))
+        next_pos = positions[-1] + 1
+        previous = np.zeros(0)
+        for row in rows[1:]:
+            positions.append(next_pos)
+            next_pos += 1
+            policy.observe(0, row[:, : len(positions)], np.array(positions), GENERATION)
+            current = policy.accumulated(0)
+            assert np.all(current >= 0.0)
+            assert np.all(current[: previous.shape[0]] >= previous - 1e-12)
+            previous = current
+
+
+class TestStreamingInvariants:
+    @given(attention_stream(), st.integers(5, 12), st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_steady_state_structure(self, rows, budget, sinks):
+        policy = StreamingLLMPolicy(n_layers=1, n_sinks=sinks)
+        positions = drive(policy, rows, budget)
+        assert len(positions) <= budget
+        # Survivors = sink prefix + a contiguous recent suffix.
+        non_sink = [p for p in positions if p >= sinks]
+        if non_sink:
+            assert non_sink == list(range(non_sink[0], non_sink[-1] + 1))

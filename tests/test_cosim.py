@@ -1,0 +1,90 @@
+"""Algorithm/hardware co-simulation."""
+
+import numpy as np
+import pytest
+
+from repro.accel.config import veda_config
+from repro.config import llama2_7b_shapes
+from repro.core import FullCachePolicy, GenerationEngine, VotingPolicy
+from repro.cosim import CoSimulator
+
+
+@pytest.fixture()
+def prompt(rng):
+    return rng.integers(0, 64, size=24)
+
+
+class TestCoSim:
+    def test_eviction_reduces_cycles(self, tiny_inference, prompt):
+        n_layers = tiny_inference.config.n_layers
+        full = CoSimulator(
+            GenerationEngine(tiny_inference, FullCachePolicy(n_layers))
+        ).run(prompt, 8)
+        capped = CoSimulator(
+            GenerationEngine(
+                tiny_inference, VotingPolicy(n_layers, reserved_length=2), budget=12
+            )
+        ).run(prompt, 8)
+        assert capped.mean_attention_cycles < full.mean_attention_cycles
+        assert capped.total_decode_cycles < full.total_decode_cycles
+        assert capped.num_evictions > 0
+
+    def test_steps_recorded(self, tiny_inference, prompt):
+        n_layers = tiny_inference.config.n_layers
+        result = CoSimulator(
+            GenerationEngine(tiny_inference, FullCachePolicy(n_layers))
+        ).run(prompt, 5)
+        assert len(result.attention_cycles_per_step) == 5
+        assert len(result.tokens) == 5
+
+    def test_measured_trajectory_matches_idealized_at_steady_state(
+        self, tiny_inference, prompt
+    ):
+        """With shrink-to-budget eviction the measured cache lengths equal
+        the simulator's idealized min(P+i, S+1) trajectory."""
+        n_layers = tiny_inference.config.n_layers
+        budget = 12
+        cosim = CoSimulator(
+            GenerationEngine(
+                tiny_inference, VotingPolicy(n_layers, reserved_length=2),
+                budget=budget,
+            )
+        )
+        result = cosim.run(prompt, 6)
+        idealized = [
+            cosim.simulator.cache_length_at(len(prompt), step, budget)
+            for step in range(1, 7)
+        ]
+        measured = [previous + 1 for previous in result.cache_lengths[:-1]]
+        assert measured == idealized
+
+    def test_slow_eviction_costs_more(self, tiny_inference, prompt):
+        """One-eviction-per-step shrinks slowly, so early steps see a
+        bigger cache and cost more cycles than shrink-to-target."""
+        n_layers = tiny_inference.config.n_layers
+        fast = CoSimulator(
+            GenerationEngine(
+                tiny_inference, VotingPolicy(n_layers, reserved_length=2), budget=8
+            )
+        ).run(prompt, 6)
+        slow = CoSimulator(
+            GenerationEngine(
+                tiny_inference,
+                VotingPolicy(n_layers, reserved_length=2),
+                budget=8,
+                evictions_per_step=1,
+            )
+        ).run(prompt, 6)
+        assert slow.mean_attention_cycles > fast.mean_attention_cycles
+
+    def test_hw_model_substitution(self, tiny_inference, prompt):
+        """Llama-7B shapes can price a small-model cache trajectory."""
+        n_layers = tiny_inference.config.n_layers
+        cosim = CoSimulator(
+            GenerationEngine(tiny_inference, FullCachePolicy(n_layers)),
+            hw=veda_config(),
+            hw_model=llama2_7b_shapes(),
+        )
+        result = cosim.run(prompt, 3)
+        # 7B-scale decode costs tens of millions of cycles per step.
+        assert result.total_decode_cycles > 1e7
