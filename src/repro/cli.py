@@ -6,6 +6,8 @@ Usage::
     python -m repro fig8_center          # run one artifact, print its table
     python -m repro all                  # everything (slow: trains/evaluates)
     python -m repro fig8_left --fast     # reduced sweep for a quick look
+    python -m repro serve-bench          # continuous-batching serving bench
+    python -m repro serve-bench --requests 16 --batch-sizes 1,4,8
 
 Results are also written to ``.artifacts/results/`` as text tables.
 """
@@ -22,6 +24,7 @@ from repro.experiments import (
     fig8_left,
     fig8_right,
     policy_zoo,
+    serving,
     table1,
     table2,
 )
@@ -89,6 +92,10 @@ def _run_ablations(fast):
     return pieces[-1], None
 
 
+def _run_serving(fast):
+    return serving.run(n_requests=4 if fast else 8), None
+
+
 _EXPERIMENTS = {
     "fig8_left": _run_fig8_left,
     "fig8_center": _run_fig8_center,
@@ -97,10 +104,105 @@ _EXPERIMENTS = {
     "table2": _run_table2,
     "policy_zoo": _run_policy_zoo,
     "ablations": _run_ablations,
+    "serving": _run_serving,
 }
 
 
+def _positive_int(value):
+    number = int(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return number
+
+
+def _nonnegative_int(value):
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
+    return number
+
+
+def _mean_gap(value):
+    # The workload draws geometric gaps with p = 1/mean, so mean >= 1.
+    number = float(value)
+    if number < 1.0:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return number
+
+
+def _serve_bench(argv):
+    """The ``serve-bench`` subcommand: configurable serving benchmark."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve-bench",
+        description=(
+            "Benchmark the continuous-batching scheduler on a synthetic "
+            "multi-tenant trace (VotingPolicy eviction per request)."
+        ),
+    )
+    parser.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=8,
+        help="number of requests in the trace",
+    )
+    parser.add_argument(
+        "--batch-sizes",
+        default="1,2,4,8",
+        help="comma-separated batch-size caps to sweep",
+    )
+    parser.add_argument(
+        "--interarrival",
+        type=_mean_gap,
+        default=2.0,
+        help="mean request inter-arrival gap in scheduler rounds (>= 1)",
+    )
+    parser.add_argument(
+        "--seed", type=_nonnegative_int, default=0, help="workload seed"
+    )
+    args = parser.parse_args(argv)
+    try:
+        batch_sizes = tuple(int(b) for b in args.batch_sizes.split(","))
+    except ValueError:
+        parser.error(
+            f"--batch-sizes must be comma-separated integers, "
+            f"got {args.batch_sizes!r}"
+        )
+    if not batch_sizes or any(b <= 0 for b in batch_sizes):
+        parser.error(
+            f"--batch-sizes entries must be positive, got {args.batch_sizes!r}"
+        )
+    result = serving.run(
+        batch_sizes=batch_sizes,
+        n_requests=args.requests,
+        mean_interarrival=args.interarrival,
+        seed=args.seed,
+    )
+    # Ad-hoc sweeps must not clobber the canonical `serving` artifact
+    # that `python -m repro all` regenerates.
+    result.experiment_id = "serving_bench"
+    _emit(result, extra=None)
+    return 0
+
+
+def _emit(result, extra):
+    """Print a result table and persist it under the results dir."""
+    print(result.to_table())
+    if result.notes:
+        print(f"\nNotes: {result.notes}")
+    if extra:
+        print()
+        print(extra)
+    _RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out = _RESULTS_DIR / f"{result.experiment_id}.txt"
+    out.write_text(result.to_table() + "\n")
+    print(f"[saved to {out}]\n")
+
+
 def main(argv=None):
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "serve-bench":
+        return _serve_bench(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate VEDA paper artifacts (tables and figures).",
@@ -108,7 +210,8 @@ def main(argv=None):
     parser.add_argument(
         "experiment",
         choices=sorted(_EXPERIMENTS) + ["list", "all"],
-        help="artifact to regenerate, 'list', or 'all'",
+        help="artifact to regenerate, 'list', 'all', or the "
+        "'serve-bench' subcommand (see 'serve-bench --help')",
     )
     parser.add_argument(
         "--fast", action="store_true",
@@ -119,21 +222,13 @@ def main(argv=None):
     if args.experiment == "list":
         for name in sorted(_EXPERIMENTS):
             print(name)
+        print("serve-bench")
         return 0
 
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         result, extra = _EXPERIMENTS[name](args.fast)
-        print(result.to_table())
-        if result.notes:
-            print(f"\nNotes: {result.notes}")
-        if extra:
-            print()
-            print(extra)
-        _RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-        out = _RESULTS_DIR / f"{result.experiment_id}.txt"
-        out.write_text(result.to_table() + "\n")
-        print(f"[saved to {out}]\n")
+        _emit(result, extra)
     return 0
 
 

@@ -23,6 +23,8 @@ __all__ = [
     "GenerationResult",
     "PerplexityResult",
     "budget_from_ratio",
+    "enforce_budget",
+    "sequence_capacity",
 ]
 
 
@@ -34,6 +36,43 @@ def budget_from_ratio(ratio, prompt_length, minimum=32):
     if not 0.0 < ratio <= 1.0:
         raise ValueError(f"compression ratio must be in (0, 1], got {ratio}")
     return max(int(round(ratio * prompt_length)), minimum)
+
+
+def sequence_capacity(prompt_length, max_new_tokens, budget):
+    """Cache capacity for one sequence: unbounded when ``budget`` is
+    ``None``; otherwise prefill may transiently exceed the budget and the
+    steady state is ``budget + 1`` (append happens before eviction).
+
+    Shared by :class:`GenerationEngine` and :class:`repro.serve.Scheduler`
+    so both size per-sequence caches identically.
+    """
+    if budget is None:
+        return prompt_length + max_new_tokens + 1
+    return max(prompt_length, budget) + 1
+
+
+def enforce_budget(policy, cache, budget, step, log, evictions_per_step=None):
+    """Evict from every layer of ``cache`` until it is within ``budget``.
+
+    The one canonical eviction loop, shared by :class:`GenerationEngine`
+    (single sequence) and :class:`repro.serve.Scheduler` (per sequence in
+    a batch): ask the policy for a victim, commit it to the cache, then
+    let the policy compact its slot-aligned state.  ``log`` collects
+    ``(step, layer, position)`` triples; ``evictions_per_step`` caps the
+    evictions per layer (``None`` = shrink to budget immediately).
+    """
+    if budget is None:
+        return
+    for layer_index, layer_cache in enumerate(cache):
+        evicted = 0
+        while layer_cache.length > budget:
+            if evictions_per_step is not None and evicted >= evictions_per_step:
+                break
+            slot = policy.select_victim(layer_index, layer_cache.positions)
+            position = layer_cache.evict(slot)
+            policy.on_evict(layer_index, slot)
+            log.append((step, layer_index, position))
+            evicted += 1
 
 
 @dataclass
@@ -102,23 +141,18 @@ class GenerationEngine:
     # Internals
     # ------------------------------------------------------------------
     def _capacity(self, prompt_length, max_new_tokens):
-        if self.budget is None:
-            return prompt_length + max_new_tokens + 1
-        # Prefill may transiently exceed the budget; steady state is
-        # budget + 1 (append happens before eviction).
-        return max(prompt_length, self.budget) + 1
+        return sequence_capacity(prompt_length, max_new_tokens, self.budget)
 
     def _observe_prefill(self, attention, positions):
-        """Replay the causal attention matrix row by row as votes."""
-        length = positions.shape[0]
+        """Feed the causal attention matrices to the policy, one block
+        (= one ``observe_block`` call) per layer.
+
+        Policies with a vectorized ``observe_block`` (VotingPolicy) absorb
+        the whole prefill in one numpy pass; everyone else falls back to
+        the base class's row-by-row replay with identical semantics.
+        """
         for layer, attn in enumerate(attention):
-            for row in range(length):
-                self.policy.observe(
-                    layer,
-                    attn[:, row, : row + 1],
-                    positions[: row + 1],
-                    PREFILL,
-                )
+            self.policy.observe_block(layer, attn, positions, PREFILL)
 
     def _observe_step(self, attention, cache):
         for layer, attn in enumerate(attention):
@@ -127,23 +161,14 @@ class GenerationEngine:
             )
 
     def _enforce_budget(self, cache, step, log):
-        if self.budget is None:
-            return
-        for layer_index, layer_cache in enumerate(cache):
-            evicted = 0
-            while layer_cache.length > self.budget:
-                if (
-                    self.evictions_per_step is not None
-                    and evicted >= self.evictions_per_step
-                ):
-                    break
-                slot = self.policy.select_victim(
-                    layer_index, layer_cache.positions
-                )
-                position = layer_cache.evict(slot)
-                self.policy.on_evict(layer_index, slot)
-                log.append((step, layer_index, position))
-                evicted += 1
+        enforce_budget(
+            self.policy,
+            cache,
+            self.budget,
+            step,
+            log,
+            evictions_per_step=self.evictions_per_step,
+        )
 
     # ------------------------------------------------------------------
     # Generation

@@ -13,7 +13,11 @@ The engine guarantees the following call order per layer:
 1. ``observe(layer, attn, positions, phase)`` once per processed token —
    ``attn`` is ``(H, l)`` attention probabilities over the *current* cache
    (the newest token occupies the last slot), ``positions`` the absolute
-   positions of the slots.
+   positions of the slots.  During prefill the engine instead makes one
+   ``observe_block(layer, attn, positions, phase)`` call per layer with
+   the full ``(H, L, L)`` causal matrix; the default implementation
+   replays it through ``observe`` row by row, so ``observe`` remains the
+   reference semantics and ``observe_block`` a vectorization hook.
 2. zero or more ``select_victim(layer, positions)`` /
    ``on_evict(layer, slot)`` pairs, one per eviction, until the cache is
    within budget.  ``on_evict`` must compact slot-aligned state the same
@@ -23,6 +27,8 @@ The engine guarantees the following call order per layer:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+
+import numpy as np
 
 __all__ = ["EvictionPolicy", "register_policy", "make_policy", "available_policies"]
 
@@ -52,6 +58,31 @@ class EvictionPolicy(ABC):
 
         Default: ignore (policies like StreamingLLM are score-free).
         """
+
+    def observe_block(self, layer, attn, positions, phase):
+        """Consume a block of causal attention rows for ``layer`` at once.
+
+        ``attn`` is ``(H, L, L)`` causal attention (row ``i`` attends to
+        slots ``0..i``; entries above the diagonal are zero), ``positions``
+        the ``(L,)`` absolute positions of the slots, in ascending order.
+        Semantically equivalent to calling :meth:`observe` once per row
+        with the growing ``(H, i+1)`` slices — which is exactly what this
+        default does.  Subclasses may override with a vectorized
+        implementation (see ``VotingPolicy.observe_block``); the contract
+        is that the resulting policy state is identical to the row-by-row
+        replay.
+        """
+        attn = np.asarray(attn)
+        if attn.ndim != 3 or attn.shape[1] != attn.shape[2]:
+            raise ValueError(f"attn must be (H, L, L), got shape {attn.shape}")
+        positions = np.asarray(positions)
+        if positions.shape[0] != attn.shape[1]:
+            raise ValueError(
+                f"positions length {positions.shape[0]} != block length "
+                f"{attn.shape[1]}"
+            )
+        for row in range(positions.shape[0]):
+            self.observe(layer, attn[:, row, : row + 1], positions[: row + 1], phase)
 
     @abstractmethod
     def select_victim(self, layer, positions):

@@ -36,6 +36,21 @@ from repro.core.policies.base import EvictionPolicy, register_policy
 __all__ = ["VotingPolicy", "adaptive_threshold", "vote_mask"]
 
 
+_TRIL_CACHE = {}
+
+
+def _tril_mask(length):
+    """Cached lower-triangular boolean mask (read-only, bounded cache)."""
+    mask = _TRIL_CACHE.get(length)
+    if mask is None:
+        if len(_TRIL_CACHE) >= 16:
+            _TRIL_CACHE.clear()
+        mask = np.tril(np.ones((length, length), dtype=bool))
+        mask.setflags(write=False)
+        _TRIL_CACHE[length] = mask
+    return mask
+
+
 def adaptive_threshold(row, a=1.0, b=0.2):
     """The adaptive voting threshold ``T = a*mean - b*std`` for one row.
 
@@ -117,15 +132,36 @@ class VotingPolicy(EvictionPolicy):
         self.b = float(b)
         self.reserved_length = int(reserved_length)
         self.head_reduction = head_reduction
-        self._votes = [np.zeros(0, dtype=np.int64) for _ in range(self.n_layers)]
+        self.reset()
 
     def reset(self):
+        # Vote counters are stored in capacity-backed arrays with an
+        # explicit logical length so eviction can compact in place
+        # (mirroring ``LayerKVCache.evict``) instead of reallocating via
+        # ``np.delete``.  Slots in [length, capacity) are always zero.
         self._votes = [np.zeros(0, dtype=np.int64) for _ in range(self.n_layers)]
+        self._lengths = [0] * self.n_layers
 
     def vote_counts(self, layer):
         """Slot-aligned vote counts for ``layer`` (copy, for diagnostics)."""
         self._check_layer(layer)
-        return self._votes[layer].copy()
+        return self._votes[layer][: self._lengths[layer]].copy()
+
+    def _ensure_length(self, layer, length):
+        """Grow layer ``layer``'s counters to at least ``length`` slots.
+
+        Capacity doubles amortized so per-token growth during generation
+        is O(1); newly exposed slots start at zero votes.
+        """
+        votes = self._votes[layer]
+        if length > votes.shape[0]:
+            grown = np.zeros(max(length, 2 * votes.shape[0]), dtype=np.int64)
+            grown[: self._lengths[layer]] = votes[: self._lengths[layer]]
+            self._votes[layer] = grown
+            votes = grown
+        if length > self._lengths[layer]:
+            self._lengths[layer] = length
+        return votes
 
     # ------------------------------------------------------------------
     # Policy interface
@@ -137,13 +173,7 @@ class VotingPolicy(EvictionPolicy):
             raise ValueError(f"attn must be (H, l), got shape {attn.shape}")
         positions = np.asarray(positions)
         length = attn.shape[1]
-
-        votes = self._votes[layer]
-        if length > votes.shape[0]:
-            grown = np.zeros(length, dtype=np.int64)
-            grown[: votes.shape[0]] = votes
-            votes = grown
-            self._votes[layer] = votes
+        votes = self._ensure_length(layer, length)
 
         # The newest token (last slot) is the voter; rows produced inside
         # the reserved stage do not vote (Fig. 3, "Reserved Stage").
@@ -159,6 +189,79 @@ class VotingPolicy(EvictionPolicy):
             row, positions, self.reserved_length, a=self.a, b=self.b
         )
         votes[:length] += mask.astype(np.int64)
+
+    def observe_block(self, layer, attn, positions, phase):
+        """Vectorized prefill voting: all rows of a causal block at once.
+
+        Equivalent to replaying ``observe`` over the block's growing row
+        slices (the base-class reference implementation) but in a single
+        numpy pass: per-row means come from full-row sums (entries above
+        the diagonal are exactly zero after the causal softmax), per-row
+        standard deviations from tril-masked squared deviations, the
+        reserved prefix is excluded column-wise, and rows whose adaptive
+        threshold falls to/below zero vote only for their minimum eligible
+        score (the paper's sub-zero fallback).
+
+        Numerics note: the full-row reductions may group their pairwise
+        summation differently from the scalar path's per-slice
+        reductions, so a mean/std can differ in the last ulp at large
+        block lengths.  A vote flips only if a score lies within that
+        ulp of the threshold — never observed in practice; the property
+        and micro-benchmark suites assert exact vote-count agreement
+        across their (seeded) regimes.
+        """
+        self._check_layer(layer)
+        attn = np.asarray(attn)
+        if attn.ndim != 3 or attn.shape[1] != attn.shape[2]:
+            raise ValueError(f"attn must be (H, L, L), got shape {attn.shape}")
+        positions = np.asarray(positions)
+        length = attn.shape[1]
+        if positions.shape[0] != length:
+            raise ValueError(
+                f"positions length {positions.shape[0]} != block length {length}"
+            )
+        votes = self._ensure_length(layer, length)
+
+        if self.head_reduction == "mean":
+            rows = attn.mean(axis=0)
+        else:
+            rows = attn.sum(axis=0)
+        rows = rows.astype(np.float64, copy=False)
+
+        tri = _tril_mask(length)
+        counts = np.arange(1, length + 1, dtype=np.float64)
+        # Entries above the diagonal are exactly zero (the causal-softmax
+        # contract of ``observe_block``, and -1e30 masking underflows to a
+        # hard 0.0), so per-row sums need no masking; the deviations do,
+        # because ``0 - mean != 0`` above the diagonal.
+        means = rows.sum(axis=1) / counts
+        deviations = rows - means[:, None]
+        deviations *= tri
+        stds = np.sqrt(
+            np.einsum("ij,ij->i", deviations, deviations) / counts
+        )
+        thresholds = self.a * means - self.b * stds
+
+        col_eligible = positions >= self.reserved_length
+        # A row votes iff its own position cleared the reserved prefix
+        # (its diagonal slot is then an eligible vote target, so a voter
+        # always sees at least one eligible slot).
+        voters = col_eligible
+
+        eligible_matrix = tri & col_eligible[None, :]
+        vote_matrix = rows < thresholds[:, None]
+        vote_matrix &= eligible_matrix
+        fallback_rows = np.flatnonzero(voters & (thresholds <= 0.0))
+        if fallback_rows.size:
+            inf_masked = np.where(
+                eligible_matrix[fallback_rows], rows[fallback_rows], np.inf
+            )
+            vote_matrix[fallback_rows] = False
+            vote_matrix[
+                fallback_rows, np.argmin(inf_masked, axis=1)
+            ] = True
+        vote_matrix[~voters] = False
+        votes[:length] += vote_matrix.sum(axis=0, dtype=np.int64)
 
     def select_victim(self, layer, positions):
         self._check_layer(layer)
@@ -179,4 +282,10 @@ class VotingPolicy(EvictionPolicy):
 
     def on_evict(self, layer, slot):
         self._check_layer(layer)
-        self._votes[layer] = np.delete(self._votes[layer], slot)
+        length = self._lengths[layer]
+        if not 0 <= slot < length:
+            raise IndexError(f"evict slot {slot} out of range [0, {length})")
+        votes = self._votes[layer]
+        votes[slot : length - 1] = votes[slot + 1 : length]
+        votes[length - 1] = 0
+        self._lengths[layer] = length - 1

@@ -21,6 +21,7 @@ from repro.experiments import (
     fig8_left,
     fig8_right,
     policy_zoo,
+    serving,
     table1,
     table2,
 )
@@ -29,6 +30,7 @@ from repro.experiments.common import ExperimentResult, format_table
 __all__ = [
     "ablations",
     "batching",
+    "serving",
     "policy_zoo",
     "fig8_left",
     "fig8_center",

@@ -1,0 +1,128 @@
+"""Serving benchmark: continuous-batching throughput vs batch size.
+
+The paper's Sec. I (via Orca) argues batching amortizes weight fetches
+for linear layers while attention stays per-user; ``batching.py`` models
+that on the accelerator's cycle model.  This experiment measures it on
+the *software* serving path: a synthetic multi-tenant workload (Poisson
+arrivals over scheduler rounds, mixed prompt/generation lengths) is
+served by :class:`repro.serve.Scheduler` with VotingPolicy eviction at
+several batch-size caps, reporting real tokens/s, per-round throughput,
+and queueing latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import tiny_config
+from repro.core.engine import budget_from_ratio
+from repro.core.policies.voting import VotingPolicy
+from repro.experiments.common import ExperimentResult
+from repro.models.inference import CachedTransformer
+from repro.models.transformer import TransformerLM
+from repro.serve import Request, Scheduler
+
+__all__ = ["run", "make_workload"]
+
+
+def make_workload(
+    n_requests=8,
+    mean_interarrival=2.0,
+    prompt_range=(12, 48),
+    max_new_range=(8, 24),
+    compression_ratio=0.5,
+    vocab=None,
+    seed=0,
+):
+    """A reproducible multi-tenant request trace.
+
+    Arrival gaps are geometric (discrete Poisson-ish) with the given
+    mean; prompt lengths and generation caps are uniform in their
+    ranges; each request gets the paper's ratio-derived cache budget
+    ``S = Round(r * P)`` with the R = 32 floor relaxed to 8 for the tiny
+    model.
+    """
+    rng = np.random.default_rng(seed)
+    vocab = vocab if vocab is not None else tiny_config().vocab_size
+    requests = []
+    arrival = 0
+    for i in range(n_requests):
+        prompt_len = int(rng.integers(*prompt_range))
+        requests.append(
+            Request(
+                request_id=f"req-{i}",
+                prompt=rng.integers(0, vocab, size=prompt_len),
+                max_new_tokens=int(rng.integers(*max_new_range)),
+                arrival_time=arrival,
+                seed=i,
+                budget=budget_from_ratio(
+                    compression_ratio, prompt_len, minimum=8
+                ),
+            )
+        )
+        arrival += int(rng.geometric(1.0 / mean_interarrival))
+    return requests
+
+
+def run(
+    batch_sizes=(1, 2, 4, 8),
+    n_requests=8,
+    mean_interarrival=2.0,
+    reserved_length=4,
+    model=None,
+    seed=0,
+):
+    """Serve the same trace at several batch caps; tabulate the effect.
+
+    ``batch=1`` degenerates to sequential serving (the seed repo's only
+    mode); larger caps show continuous batching amortizing per-round
+    Python/linear-layer overhead and collapsing queue waits.
+    """
+    if model is None:
+        model = CachedTransformer.from_module(
+            TransformerLM(tiny_config(), seed=0)
+        )
+    n_layers = model.config.n_layers
+
+    rows = []
+    for batch_size in batch_sizes:
+        scheduler = Scheduler(
+            model,
+            policy_factory=lambda: VotingPolicy(
+                n_layers, reserved_length=reserved_length
+            ),
+            max_batch_size=batch_size,
+        )
+        for request in make_workload(
+            n_requests=n_requests,
+            mean_interarrival=mean_interarrival,
+            vocab=model.config.vocab_size,
+            seed=seed,
+        ):
+            scheduler.submit(request)
+        report = scheduler.run()
+        summary = report.summary()
+        rows.append(
+            {
+                "max_batch": batch_size,
+                "rounds": summary["rounds"],
+                "tokens": summary["tokens"],
+                "tokens/round": summary["tokens/round"],
+                "tokens/s": summary["tokens/s"],
+                "mean_wait": summary["mean_wait_rounds"],
+                "mean_latency": summary["mean_latency_rounds"],
+                "peak_batch": summary["peak_batch"],
+            }
+        )
+    return ExperimentResult(
+        "serving",
+        f"Continuous-batching throughput vs batch cap ({n_requests} requests)",
+        rows=rows,
+        notes=(
+            "Same request trace at every cap; per-request tokens are "
+            "identical across caps (batch-invariant decode), so rows "
+            "differ only in scheduling. Linear layers share one stacked "
+            "matmul per round while each request keeps a private KV "
+            "cache with VotingPolicy eviction."
+        ),
+    )

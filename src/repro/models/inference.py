@@ -7,6 +7,17 @@ and extending it.  Per-row attention scores are surfaced to the caller so
 eviction policies (H2O's accumulation, VEDA's voting) can observe exactly
 the ``s'`` vectors the hardware voting engine sees.
 
+Decoding is batched: :meth:`CachedTransformer.step_batch` advances ``B``
+independent sequences in lock-step, sharing one stacked matmul per linear
+layer (the Orca observation modeled in ``experiments/batching.py`` —
+weights are fetched once per batch) while attending to each sequence's
+own :class:`~repro.core.kv_cache.KVCache`.  ``step`` is the batch-of-one
+special case.  Batched linear algebra goes through :func:`batch_matmul`,
+whose per-row accumulation order is independent of the batch size, so a
+sequence decodes to bitwise-identical logits whether it runs alone or
+inside any batch — the property the serving scheduler's equivalence
+guarantee rests on.
+
 The weights come from a trained :class:`repro.models.transformer.TransformerLM`
 via ``state_dict``; ``tests/models/test_inference.py`` property-tests that
 prefill+decode reproduces the training graph's logits.
@@ -23,7 +34,27 @@ from repro.core.kv_cache import KVCache
 from repro.models.rope import RopeTable, apply_rope_numpy
 from repro.numerics.online import stable_softmax
 
-__all__ = ["CachedTransformer", "StepResult", "stable_softmax"]
+__all__ = [
+    "CachedTransformer",
+    "StepResult",
+    "BatchStepResult",
+    "batch_matmul",
+    "stable_softmax",
+]
+
+
+def batch_matmul(x, w):
+    """``x @ w`` for ``x`` (B, D), ``w`` (D, F) — batch-size invariant.
+
+    BLAS gemm kernels change their micro-kernel (and thus the summation
+    order of each output element) with the number of rows, so ``(X @ W)[i]``
+    is *not* bitwise equal across batch sizes.  ``np.einsum`` reduces each
+    output element with a fixed sequential order over ``D`` regardless of
+    ``B``, which makes batched decode bitwise identical to solo decode at
+    a modest constant-factor cost — the right trade for a reproduction
+    whose eviction decisions hinge on strict float comparisons.
+    """
+    return np.einsum("bd,df->bf", x, w)
 
 
 class StepResult:
@@ -38,6 +69,27 @@ class StepResult:
         Per-layer attention probabilities.  For a decode step this is a
         list of ``(H, l)`` arrays (one row per head over the cache); for a
         prefill it is a list of ``(H, L, L)`` causal matrices.
+    """
+
+    __slots__ = ("logits", "attention")
+
+    def __init__(self, logits, attention):
+        self.logits = logits
+        self.attention = attention
+
+
+class BatchStepResult:
+    """Output of one batched decode step over ``B`` sequences.
+
+    Attributes
+    ----------
+    logits:
+        ``(B, V)`` next-token logits, row ``b`` for sequence ``b``.
+    attention:
+        Per-layer, per-sequence attention rows: ``attention[layer][b]`` is
+        the ``(H, l_b)`` probability row of sequence ``b`` over its own
+        (post-append) cache.  Ragged across ``b`` because every sequence
+        has an independent cache length.
     """
 
     __slots__ = ("logits", "attention")
@@ -124,18 +176,18 @@ class CachedTransformer:
         variance = np.mean(centered**2, axis=-1, keepdims=True)
         return centered / np.sqrt(variance + 1e-5) * weight + bias
 
-    def _ffn(self, lw, x):
+    def _ffn(self, lw, x, mm=np.matmul):
         if self.config.activation == "swiglu":
-            gate = x @ lw.w_gate
-            gate = gate / (1.0 + np.exp(-gate)) * (x @ lw.w_up)
-            return gate @ lw.w_down
-        hidden = x @ lw.w_up
+            gate = mm(x, lw.w_gate)
+            gate = gate / (1.0 + np.exp(-gate)) * mm(x, lw.w_up)
+            return mm(gate, lw.w_down)
+        hidden = mm(x, lw.w_up)
         if self.config.activation == "gelu":
             c = math.sqrt(2.0 / math.pi)
             hidden = 0.5 * hidden * (1.0 + np.tanh(c * (hidden + 0.044715 * hidden**3)))
         else:
             hidden = np.maximum(hidden, 0.0)
-        return hidden @ lw.w_down
+        return mm(hidden, lw.w_down)
 
     # ------------------------------------------------------------------
     # Cache management
@@ -217,40 +269,87 @@ class CachedTransformer:
         attends to itself), matching the paper's description of extending
         the KV cache with the current key-value vector.
 
+        A batch-of-one :meth:`step_batch`; because the batched path's
+        accumulation order is batch-size invariant, the returned logits
+        are bitwise identical to the same step taken inside any batch.
+
         Returns a :class:`StepResult` whose ``attention`` entries are
         ``(H, l)`` rows over the (post-append) cache.
+        """
+        result = self.step_batch([int(token)], [int(position)], [cache])
+        return StepResult(
+            result.logits[0], [rows[0] for rows in result.attention]
+        )
+
+    def step_batch(self, tokens, positions, caches):
+        """Decode one token for each of ``B`` sequences in lock-step.
+
+        Parameters
+        ----------
+        tokens:
+            ``(B,)`` token ids, one per sequence.
+        positions:
+            ``(B,)`` absolute positions, one per sequence (sequences are
+            at independent points in their generations).
+        caches:
+            ``B`` per-sequence :class:`KVCache` objects (e.g. from
+            :meth:`BatchedKVCache.select`); each sequence's kv pair is
+            appended to its own cache before attention.
+
+        All linear layers run as one stacked ``(B, D) @ (D, F)`` matmul —
+        the weight matrix is read once for the whole batch, which is the
+        batching win (attention remains per-sequence: every sequence owns
+        a distinct, differently-sized cache).
+
+        Returns a :class:`BatchStepResult`.
         """
         config = self.config
         heads, head_dim = config.n_heads, config.head_dim
         scale = 1.0 / math.sqrt(head_dim)
+        tokens = np.asarray(tokens, dtype=np.int64)
+        positions = np.asarray(positions, dtype=np.int64)
+        if tokens.ndim != 1 or tokens.shape[0] == 0:
+            raise ValueError(f"tokens must be non-empty 1-D, got shape {tokens.shape}")
+        batch = tokens.shape[0]
+        if positions.shape != (batch,) or len(caches) != batch:
+            raise ValueError(
+                f"batch mismatch: {batch} tokens, {positions.shape[0]} "
+                f"positions, {len(caches)} caches"
+            )
 
-        x = self.embed[int(token)]  # (D,)
+        x = self.embed[tokens]  # (B, D)
         attention_records = []
         for layer_index, lw in enumerate(self.layers):
-            layer_cache = cache[layer_index]
             normed = self._norm(x, lw.attn_norm_w, lw.attn_norm_b)
 
-            q = (normed @ lw.wq).reshape(heads, head_dim)
-            k = (normed @ lw.wk).reshape(heads, head_dim)
-            v = (normed @ lw.wv).reshape(heads, head_dim)
-            q = apply_rope_numpy(q, position, self.rope)
-            k = apply_rope_numpy(k, position, self.rope)
-            layer_cache.append(k, v, position)
+            q = batch_matmul(normed, lw.wq).reshape(batch, heads, head_dim)
+            k = batch_matmul(normed, lw.wk).reshape(batch, heads, head_dim)
+            v = batch_matmul(normed, lw.wv).reshape(batch, heads, head_dim)
+            q = apply_rope_numpy(q, positions[:, None], self.rope)
+            k = apply_rope_numpy(k, positions[:, None], self.rope)
 
-            keys = layer_cache.keys  # (H, l, d)
-            values = layer_cache.values
-            scores = np.einsum("hd,hld->hl", q, keys) * scale
-            attn = stable_softmax(scores, axis=-1)  # (H, l)
-            attention_records.append(attn)
-            context = np.einsum("hl,hld->hd", attn, values)  # (H, d)
-            x = x + context.reshape(config.d_model) @ lw.wo
+            contexts = np.empty((batch, config.d_model))
+            layer_attn = []
+            for b, cache in enumerate(caches):
+                layer_cache = cache[layer_index]
+                layer_cache.append(k[b], v[b], positions[b])
+                keys = layer_cache.keys  # (H, l_b, d)
+                values = layer_cache.values
+                scores = np.einsum("hd,hld->hl", q[b], keys) * scale
+                attn = stable_softmax(scores, axis=-1)  # (H, l_b)
+                layer_attn.append(attn)
+                contexts[b] = np.einsum("hl,hld->hd", attn, values).reshape(
+                    config.d_model
+                )
+            attention_records.append(layer_attn)
+            x = x + batch_matmul(contexts, lw.wo)
 
             normed = self._norm(x, lw.ffn_norm_w, lw.ffn_norm_b)
-            x = x + self._ffn(lw, normed)
+            x = x + self._ffn(lw, normed, mm=batch_matmul)
 
         x = self._norm(x, self.final_norm_w, self.final_norm_b)
-        logits = x @ self.lm_head
-        return StepResult(logits, attention_records)
+        logits = batch_matmul(x, self.lm_head)
+        return BatchStepResult(logits, attention_records)
 
 
 def _optional(state, key):

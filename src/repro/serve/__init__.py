@@ -1,0 +1,21 @@
+"""Batched serving subsystem: requests, sequence state, and the
+continuous-batching scheduler (see :mod:`repro.serve.scheduler`)."""
+
+from repro.serve.request import (
+    FINISHED,
+    QUEUED,
+    RUNNING,
+    Request,
+    SequenceState,
+)
+from repro.serve.scheduler import Scheduler, ServingReport
+
+__all__ = [
+    "Request",
+    "SequenceState",
+    "Scheduler",
+    "ServingReport",
+    "QUEUED",
+    "RUNNING",
+    "FINISHED",
+]

@@ -1,0 +1,113 @@
+"""Request and sequence-state model for the serving scheduler.
+
+A :class:`Request` is what a client submits: a prompt, a generation
+budget, and an arrival time (measured in scheduler decode rounds, the
+discrete clock of the simulation).  A :class:`SequenceState` is the
+scheduler's per-request working state while the request is live: its own
+:class:`~repro.core.kv_cache.KVCache`, its own eviction-policy instance
+(votes are per-sequence state), its sampling RNG, and the pending logits
+from which the next token will be sampled.
+
+The state machine is ``QUEUED -> RUNNING -> FINISHED``; the per-phase
+timestamps it records (arrival, admission, completion) are what the
+scheduler's latency statistics are computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Request", "SequenceState", "QUEUED", "RUNNING", "FINISHED"]
+
+#: Sequence lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One client request to the serving scheduler.
+
+    Parameters
+    ----------
+    request_id:
+        Caller-chosen hashable id, unique among live requests.
+    prompt:
+        Token ids to prefill, non-empty 1-D.
+    max_new_tokens:
+        Generation cap; the request retires after this many tokens even
+        without an EOS.
+    arrival_time:
+        Scheduler round at which the request becomes visible for
+        admission (0 = present from the start).
+    eos:
+        Optional stop-token id.
+    seed:
+        Seed for the request's private sampling RNG (greedy sampling
+        ignores it but stochastic samplers stay reproducible per request
+        regardless of batch composition).
+    budget:
+        Optional per-request KV cache budget overriding the scheduler's
+        default (``None`` = use the scheduler default).
+    """
+
+    request_id: object
+    prompt: np.ndarray
+    max_new_tokens: int
+    arrival_time: int = 0
+    eos: int | None = None
+    seed: int = 0
+    budget: int | None = None
+
+    def __post_init__(self):
+        self.prompt = np.asarray(self.prompt)
+        if self.prompt.ndim != 1 or self.prompt.shape[0] == 0:
+            raise ValueError("prompt must be a non-empty 1-D token array")
+        if self.max_new_tokens <= 0:
+            raise ValueError("max_new_tokens must be positive")
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be non-negative")
+        if self.budget is not None and self.budget <= 0:
+            raise ValueError("budget must be positive when given")
+
+
+@dataclass
+class SequenceState:
+    """Scheduler-side working state of one live request."""
+
+    request: Request
+    policy: object = None
+    cache: object = None
+    rng: object = None
+    status: str = QUEUED
+    #: Next-token logits pending a sampling decision.
+    logits: np.ndarray | None = None
+    #: Absolute position of the next token to be decoded.
+    position: int = 0
+    tokens: list = field(default_factory=list)
+    cache_lengths: list = field(default_factory=list)
+    evictions: list = field(default_factory=list)
+    admitted_at: int | None = None
+    finished_at: int | None = None
+    finish_reason: str | None = None
+
+    @property
+    def request_id(self):
+        return self.request.request_id
+
+    @property
+    def num_generated(self):
+        return len(self.tokens)
+
+    def finish(self, round_index, reason):
+        self.status = FINISHED
+        self.finished_at = round_index
+        self.finish_reason = reason
+        # Release references to the heavyweight per-sequence state; the
+        # result fields (tokens, stats, eviction log) stay.
+        self.cache = None
+        self.policy = None
+        self.logits = None

@@ -1,0 +1,356 @@
+"""Continuous-batching scheduler over the batched decode path.
+
+This is the serving loop the ROADMAP's "heavy traffic" north star asks
+for, in the Orca / vLLM mould: requests arrive over time, are admitted
+into the running batch as soon as a slot frees up (iteration-level
+scheduling, not static batches), decode in lock-step through
+:meth:`CachedTransformer.step_batch`, evict from their private KV caches
+via their private policy instances, and retire individually on EOS or
+token budget — immediately freeing their slot for the next queued
+request.
+
+Equivalence guarantee
+---------------------
+Per sequence, the scheduler performs the token-producing operation
+sequence of :meth:`repro.core.engine.GenerationEngine.generate` —
+prefill, block observation, budget enforcement, then
+sample/step/observe/evict per token — against per-sequence state, and
+the batched decode path is bitwise identical to solo decode (see
+:func:`repro.models.inference.batch_matmul`).  A request therefore
+generates the same tokens whether it is served alone or inside any batch
+mix; ``tests/serve/test_serve_scheduler.py`` locks this in.  One
+deliberate deviation: when a request retires by hitting
+``max_new_tokens``, the engine still spends a decode step on the final
+sampled token (its logits are discarded); the scheduler skips that dead
+step, so eviction counts and cache-length traces can trail the engine's
+by one step even though the tokens are identical.
+
+The clock is discrete: one *round* = one scheduler iteration (admission,
+one sampling pass, one batched decode step).  Request arrival times are
+expressed in rounds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engine import enforce_budget, sequence_capacity
+from repro.core.kv_cache import BatchedKVCache
+from repro.core.policies.base import GENERATION, PREFILL
+from repro.core.policies.voting import VotingPolicy
+from repro.core.sampling import greedy
+from repro.serve.request import FINISHED, RUNNING, Request, SequenceState
+
+__all__ = ["Scheduler", "ServingReport"]
+
+
+@dataclass
+class ServingReport:
+    """Aggregate + per-request outcome of one scheduler run."""
+
+    #: One dict per retired request (arrival/admission/finish rounds,
+    #: wait, latency, token count, finish reason, eviction count).
+    requests: list = field(default_factory=list)
+    total_rounds: int = 0
+    busy_rounds: int = 0
+    total_tokens: int = 0
+    peak_concurrency: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def tokens_per_round(self):
+        """Decode throughput in tokens per busy round (the batching win)."""
+        return self.total_tokens / self.busy_rounds if self.busy_rounds else 0.0
+
+    @property
+    def tokens_per_second(self):
+        return self.total_tokens / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def mean_latency(self):
+        """Mean rounds from arrival to completion."""
+        if not self.requests:
+            return 0.0
+        return float(np.mean([row["latency_rounds"] for row in self.requests]))
+
+    @property
+    def mean_wait(self):
+        """Mean rounds spent queued before admission."""
+        if not self.requests:
+            return 0.0
+        return float(np.mean([row["wait_rounds"] for row in self.requests]))
+
+    def summary(self):
+        """Flat dict of the aggregate metrics (for experiment tables)."""
+        return {
+            "requests": len(self.requests),
+            "rounds": self.total_rounds,
+            "tokens": self.total_tokens,
+            "tokens/round": self.tokens_per_round,
+            "tokens/s": self.tokens_per_second,
+            "mean_latency_rounds": self.mean_latency,
+            "mean_wait_rounds": self.mean_wait,
+            "peak_batch": self.peak_concurrency,
+        }
+
+
+class Scheduler:
+    """Continuous-batching serving loop over one model.
+
+    Parameters
+    ----------
+    model:
+        A :class:`repro.models.inference.CachedTransformer`.
+    policy_factory:
+        Zero-argument callable producing a fresh eviction-policy instance
+        per admitted request (policies hold per-sequence vote state).
+        Default: a :class:`VotingPolicy` sized to the model.
+    max_batch_size:
+        Admission cap on concurrently running sequences.
+    budget:
+        Default per-sequence KV budget (``None`` = no eviction); a
+        request's own ``budget`` field overrides it.
+    evictions_per_step:
+        Per-layer per-step eviction cap, as in the engine.
+    sampler:
+        ``sampler(logits, rng) -> token`` (default greedy).
+    """
+
+    def __init__(
+        self,
+        model,
+        policy_factory=None,
+        max_batch_size=8,
+        budget=None,
+        evictions_per_step=None,
+        sampler=greedy,
+    ):
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if budget is not None and budget <= 0:
+            raise ValueError(f"budget must be positive, got {budget}")
+        if evictions_per_step is not None and evictions_per_step <= 0:
+            raise ValueError("evictions_per_step must be positive")
+        self.model = model
+        self.policy_factory = policy_factory or (
+            lambda: VotingPolicy(model.config.n_layers)
+        )
+        self.max_batch_size = int(max_batch_size)
+        self.budget = budget
+        self.evictions_per_step = evictions_per_step
+        self.sampler = sampler
+
+        self.cache_bank = BatchedKVCache.for_model(model.config)
+        self._waiting = []  # SequenceState, FIFO by (arrival, submit order)
+        self._running = []  # SequenceState, admission order
+        self._finished = []
+        self.round_index = 0
+        self._busy_rounds = 0
+        self._total_tokens = 0
+        self._peak_concurrency = 0
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(self, request):
+        """Queue a :class:`Request` (or build one from kwargs-free args)."""
+        if not isinstance(request, Request):
+            raise TypeError(f"expected Request, got {type(request).__name__}")
+        # Finished ids stay reserved too: results are keyed by request id
+        # (``tokens_for``, report rows), so reuse would make them ambiguous.
+        seen = {
+            s.request_id
+            for s in self._waiting + self._running + self._finished
+        }
+        if request.request_id in seen or request.request_id in self.cache_bank:
+            raise KeyError(f"duplicate request id {request.request_id!r}")
+        self._waiting.append(SequenceState(request=request))
+        self._waiting.sort(key=lambda s: s.request.arrival_time)
+
+    @property
+    def num_waiting(self):
+        return len(self._waiting)
+
+    @property
+    def num_running(self):
+        return len(self._running)
+
+    @property
+    def done(self):
+        return not self._waiting and not self._running
+
+    # ------------------------------------------------------------------
+    # Scheduling loop
+    # ------------------------------------------------------------------
+    def run(self):
+        """Serve until every submitted request retired; returns a report."""
+        start = time.perf_counter()
+        while not self.done:
+            self.run_round()
+        wall = time.perf_counter() - start
+        return self._report(wall)
+
+    def run_round(self):
+        """One scheduler iteration: admit, sample, batched decode."""
+        # Fast-forward through idle time: nothing running and the next
+        # arrival is still in the future.
+        if not self._running and self._waiting:
+            next_arrival = self._waiting[0].request.arrival_time
+            if next_arrival > self.round_index:
+                self.round_index = next_arrival
+
+        self._admit()
+        self._peak_concurrency = max(self._peak_concurrency, len(self._running))
+
+        sampled = self._sample()
+        active = [s for s in self._running if s.status != FINISHED]
+        if active:
+            self._decode(active)
+        if sampled:
+            self._busy_rounds += 1
+            self._total_tokens += sampled
+        self._retire()
+        self.round_index += 1
+
+    # ------------------------------------------------------------------
+    # Round stages
+    # ------------------------------------------------------------------
+    def _admit(self):
+        """Admit arrived requests into free batch slots (prefill them)."""
+        while (
+            self._waiting
+            and len(self._running) < self.max_batch_size
+            and self._waiting[0].request.arrival_time <= self.round_index
+        ):
+            state = self._waiting.pop(0)
+            request = state.request
+            prompt = request.prompt
+            budget = request.budget if request.budget is not None else self.budget
+            capacity = sequence_capacity(
+                prompt.shape[0], request.max_new_tokens, budget
+            )
+
+            state.policy = self.policy_factory()
+            state.policy.reset()
+            state.rng = np.random.default_rng(request.seed)
+            state.cache = self.cache_bank.add_sequence(
+                request.request_id, capacity
+            )
+            state.status = RUNNING
+            state.admitted_at = self.round_index
+
+            prefill = self.model.prefill(prompt, state.cache)
+            positions = np.arange(prompt.shape[0])
+            for layer, attn in enumerate(prefill.attention):
+                state.policy.observe_block(layer, attn, positions, PREFILL)
+            enforce_budget(
+                state.policy,
+                state.cache,
+                budget,
+                step=0,
+                log=state.evictions,
+                evictions_per_step=self.evictions_per_step,
+            )
+            state.cache_lengths.append(state.cache[0].length)
+            state.logits = prefill.logits
+            state.position = prompt.shape[0]
+            self._running.append(state)
+
+    def _sample(self):
+        """Sample one token per running sequence; retire EOS/full ones.
+
+        Mirrors the engine's per-step prologue: sample, append, stop on
+        EOS or on reaching ``max_new_tokens`` (in which case no further
+        decode step is spent on the sequence).
+        """
+        sampled = 0
+        for state in self._running:
+            request = state.request
+            token = self.sampler(state.logits, state.rng)
+            state.tokens.append(token)
+            sampled += 1
+            if request.eos is not None and token == request.eos:
+                self._finish(state, "eos")
+            elif state.num_generated >= request.max_new_tokens:
+                self._finish(state, "length")
+        return sampled
+
+    def _decode(self, active):
+        """One batched decode step for every still-active sequence."""
+        tokens = [s.tokens[-1] for s in active]
+        positions = [s.position for s in active]
+        caches = [s.cache for s in active]
+        result = self.model.step_batch(tokens, positions, caches)
+
+        for b, state in enumerate(active):
+            budget = (
+                state.request.budget
+                if state.request.budget is not None
+                else self.budget
+            )
+            for layer, rows in enumerate(result.attention):
+                state.policy.observe(
+                    layer, rows[b], state.cache[layer].positions, GENERATION
+                )
+            enforce_budget(
+                state.policy,
+                state.cache,
+                budget,
+                step=state.num_generated,
+                log=state.evictions,
+                evictions_per_step=self.evictions_per_step,
+            )
+            state.cache_lengths.append(state.cache[0].length)
+            state.logits = result.logits[b]
+            state.position += 1
+
+    def _finish(self, state, reason):
+        self.cache_bank.remove_sequence(state.request_id)
+        state.finish(self.round_index, reason)
+
+    def _retire(self):
+        finished = [s for s in self._running if s.status == FINISHED]
+        if finished:
+            self._finished.extend(finished)
+            self._running = [s for s in self._running if s.status != FINISHED]
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def results(self):
+        """Retired :class:`SequenceState` objects in completion order."""
+        return list(self._finished)
+
+    def tokens_for(self, request_id):
+        """Generated tokens of a retired request."""
+        for state in self._finished:
+            if state.request_id == request_id:
+                return list(state.tokens)
+        raise KeyError(f"request {request_id!r} has not finished")
+
+    def _report(self, wall_seconds):
+        rows = [
+            {
+                "request_id": s.request_id,
+                "arrival": s.request.arrival_time,
+                "admitted": s.admitted_at,
+                "finished": s.finished_at,
+                "wait_rounds": s.admitted_at - s.request.arrival_time,
+                "latency_rounds": s.finished_at - s.request.arrival_time,
+                "tokens": s.num_generated,
+                "finish_reason": s.finish_reason,
+                "evictions": len(s.evictions),
+            }
+            for s in self._finished
+        ]
+        return ServingReport(
+            requests=rows,
+            total_rounds=self.round_index,
+            busy_rounds=self._busy_rounds,
+            total_tokens=self._total_tokens,
+            peak_concurrency=self._peak_concurrency,
+            wall_seconds=wall_seconds,
+        )

@@ -118,3 +118,74 @@ class TestCacheInteraction:
     def test_empty_prompt_rejected(self, tiny_inference):
         with pytest.raises(ValueError):
             tiny_inference.prefill(np.array([], dtype=int), tiny_inference.new_cache())
+
+
+class TestBatchedDecode:
+    """step_batch: batching must not change any sequence's numbers."""
+
+    def _prefilled(self, tiny_inference, rng, lengths):
+        caches, prompts = [], []
+        for length in lengths:
+            tokens = rng.integers(0, 64, size=length)
+            cache = tiny_inference.new_cache()
+            tiny_inference.prefill(tokens, cache)
+            caches.append(cache)
+            prompts.append(tokens)
+        return caches, prompts
+
+    def test_step_batch_bitwise_matches_solo_step(self, tiny_inference, rng):
+        """A sequence decodes to bit-identical logits alone or batched."""
+        solo_caches, prompts = self._prefilled(tiny_inference, rng, [6, 11, 17])
+        batch_rng = np.random.default_rng(99)  # same stream as `rng` fixture
+        batch_caches, _ = self._prefilled(tiny_inference, batch_rng, [6, 11, 17])
+
+        tokens = [3, 9, 27]
+        positions = [len(p) for p in prompts]
+        solo_logits = [
+            tiny_inference.step(t, p, c).logits
+            for t, p, c in zip(tokens, positions, solo_caches)
+        ]
+        batched = tiny_inference.step_batch(tokens, positions, batch_caches)
+        for b in range(3):
+            np.testing.assert_array_equal(batched.logits[b], solo_logits[b])
+
+    def test_step_batch_attention_rows_match_solo(self, tiny_inference, rng):
+        solo_caches, prompts = self._prefilled(tiny_inference, rng, [5, 9])
+        batch_rng = np.random.default_rng(99)
+        batch_caches, _ = self._prefilled(tiny_inference, batch_rng, [5, 9])
+
+        tokens, positions = [1, 2], [len(p) for p in prompts]
+        solo = [
+            tiny_inference.step(t, p, c)
+            for t, p, c in zip(tokens, positions, solo_caches)
+        ]
+        batched = tiny_inference.step_batch(tokens, positions, batch_caches)
+        for layer in range(tiny_inference.config.n_layers):
+            for b in range(2):
+                np.testing.assert_array_equal(
+                    batched.attention[layer][b], solo[b].attention[layer]
+                )
+
+    def test_step_batch_appends_to_each_cache(self, tiny_inference, rng):
+        caches, prompts = self._prefilled(tiny_inference, rng, [4, 7])
+        tiny_inference.step_batch([0, 1], [4, 7], caches)
+        assert caches[0].lengths == [5] * tiny_inference.config.n_layers
+        assert caches[1].lengths == [8] * tiny_inference.config.n_layers
+        assert caches[0][0].positions[-1] == 4
+        assert caches[1][0].positions[-1] == 7
+
+    def test_step_batch_shape_validation(self, tiny_inference, rng):
+        caches, _ = self._prefilled(tiny_inference, rng, [4])
+        with pytest.raises(ValueError):
+            tiny_inference.step_batch([1, 2], [4], caches)
+        with pytest.raises(ValueError):
+            tiny_inference.step_batch([], [], [])
+
+    def test_ragged_batch_with_evictions(self, tiny_inference, rng):
+        """Mixed cache lengths after eviction still decode per-sequence."""
+        caches, prompts = self._prefilled(tiny_inference, rng, [10, 10])
+        for layer_cache in caches[0]:
+            layer_cache.evict(2)
+        result = tiny_inference.step_batch([5, 6], [10, 10], caches)
+        assert result.attention[0][0].shape[1] == 10  # 9 survivors + new
+        assert result.attention[0][1].shape[1] == 11

@@ -15,7 +15,7 @@ from repro.core.policies import (
     StreamingLLMPolicy,
     VotingPolicy,
 )
-from repro.core.policies.base import GENERATION
+from repro.core.policies.base import GENERATION, PREFILL, EvictionPolicy
 from repro.models.inference import stable_softmax
 
 
@@ -97,6 +97,76 @@ class TestVotingInvariants:
             current = policy.vote_counts(0)
             assert np.all(current[: previous.shape[0]] >= previous)
             previous = current
+
+
+@st.composite
+def causal_block(draw):
+    """A (H, L, L) causal softmax attention block, as prefill records it."""
+    heads = draw(st.integers(1, 4))
+    length = draw(st.integers(2, 28))
+    seed = draw(st.integers(0, 2**31 - 1))
+    scale = draw(st.sampled_from([0.5, 2.0, 6.0, 12.0]))
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=(heads, length, length)) * scale
+    mask = np.triu(np.ones((length, length), dtype=bool), k=1)
+    return stable_softmax(np.where(mask, -1e30, logits), axis=-1)
+
+
+class TestObserveBlockEquivalence:
+    """The vectorized prefill observation is the scalar loop, exactly."""
+
+    @given(causal_block(), st.integers(0, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_vote_counts_bit_identical(self, attn, reserved):
+        positions = np.arange(attn.shape[1])
+        scalar = VotingPolicy(n_layers=1, reserved_length=reserved)
+        vectorized = VotingPolicy(n_layers=1, reserved_length=reserved)
+        # The base-class observe_block replays the block row by row
+        # through the scalar ``observe`` — the reference semantics.
+        EvictionPolicy.observe_block(scalar, 0, attn, positions, PREFILL)
+        vectorized.observe_block(0, attn, positions, PREFILL)
+        np.testing.assert_array_equal(
+            scalar.vote_counts(0), vectorized.vote_counts(0)
+        )
+
+    @given(causal_block(), st.integers(0, 8), st.integers(2, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_eviction_decisions_identical(self, attn, reserved, budget):
+        """Identical vote state ⇒ identical victims down to any budget."""
+        length = attn.shape[1]
+        positions = np.arange(length)
+        scalar = VotingPolicy(n_layers=1, reserved_length=reserved)
+        vectorized = VotingPolicy(n_layers=1, reserved_length=reserved)
+        EvictionPolicy.observe_block(scalar, 0, attn, positions, PREFILL)
+        vectorized.observe_block(0, attn, positions, PREFILL)
+
+        live = list(positions)
+        while len(live) > budget:
+            slot_scalar = scalar.select_victim(0, np.array(live))
+            slot_vectorized = vectorized.select_victim(0, np.array(live))
+            assert slot_scalar == slot_vectorized
+            live.pop(slot_scalar)
+            scalar.on_evict(0, slot_scalar)
+            vectorized.on_evict(0, slot_scalar)
+            np.testing.assert_array_equal(
+                scalar.vote_counts(0), vectorized.vote_counts(0)
+            )
+
+    @given(causal_block(), st.integers(0, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_sum_head_reduction_matches(self, attn, reserved):
+        positions = np.arange(attn.shape[1])
+        scalar = VotingPolicy(
+            n_layers=1, reserved_length=reserved, head_reduction="sum"
+        )
+        vectorized = VotingPolicy(
+            n_layers=1, reserved_length=reserved, head_reduction="sum"
+        )
+        EvictionPolicy.observe_block(scalar, 0, attn, positions, PREFILL)
+        vectorized.observe_block(0, attn, positions, PREFILL)
+        np.testing.assert_array_equal(
+            scalar.vote_counts(0), vectorized.vote_counts(0)
+        )
 
 
 class TestH2OInvariants:
