@@ -92,8 +92,15 @@ def test_prefill_observe_vectorized(benchmark, rng):
 
 @pytest.mark.slow  # wall-clock assertion: keep off noisy shared CI runners
 def test_prefill_observe_vectorized_speedup(rng):
-    """Vectorized prefill observation: ≥5× over the scalar loop at L=512,
-    with bit-identical vote counts."""
+    """Vectorized prefill observation: ≥4× over the scalar loop at L=512,
+    with bit-identical vote counts.
+
+    The kernel's per-row reductions run through ``np.add.reduceat`` so a
+    row's votes are bitwise identical under any chunking/width — the
+    exactness the paged path's prefix-cache snapshots rest on (see
+    ``VotingPolicy._vote_rows``).  That costs a little throughput over
+    the width-dependent pairwise sums this floor was originally set at
+    5× for; the floor is 4× since the trade."""
     attn = causal_attention_block(rng, heads=4, length=512)
     positions = np.arange(512)
     scalar = VotingPolicy(n_layers=1, reserved_length=32)
@@ -123,7 +130,7 @@ def test_prefill_observe_vectorized_speedup(rng):
         scalar.vote_counts(0), vectorized.vote_counts(0)
     )
     speedup = t_scalar / t_vectorized
-    assert speedup >= 5.0, (
+    assert speedup >= 4.0, (
         f"vectorized observe_block only {speedup:.1f}x faster "
         f"({t_scalar * 1e3:.2f}ms scalar vs {t_vectorized * 1e3:.2f}ms)"
     )

@@ -8,6 +8,8 @@ Usage::
     python -m repro fig8_left --fast     # reduced sweep for a quick look
     python -m repro serve-bench          # continuous-batching serving bench
     python -m repro serve-bench --requests 16 --batch-sizes 1,4,8
+    python -m repro serve-bench --paged --shared-prefix 32
+                                         # paged KV + prefix sharing vs dense
 
 Results are also written to ``.artifacts/results/`` as text tables.
 """
@@ -159,6 +161,31 @@ def _serve_bench(argv):
     parser.add_argument(
         "--seed", type=_nonnegative_int, default=0, help="workload seed"
     )
+    parser.add_argument(
+        "--paged",
+        action="store_true",
+        help="also serve each trace from a paged block pool and report "
+        "peak-KV reduction, block utilization, and prefix-cache hits "
+        "(tokens are asserted bit-identical to the dense run)",
+    )
+    parser.add_argument(
+        "--block-size",
+        type=_positive_int,
+        default=4,
+        help="KV slots per pool block (paged mode)",
+    )
+    parser.add_argument(
+        "--shared-prefix",
+        type=_nonnegative_int,
+        default=0,
+        help="prepend the same N-token system prompt to every request "
+        "(the cross-request prefix-sharing workload)",
+    )
+    parser.add_argument(
+        "--no-prefix-cache",
+        action="store_true",
+        help="disable cross-request prefix sharing in paged mode",
+    )
     args = parser.parse_args(argv)
     try:
         batch_sizes = tuple(int(b) for b in args.batch_sizes.split(","))
@@ -176,6 +203,10 @@ def _serve_bench(argv):
         n_requests=args.requests,
         mean_interarrival=args.interarrival,
         seed=args.seed,
+        paged=args.paged,
+        block_size=args.block_size,
+        shared_prefix=args.shared_prefix,
+        prefix_caching=not args.no_prefix_cache,
     )
     # Ad-hoc sweeps must not clobber the canonical `serving` artifact
     # that `python -m repro all` regenerates.

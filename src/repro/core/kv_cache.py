@@ -167,20 +167,33 @@ class BatchedKVCache:
     Sequence ids are caller-chosen hashables (request ids); insertion
     order is preserved, which the scheduler relies on for deterministic
     batch composition.
+
+    ``cache_factory`` swaps the per-sequence storage layout: it is called
+    as ``cache_factory(capacity)`` and must return a :class:`KVCache`
+    drop-in (the paged serving path passes a
+    :class:`repro.serve.paging.PagedKVCache` builder here).  A cache
+    exposing ``release()`` has it called on removal, so block-backed
+    layouts return their storage to the pool when a sequence retires.
     """
 
-    def __init__(self, n_layers, n_heads, head_dim):
+    def __init__(self, n_layers, n_heads, head_dim, cache_factory=None):
         if n_layers <= 0:
             raise ValueError(f"n_layers must be positive, got {n_layers}")
         self.n_layers = int(n_layers)
         self.n_heads = int(n_heads)
         self.head_dim = int(head_dim)
+        self._cache_factory = cache_factory
         self._caches = {}
 
     @classmethod
-    def for_model(cls, config):
+    def for_model(cls, config, cache_factory=None):
         """Build an empty bank sized to a :class:`ModelConfig`."""
-        return cls(config.n_layers, config.n_heads, config.head_dim)
+        return cls(
+            config.n_layers,
+            config.n_heads,
+            config.head_dim,
+            cache_factory=cache_factory,
+        )
 
     @property
     def sequence_ids(self):
@@ -197,7 +210,10 @@ class BatchedKVCache:
         """Allocate a fresh per-sequence cache; returns its :class:`KVCache`."""
         if seq_id in self._caches:
             raise KeyError(f"sequence {seq_id!r} already allocated")
-        cache = KVCache(self.n_layers, self.n_heads, self.head_dim, capacity)
+        if self._cache_factory is not None:
+            cache = self._cache_factory(capacity)
+        else:
+            cache = KVCache(self.n_layers, self.n_heads, self.head_dim, capacity)
         self._caches[seq_id] = cache
         return cache
 
@@ -208,10 +224,18 @@ class BatchedKVCache:
         return self._caches[seq_id]
 
     def remove_sequence(self, seq_id):
-        """Release a retired sequence's cache (returns it for inspection)."""
+        """Release a retired sequence's cache (returns it for inspection).
+
+        Caches with a ``release`` method (paged layouts) get it called so
+        their blocks return to the pool immediately.
+        """
         if seq_id not in self._caches:
             raise KeyError(f"unknown sequence {seq_id!r}")
-        return self._caches.pop(seq_id)
+        cache = self._caches.pop(seq_id)
+        release = getattr(cache, "release", None)
+        if callable(release):
+            release()
+        return cache
 
     def select(self, seq_ids):
         """The caches of ``seq_ids``, in that order (for ``step_batch``)."""

@@ -45,6 +45,15 @@ class EvictionPolicy(ABC):
     #: Registry name; subclasses override.
     name = "base"
 
+    #: Whether this policy's observation state may be reconstructed from a
+    #: prefix-cache snapshot (:meth:`export_prefill_state` /
+    #: :meth:`import_prefill_state`).  The base default (no-op ``observe``)
+    #: is trivially shareable; a subclass that overrides ``observe`` with
+    #: real state MUST either implement the export/import pair or set this
+    #: to ``False``, otherwise a prefix-cache hit would silently drop the
+    #: prefix rows' contributions and change eviction decisions.
+    prefix_shareable = True
+
     def __init__(self, n_layers):
         if n_layers <= 0:
             raise ValueError(f"n_layers must be positive, got {n_layers}")
@@ -83,6 +92,64 @@ class EvictionPolicy(ABC):
             )
         for row in range(positions.shape[0]):
             self.observe(layer, attn[:, row, : row + 1], positions[: row + 1], phase)
+
+    def observe_continuation(self, layer, attn, positions, phase):
+        """Consume the *last* ``R`` rows of a causal block over ``L`` slots.
+
+        ``attn`` is ``(H, R, L)`` with ``R <= L``: row ``r`` is the
+        attention of the slot at index ``L - R + r`` over slots
+        ``0..L-R+r`` (entries beyond are zero), ``positions`` the ``(L,)``
+        absolute positions of all slots.  This is how a chunked prefill
+        (prefix-cache hit, or block-boundary snapshotting) feeds the
+        policy: the earlier rows were observed previously — or their
+        effect imported via :meth:`import_prefill_state`.  The square case
+        ``R == L`` is semantically ``observe_block``.  Default: replay the
+        new rows through :meth:`observe`, exactly like ``observe_block``'s
+        row-by-row reference replay.
+        """
+        attn = np.asarray(attn)
+        if attn.ndim != 3 or attn.shape[1] > attn.shape[2]:
+            raise ValueError(f"attn must be (H, R<=L, L), got shape {attn.shape}")
+        positions = np.asarray(positions)
+        if positions.shape[0] != attn.shape[2]:
+            raise ValueError(
+                f"positions length {positions.shape[0]} != slot count "
+                f"{attn.shape[2]}"
+            )
+        offset = attn.shape[2] - attn.shape[1]
+        for row in range(attn.shape[1]):
+            stop = offset + row + 1
+            self.observe(layer, attn[:, row, :stop], positions[:stop], phase)
+
+    def export_prefill_state(self, layer, length):
+        """Snapshot slot-aligned observation state for slots ``[0, length)``.
+
+        Called at a prefill block boundary, after the rows ``< length``
+        have been observed and before any later row — so the snapshot is a
+        pure function of the first ``length`` prompt tokens and can be
+        keyed by them in a prefix cache.  ``None`` (the default) means
+        "nothing to restore", which is only correct for policies whose
+        ``observe`` is a no-op.
+        """
+        return None
+
+    def import_prefill_state(self, layer, state, length):
+        """Restore a snapshot taken by :meth:`export_prefill_state` onto a
+        freshly reset policy, in place of observing the first ``length``
+        prefill rows."""
+        if state is not None:
+            raise NotImplementedError(
+                f"{type(self).__name__} cannot import prefill state"
+            )
+
+    def prefix_state_key(self):
+        """Hashable identity of this policy's observation semantics.
+
+        Prefix-cache snapshots are only reused between requests whose
+        policies share this key; subclasses with hyper-parameters that
+        change what ``observe`` accumulates must fold them in.
+        """
+        return type(self).__name__
 
     @abstractmethod
     def select_victim(self, layer, positions):

@@ -34,6 +34,9 @@ class TOVAPolicy(EvictionPolicy):
     """Evicts the entry least attended by the newest token."""
 
     name = "tova"
+    # Accumulates observation state without an export/import pair, so a
+    # prefix-cache hit cannot reconstruct it; opt out of sharing.
+    prefix_shareable = False
 
     def __init__(self, n_layers, protected_prefix=1, recent_window=8):
         super().__init__(n_layers)
@@ -87,6 +90,9 @@ class ScissorhandsPolicy(EvictionPolicy):
     """
 
     name = "scissorhands"
+    # Accumulates observation state without an export/import pair, so a
+    # prefix-cache hit cannot reconstruct it; opt out of sharing.
+    prefix_shareable = False
 
     def __init__(self, n_layers, history=64, protected_prefix=4, recent_window=8):
         super().__init__(n_layers)
@@ -151,6 +157,9 @@ class DecayedAccumulationPolicy(EvictionPolicy):
     """H2O with exponential forgetting of old attention mass."""
 
     name = "decayed_h2o"
+    # Accumulates observation state without an export/import pair, so a
+    # prefix-cache hit cannot reconstruct it; opt out of sharing.
+    prefix_shareable = False
 
     def __init__(self, n_layers, half_life=128, protected_prefix=4, recent_window=8):
         super().__init__(n_layers)

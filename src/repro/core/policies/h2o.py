@@ -92,3 +92,27 @@ class H2OPolicy(EvictionPolicy):
     def on_evict(self, layer, slot):
         self._check_layer(layer)
         self._scores[layer] = np.delete(self._scores[layer], slot)
+
+    # ------------------------------------------------------------------
+    # Prefix-cache state sharing
+    # ------------------------------------------------------------------
+    def export_prefill_state(self, layer, length):
+        """Accumulated scores of slots ``[0, length)`` — at a prefill
+        block boundary a pure function of the first ``length`` tokens
+        (rows are accumulated in order, so later rows have not yet
+        contributed)."""
+        self._check_layer(layer)
+        scores = self._scores[layer]
+        out = np.zeros(length)
+        out[: min(length, scores.shape[0])] = scores[:length]
+        return out
+
+    def import_prefill_state(self, layer, state, length):
+        self._check_layer(layer)
+        state = np.asarray(state, dtype=np.float64)
+        if state.shape != (length,):
+            raise ValueError(f"state shape {state.shape} != ({length},)")
+        self._scores[layer] = state.copy()
+
+    def prefix_state_key(self):
+        return (type(self).__name__, self.head_reduction)

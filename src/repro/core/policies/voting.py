@@ -51,6 +51,38 @@ def _tril_mask(length):
     return mask
 
 
+def _causal_row_sums(rows, offset):
+    """Per-row sums of ``rows[i, : offset + i + 1]`` in one vector op.
+
+    ``np.add.reduceat``'s accumulation grouping is a pure function of each
+    segment (fixed unrolling from the segment start, no global pairwise
+    blocking), so row ``i``'s sum is bitwise identical no matter the block
+    width ``L`` the row is embedded in.  That width-invariance is what
+    lets chunk-fed prefill voting (prefix-cache snapshots, block-boundary
+    feeding) reproduce the one-shot square kernel exactly — see
+    ``observe_continuation``.
+
+    Segment bounds interleave ``[start_i, end_i)`` pairs, dropping the
+    last row's end: that row's causal length is always exactly the block
+    width (``offset + n_rows == width``), so its segment legitimately
+    runs to the end of the flattened view — which keeps every index in
+    range and the whole computation copy-free.  The discarded odd
+    entries (zero-tail sums) are never empty segments: every non-final
+    row's causal length is strictly below the width.
+    """
+    n_rows, width = rows.shape
+    flat = rows.reshape(-1)
+    starts = np.arange(n_rows, dtype=np.intp) * width
+    bounds = np.empty(2 * n_rows - 1, dtype=np.intp)
+    bounds[0::2] = starts
+    if n_rows > 1:
+        bounds[1::2] = (
+            starts[:-1]
+            + np.arange(offset + 1, offset + n_rows, dtype=np.intp)
+        )
+    return np.add.reduceat(flat, bounds)[0::2]
+
+
 def adaptive_threshold(row, a=1.0, b=0.2):
     """The adaptive voting threshold ``T = a*mean - b*std`` for one row.
 
@@ -195,31 +227,50 @@ class VotingPolicy(EvictionPolicy):
 
         Equivalent to replaying ``observe`` over the block's growing row
         slices (the base-class reference implementation) but in a single
-        numpy pass: per-row means come from full-row sums (entries above
-        the diagonal are exactly zero after the causal softmax), per-row
-        standard deviations from tril-masked squared deviations, the
-        reserved prefix is excluded column-wise, and rows whose adaptive
-        threshold falls to/below zero vote only for their minimum eligible
-        score (the paper's sub-zero fallback).
-
-        Numerics note: the full-row reductions may group their pairwise
-        summation differently from the scalar path's per-slice
-        reductions, so a mean/std can differ in the last ulp at large
-        block lengths.  A vote flips only if a score lies within that
-        ulp of the threshold — never observed in practice; the property
-        and micro-benchmark suites assert exact vote-count agreement
-        across their (seeded) regimes.
+        numpy pass; see :meth:`_vote_rows` for the kernel and its
+        numerics contract.
         """
-        self._check_layer(layer)
         attn = np.asarray(attn)
         if attn.ndim != 3 or attn.shape[1] != attn.shape[2]:
             raise ValueError(f"attn must be (H, L, L), got shape {attn.shape}")
-        positions = np.asarray(positions)
-        length = attn.shape[1]
+        self._vote_rows(layer, attn, np.asarray(positions))
+
+    def observe_continuation(self, layer, attn, positions, phase):
+        """Vectorized voting over the last ``R`` rows of a causal block.
+
+        Same kernel as :meth:`observe_block` (which is the ``R == L``
+        case); used by the paged serving path to feed prefill attention in
+        block-sized chunks — either because earlier rows were observed in
+        a previous chunk, or because their vote contributions arrived via
+        :meth:`import_prefill_state` on a prefix-cache hit.
+        """
+        attn = np.asarray(attn)
+        if attn.ndim != 3 or attn.shape[1] > attn.shape[2]:
+            raise ValueError(f"attn must be (H, R<=L, L), got shape {attn.shape}")
+        self._vote_rows(layer, attn, np.asarray(positions))
+
+    def _vote_rows(self, layer, attn, positions):
+        """Accumulate votes from causal rows ``L - R .. L - 1``.
+
+        Per-row means and standard deviations are reduced with
+        :func:`_causal_row_sums` over each row's true causal length, so a
+        row's threshold — and therefore its votes — is bitwise identical
+        whether the block arrives whole, in chunks, or embedded in a wider
+        prompt (the prefix-cache snapshot contract).  Vote accumulation is
+        integer, hence exact under any chunking.  The scalar ``observe``
+        path may still differ from this kernel in the last ulp of a
+        mean/std (its ``np.mean``/``np.std`` use pairwise reductions); a
+        vote flips only if a score lies within that ulp of the threshold —
+        never observed in practice, and the property suite asserts exact
+        agreement across its seeded regimes.
+        """
+        self._check_layer(layer)
+        n_rows, length = attn.shape[1], attn.shape[2]
         if positions.shape[0] != length:
             raise ValueError(
-                f"positions length {positions.shape[0]} != block length {length}"
+                f"positions length {positions.shape[0]} != block width {length}"
             )
+        offset = length - n_rows
         votes = self._ensure_length(layer, length)
 
         if self.head_reduction == "mean":
@@ -228,40 +279,70 @@ class VotingPolicy(EvictionPolicy):
             rows = attn.sum(axis=0)
         rows = rows.astype(np.float64, copy=False)
 
-        tri = _tril_mask(length)
-        counts = np.arange(1, length + 1, dtype=np.float64)
-        # Entries above the diagonal are exactly zero (the causal-softmax
-        # contract of ``observe_block``, and -1e30 masking underflows to a
-        # hard 0.0), so per-row sums need no masking; the deviations do,
-        # because ``0 - mean != 0`` above the diagonal.
-        means = rows.sum(axis=1) / counts
+        # Row i is the attention of slot offset+i over slots 0..offset+i;
+        # entries beyond are exactly zero (the causal-softmax contract:
+        # -1e30 masking underflows to a hard 0.0).
+        tri = _tril_mask(length)[offset:]
+        counts = np.arange(offset + 1, length + 1, dtype=np.float64)
+        means = _causal_row_sums(rows, offset) / counts
         deviations = rows - means[:, None]
         deviations *= tri
-        stds = np.sqrt(
-            np.einsum("ij,ij->i", deviations, deviations) / counts
-        )
+        np.multiply(deviations, deviations, out=deviations)
+        stds = np.sqrt(_causal_row_sums(deviations, offset) / counts)
         thresholds = self.a * means - self.b * stds
 
         col_eligible = positions >= self.reserved_length
         # A row votes iff its own position cleared the reserved prefix
         # (its diagonal slot is then an eligible vote target, so a voter
         # always sees at least one eligible slot).
-        voters = col_eligible
+        voters = col_eligible[offset:]
 
-        eligible_matrix = tri & col_eligible[None, :]
         vote_matrix = rows < thresholds[:, None]
-        vote_matrix &= eligible_matrix
+        vote_matrix &= tri
+        vote_matrix &= col_eligible[None, :]
         fallback_rows = np.flatnonzero(voters & (thresholds <= 0.0))
         if fallback_rows.size:
-            inf_masked = np.where(
-                eligible_matrix[fallback_rows], rows[fallback_rows], np.inf
-            )
+            eligible = tri[fallback_rows] & col_eligible[None, :]
+            inf_masked = np.where(eligible, rows[fallback_rows], np.inf)
             vote_matrix[fallback_rows] = False
             vote_matrix[
                 fallback_rows, np.argmin(inf_masked, axis=1)
             ] = True
         vote_matrix[~voters] = False
         votes[:length] += vote_matrix.sum(axis=0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Prefix-cache state sharing
+    # ------------------------------------------------------------------
+    def export_prefill_state(self, layer, length):
+        """Vote counts of slots ``[0, length)`` — at a prefill block
+        boundary these are a pure function of the first ``length`` prompt
+        tokens (later rows have not voted yet)."""
+        self._check_layer(layer)
+        if length > self._lengths[layer]:
+            raise ValueError(
+                f"export length {length} beyond observed {self._lengths[layer]}"
+            )
+        return self._votes[layer][:length].copy()
+
+    def import_prefill_state(self, layer, state, length):
+        """Seed vote counters from a snapshot, in place of observing the
+        first ``length`` prefill rows."""
+        self._check_layer(layer)
+        state = np.asarray(state, dtype=np.int64)
+        if state.shape != (length,):
+            raise ValueError(f"state shape {state.shape} != ({length},)")
+        votes = self._ensure_length(layer, length)
+        votes[:length] = state
+
+    def prefix_state_key(self):
+        return (
+            type(self).__name__,
+            self.a,
+            self.b,
+            self.reserved_length,
+            self.head_reduction,
+        )
 
     def select_victim(self, layer, positions):
         self._check_layer(layer)

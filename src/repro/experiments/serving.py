@@ -1,4 +1,4 @@
-"""Serving benchmark: continuous-batching throughput vs batch size.
+"""Serving benchmark: continuous batching, paging, and prefix sharing.
 
 The paper's Sec. I (via Orca) argues batching amortizes weight fetches
 for linear layers while attention stays per-user; ``batching.py`` models
@@ -8,6 +8,13 @@ arrivals over scheduler rounds, mixed prompt/generation lengths) is
 served by :class:`repro.serve.Scheduler` with VotingPolicy eviction at
 several batch-size caps, reporting real tokens/s, per-round throughput,
 and queueing latency.
+
+Paged mode additionally serves every trace twice — dense slabs vs the
+block pool — asserts the generated tokens are bit-identical, and reports
+the paged-memory wins: peak-KV reduction, block utilization, prefix-hit
+rate, and prefill tokens saved.  A ``shared_prefix`` workload (every
+request opens with the same system prompt) is where both paging levers
+pull at once: the prefix is stored once and prefilled once.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ def make_workload(
     prompt_range=(12, 48),
     max_new_range=(8, 24),
     compression_ratio=0.5,
+    shared_prefix=0,
     vocab=None,
     seed=0,
 ):
@@ -40,23 +48,29 @@ def make_workload(
     mean; prompt lengths and generation caps are uniform in their
     ranges; each request gets the paper's ratio-derived cache budget
     ``S = Round(r * P)`` with the R = 32 floor relaxed to 8 for the tiny
-    model.
+    model.  ``shared_prefix`` prepends the same ``shared_prefix``-token
+    system prompt to every request (the prefix-cache workload); prompt
+    lengths then are ``shared_prefix`` plus the per-request draw.
     """
     rng = np.random.default_rng(seed)
     vocab = vocab if vocab is not None else tiny_config().vocab_size
+    prefix = rng.integers(0, vocab, size=int(shared_prefix))
     requests = []
     arrival = 0
     for i in range(n_requests):
-        prompt_len = int(rng.integers(*prompt_range))
+        unique_len = int(rng.integers(*prompt_range))
+        prompt = np.concatenate(
+            [prefix, rng.integers(0, vocab, size=unique_len)]
+        )
         requests.append(
             Request(
                 request_id=f"req-{i}",
-                prompt=rng.integers(0, vocab, size=prompt_len),
+                prompt=prompt,
                 max_new_tokens=int(rng.integers(*max_new_range)),
                 arrival_time=arrival,
                 seed=i,
                 budget=budget_from_ratio(
-                    compression_ratio, prompt_len, minimum=8
+                    compression_ratio, prompt.shape[0], minimum=8
                 ),
             )
         )
@@ -71,12 +85,26 @@ def run(
     reserved_length=4,
     model=None,
     seed=0,
+    paged=False,
+    block_size=8,
+    shared_prefix=0,
+    prefix_caching=True,
+    prompt_range=(12, 48),
+    max_new_range=(8, 24),
+    compression_ratio=0.5,
 ):
     """Serve the same trace at several batch caps; tabulate the effect.
 
     ``batch=1`` degenerates to sequential serving (the seed repo's only
     mode); larger caps show continuous batching amortizing per-round
     Python/linear-layer overhead and collapsing queue waits.
+
+    With ``paged=True`` every cap is served twice — dense and paged on
+    the identical trace — the generated tokens are asserted bit-equal,
+    and each row gains the paged columns: peak-KV reduction vs the dense
+    slabs, mean block utilization, prefix-cache hit rate, and prefill
+    tokens saved.  Combine with ``shared_prefix`` (a common system
+    prompt) to exercise cross-request prefix sharing.
     """
     if model is None:
         model = CachedTransformer.from_module(
@@ -84,45 +112,97 @@ def run(
         )
     n_layers = model.config.n_layers
 
-    rows = []
-    for batch_size in batch_sizes:
+    # Keep the hot shared prefix resident with headroom while letting
+    # never-rehit unique-suffix blocks recycle back to the pool.
+    prefix_cache_blocks = max(
+        16, 2 * n_layers * (int(shared_prefix) // block_size + 1)
+    )
+
+    def serve(batch_size, use_paged):
         scheduler = Scheduler(
             model,
             policy_factory=lambda: VotingPolicy(
                 n_layers, reserved_length=reserved_length
             ),
             max_batch_size=batch_size,
+            paged=use_paged,
+            block_size=block_size,
+            prefix_caching=prefix_caching,
+            prefix_cache_blocks=prefix_cache_blocks,
         )
         for request in make_workload(
             n_requests=n_requests,
             mean_interarrival=mean_interarrival,
+            prompt_range=prompt_range,
+            max_new_range=max_new_range,
+            compression_ratio=compression_ratio,
+            shared_prefix=shared_prefix,
             vocab=model.config.vocab_size,
             seed=seed,
         ):
             scheduler.submit(request)
         report = scheduler.run()
+        return scheduler, report
+
+    rows = []
+    for batch_size in batch_sizes:
+        scheduler, report = serve(batch_size, use_paged=False)
         summary = report.summary()
-        rows.append(
-            {
-                "max_batch": batch_size,
-                "rounds": summary["rounds"],
-                "tokens": summary["tokens"],
-                "tokens/round": summary["tokens/round"],
-                "tokens/s": summary["tokens/s"],
-                "mean_wait": summary["mean_wait_rounds"],
-                "mean_latency": summary["mean_latency_rounds"],
-                "peak_batch": summary["peak_batch"],
-            }
+        row = {
+            "max_batch": batch_size,
+            "rounds": summary["rounds"],
+            "tokens": summary["tokens"],
+            "tokens/round": summary["tokens/round"],
+            "tokens/s": summary["tokens/s"],
+            "mean_wait": summary["mean_wait_rounds"],
+            "mean_latency": summary["mean_latency_rounds"],
+            "peak_batch": summary["peak_batch"],
+            "peak_kv": summary["peak_kv_slots"],
+        }
+        if paged:
+            paged_scheduler, paged_report = serve(batch_size, use_paged=True)
+            for i in range(n_requests):
+                request_id = f"req-{i}"
+                if paged_scheduler.tokens_for(request_id) != scheduler.tokens_for(
+                    request_id
+                ):
+                    raise AssertionError(
+                        f"paged tokens diverged from dense for {request_id} "
+                        f"at batch cap {batch_size}"
+                    )
+            reduction = (
+                1.0 - paged_report.peak_kv_slots / report.peak_kv_slots
+                if report.peak_kv_slots
+                else 0.0
+            )
+            row.update(
+                {
+                    "peak_kv_paged": paged_report.peak_kv_slots,
+                    "kv_reduction": reduction,
+                    "block_util": paged_report.mean_block_utilization,
+                    "prefix_hit_rate": paged_report.prefix_hit_rate,
+                    "prefill_saved": paged_report.prefill_tokens_saved,
+                }
+            )
+        rows.append(row)
+    notes = (
+        "Same request trace at every cap; per-request tokens are "
+        "identical across caps (batch-invariant decode), so rows "
+        "differ only in scheduling. Linear layers share one stacked "
+        "matmul per round while each request keeps a private KV "
+        "cache with VotingPolicy eviction."
+    )
+    if paged:
+        notes += (
+            " Paged rows re-serve the identical trace from a shared "
+            f"block pool (block_size={block_size}, shared_prefix="
+            f"{shared_prefix}); tokens are asserted bit-equal to the "
+            "dense run, so kv_reduction and prefix hits are pure memory/"
+            "compute wins."
         )
     return ExperimentResult(
         "serving",
         f"Continuous-batching throughput vs batch cap ({n_requests} requests)",
         rows=rows,
-        notes=(
-            "Same request trace at every cap; per-request tokens are "
-            "identical across caps (batch-invariant decode), so rows "
-            "differ only in scheduling. Linear layers share one stacked "
-            "matmul per round while each request keeps a private KV "
-            "cache with VotingPolicy eviction."
-        ),
+        notes=notes,
     )

@@ -202,22 +202,40 @@ class CachedTransformer:
     # Prefill
     # ------------------------------------------------------------------
     def prefill(self, tokens, cache, start_position=0):
-        """Encode the prompt in parallel and populate ``cache``.
+        """Encode a prompt (or prompt continuation) and populate ``cache``.
+
+        When ``cache`` already holds entries — a shared prefix adopted
+        from the serving prefix cache, or an earlier chunk — the new
+        tokens attend to the cached keys/values as well as to each other,
+        so a chunked prefill reproduces the one-shot prefill exactly.
+        All linear layers go through :func:`batch_matmul`, whose per-row
+        accumulation order is independent of the number of rows; combined
+        with the per-element (width-outer) einsum attention reductions,
+        a token's hidden state — and the final logits — is bitwise
+        identical whether its prompt was prefilled whole or continued
+        from a cached prefix.  That invariance is what lets prefix-cache
+        hits skip recomputation without changing a single generated
+        token.
 
         Parameters
         ----------
         tokens:
             Prompt token ids, shape (L,).
         cache:
-            The :class:`KVCache` to populate (must have room for L entries).
+            The :class:`KVCache` to populate (must have room for L more
+            entries); may already hold the tokens before ``start_position``
+            (every layer at the same length).
         start_position:
-            Absolute position of the first token (supports chunked prefill).
+            Absolute position of the first token (supports chunked
+            prefill and prefix continuation).
 
         Returns
         -------
         StepResult
             Logits for the token *after* the prompt and per-layer causal
-            attention matrices of shape (H, L, L).
+            attention matrices of shape (H, L, prior + L), where ``prior``
+            is the pre-existing cache length (0 for a cold prefill, giving
+            the square (H, L, L) causal matrices).
         """
         tokens = np.asarray(tokens)
         if tokens.ndim != 1:
@@ -227,33 +245,46 @@ class CachedTransformer:
             raise ValueError("empty prompt")
         config = self.config
         heads, head_dim = config.n_heads, config.head_dim
+        prior_lengths = {cache[i].length for i in range(config.n_layers)}
+        if len(prior_lengths) != 1:
+            raise ValueError(
+                f"ragged cache lengths {sorted(prior_lengths)}: prefill "
+                "continuation needs every layer at the same length"
+            )
+        (prior,) = prior_lengths
+        total = prior + length
         positions = np.arange(start_position, start_position + length)
         scale = 1.0 / math.sqrt(head_dim)
 
         x = self.embed[tokens]
         attention_records = []
-        mask = np.triu(np.ones((length, length), dtype=bool), k=1)
+        # Row i (absolute slot prior + i) sees every cached slot plus the
+        # new slots up to itself.
+        mask = (np.arange(total)[None, :] - prior) > np.arange(length)[:, None]
         for layer_index, lw in enumerate(self.layers):
+            layer_cache = cache[layer_index]
             normed = self._norm(x, lw.attn_norm_w, lw.attn_norm_b)
 
             def split(mat):
                 return mat.reshape(length, heads, head_dim).transpose(1, 0, 2)
 
-            q = apply_rope_numpy(split(normed @ lw.wq), positions, self.rope)
-            k = apply_rope_numpy(split(normed @ lw.wk), positions, self.rope)
-            v = split(normed @ lw.wv)
-            cache[layer_index].append_block(k, v, positions)
+            q = apply_rope_numpy(split(batch_matmul(normed, lw.wq)), positions, self.rope)
+            k = apply_rope_numpy(split(batch_matmul(normed, lw.wk)), positions, self.rope)
+            v = split(batch_matmul(normed, lw.wv))
+            layer_cache.append_block(k, v, positions)
+            keys = layer_cache.keys  # (H, total, d)
+            values = layer_cache.values
 
-            scores = np.einsum("hid,hjd->hij", q, k) * scale
+            scores = np.einsum("hid,hjd->hij", q, keys) * scale
             scores = np.where(mask, -1e30, scores)
             attn = stable_softmax(scores, axis=-1)
             attention_records.append(attn)
-            context = np.einsum("hij,hjd->hid", attn, v)
+            context = np.einsum("hij,hjd->hid", attn, values)
             merged = context.transpose(1, 0, 2).reshape(length, config.d_model)
-            x = x + merged @ lw.wo
+            x = x + batch_matmul(merged, lw.wo)
 
             normed = self._norm(x, lw.ffn_norm_w, lw.ffn_norm_b)
-            x = x + self._ffn(lw, normed)
+            x = x + self._ffn(lw, normed, mm=batch_matmul)
 
         x = self._norm(x, self.final_norm_w, self.final_norm_b)
         logits = x[-1] @ self.lm_head

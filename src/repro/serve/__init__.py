@@ -1,6 +1,14 @@
-"""Batched serving subsystem: requests, sequence state, and the
-continuous-batching scheduler (see :mod:`repro.serve.scheduler`)."""
+"""Batched serving subsystem: requests, sequence state, the
+continuous-batching scheduler, and the paged KV memory layer
+(block pool, paged caches, cross-request prefix cache)."""
 
+from repro.serve.paging import (
+    BlockPool,
+    BlockPoolExhausted,
+    PagedKVCache,
+    PagedLayerKVCache,
+)
+from repro.serve.prefix_cache import PrefixCache, PrefixEntry
 from repro.serve.request import (
     FINISHED,
     QUEUED,
@@ -11,6 +19,12 @@ from repro.serve.request import (
 from repro.serve.scheduler import Scheduler, ServingReport
 
 __all__ = [
+    "BlockPool",
+    "BlockPoolExhausted",
+    "PagedKVCache",
+    "PagedLayerKVCache",
+    "PrefixCache",
+    "PrefixEntry",
     "Request",
     "SequenceState",
     "Scheduler",

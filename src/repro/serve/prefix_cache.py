@@ -1,0 +1,258 @@
+"""Cross-request prefix cache over pool blocks.
+
+Concurrent serving traffic is heavy with shared prompt prefixes (system
+prompts, few-shot preambles).  Because a token's key/value vectors depend
+only on the tokens before it — RoPE is applied at production time, and
+the prefill linear layers are row-count invariant (see
+``repro.models.inference``) — the KV blocks of a shared prefix are
+bitwise identical across requests and can be computed once.
+
+This cache maps *full* blocks of prompt tokens to the physical pool
+blocks that hold their KV vectors, chained vLLM-style: block ``b``'s key
+derives from block ``b-1``'s key plus ``b``'s tokens, so a lookup walks
+the chain and stops at the first miss.  Two safety properties:
+
+- **Content-checked.**  Hash keys are verified against the stored token
+  tuple, so a hash collision degrades to a miss, never to wrong KV reuse.
+- **Policy state travels with the blocks.**  Eviction policies accumulate
+  per-slot state from prefill attention rows (VEDA's votes, H2O's
+  sums).  Rows ``< P`` of a causal prefill depend only on tokens ``< P``,
+  so each entry snapshots the policy's slot state at its block boundary
+  (``EvictionPolicy.export_prefill_state``); a hit imports the snapshot
+  instead of recomputing, keeping eviction decisions — and therefore
+  generated tokens — bit-identical to a cold prefill.  The policy
+  configuration is folded into the hash chain root, so requests served
+  under different policy settings never share snapshots.
+
+Entries hold one pool reference per block per layer; retirement of the
+originating request therefore leaves the prefix resident.  ``reclaim``
+drops least-recently-used entries whose blocks nobody else references
+(deepest chain links first, so parents outlive children), and is wired as
+the pool's pressure valve by the scheduler.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PrefixCache", "PrefixEntry"]
+
+
+class PrefixEntry:
+    """One cached full block of a prompt-prefix chain."""
+
+    __slots__ = (
+        "key",
+        "parent_key",
+        "tokens",
+        "depth",
+        "children",
+        "layer_block_ids",
+        "policy_state",
+        "last_used",
+    )
+
+    def __init__(self, key, parent_key, tokens, depth, layer_block_ids, policy_state):
+        self.key = key
+        #: Chain link to the previous block's entry (root key at depth 1).
+        self.parent_key = parent_key
+        #: The block's token ids (content check against hash collisions).
+        self.tokens = tokens
+        #: 1-based chain position: ``depth * block_size`` tokens end here.
+        self.depth = depth
+        #: Resident entries chained directly after this one; an entry
+        #: with children is never reclaimed (dropping a parent would
+        #: orphan them: a lookup walks from the root, so an orphan can
+        #: never match again yet keeps its blocks pinned).
+        self.children = 0
+        #: Pool block id per layer, index = layer.
+        self.layer_block_ids = layer_block_ids
+        #: Per-layer policy slot-state snapshot at this block boundary
+        #: (cumulative over slots ``[0, depth * block_size)``).
+        self.policy_state = policy_state
+        self.last_used = 0
+
+
+class PrefixCache:
+    """Block-granular prompt-prefix cache with LRU reclaim.
+
+    ``max_blocks`` bounds the pool references the cache may hold:
+    registrations beyond it shed least-recently-used idle entries first
+    (blocks still referenced by live sequences are never touched), so hot
+    shared prefixes stay resident while never-rehit unique-suffix blocks
+    recycle back to the pool.  ``None`` keeps every registration.
+    """
+
+    def __init__(self, block_size, max_blocks=None):
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        if max_blocks is not None and max_blocks <= 0:
+            raise ValueError(f"max_blocks must be positive, got {max_blocks}")
+        self.block_size = int(block_size)
+        self.max_blocks = max_blocks
+        self._entries = {}
+        self._clock = 0
+        self.hits = 0
+        self.lookups = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_entries(self):
+        return len(self._entries)
+
+    @property
+    def num_blocks_held(self):
+        """Pool references currently held by the cache (all layers)."""
+        return sum(
+            len(entry.layer_block_ids) for entry in self._entries.values()
+        )
+
+    @property
+    def hit_rate(self):
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    # ------------------------------------------------------------------
+    # Chain walking
+    # ------------------------------------------------------------------
+    @staticmethod
+    def root_key(policy_key):
+        """Chain root; folding the policy configuration in keeps requests
+        with different eviction settings from sharing state snapshots."""
+        return hash(("prefix-root", policy_key))
+
+    @staticmethod
+    def chain_key(parent_key, tokens):
+        return hash((parent_key, tokens))
+
+    def match(self, prompt, policy_key):
+        """Longest cached chain of full blocks covering ``prompt[:-1]``.
+
+        Returns ``(entries, parent_key)``: the matched chain (possibly
+        empty) and the key from which registration of this prompt's
+        remaining full blocks should continue.  At least one prompt token
+        is always left uncached so the consumer still runs a prefill that
+        produces next-token logits.
+        """
+        self.lookups += 1
+        self._clock += 1
+        entries = []
+        parent = self.root_key(policy_key)
+        max_blocks = (len(prompt) - 1) // self.block_size
+        for index in range(max_blocks):
+            tokens = tuple(
+                int(t)
+                for t in prompt[
+                    index * self.block_size : (index + 1) * self.block_size
+                ]
+            )
+            key = self.chain_key(parent, tokens)
+            entry = self._entries.get(key)
+            if entry is None or entry.tokens != tokens:
+                break
+            entry.last_used = self._clock
+            entries.append(entry)
+            parent = key
+        if entries:
+            self.hits += 1
+        return entries, parent
+
+    def insert(self, parent_key, tokens, layer_block_ids, policy_state, pool):
+        """Register one full block continuing ``parent_key``.
+
+        Takes one pool reference per block so the entry outlives the
+        registering request.  If the chain link already exists (two
+        identical prompts prefilled concurrently), the existing entry
+        wins and no references are taken.  Returns the entry's key, the
+        ``parent_key`` for the next block.
+        """
+        self._clock += 1
+        tokens = tuple(int(t) for t in tokens)
+        key = self.chain_key(parent_key, tokens)
+        existing = self._entries.get(key)
+        if existing is not None and existing.tokens == tokens:
+            existing.last_used = self._clock
+            return key
+        if existing is not None:
+            # Hash collision with different content: keep the resident
+            # entry (evicting it under a live chain would orphan children)
+            # and simply skip registration of the newcomer.
+            return key
+        entry = PrefixEntry(
+            key=key,
+            parent_key=parent_key,
+            tokens=tokens,
+            depth=self._depth_of(parent_key) + 1,
+            layer_block_ids=tuple(layer_block_ids),
+            policy_state=policy_state,
+        )
+        entry.last_used = self._clock
+        for block_id in entry.layer_block_ids:
+            pool.retain(block_id)
+        self._entries[key] = entry
+        parent = self._entries.get(parent_key)
+        if parent is not None:
+            parent.children += 1
+        if self.max_blocks is not None:
+            excess = self.num_blocks_held - self.max_blocks
+            if excess > 0:
+                self.reclaim(pool, excess)
+        return key
+
+    def _depth_of(self, parent_key):
+        entry = self._entries.get(parent_key)
+        return entry.depth if entry is not None else 0
+
+    # ------------------------------------------------------------------
+    # Reclaim
+    # ------------------------------------------------------------------
+    def reclaim(self, pool, blocks_needed):
+        """Drop idle entries until ``blocks_needed`` pool blocks freed.
+
+        Only *leaf* entries (no resident children — chains reclaim tip
+        first, so the surviving prefix stays reachable from its root)
+        whose blocks nobody else references (refcount 1 = the cache's own
+        reference) are droppable; candidates go least recently used
+        first.  Dropping a leaf may expose its parent, so candidates are
+        rescanned until a pass frees nothing.  Returns the number of pool
+        blocks actually freed.
+        """
+        freed = 0
+        progress = True
+        while freed < blocks_needed and progress:
+            progress = False
+            candidates = sorted(
+                self._entries.values(), key=lambda e: (e.last_used, -e.depth)
+            )
+            for entry in candidates:
+                if freed >= blocks_needed:
+                    break
+                if entry.children:
+                    continue
+                if any(
+                    pool.refcount(block_id) > 1
+                    for block_id in entry.layer_block_ids
+                ):
+                    continue
+                del self._entries[entry.key]
+                parent = self._entries.get(entry.parent_key)
+                if parent is not None:
+                    parent.children -= 1
+                for block_id in entry.layer_block_ids:
+                    if pool.release(block_id) == 0:
+                        freed += 1
+                progress = True
+        return freed
+
+    def clear(self, pool):
+        """Release every held block (end-of-trace teardown)."""
+        for entry in self._entries.values():
+            for block_id in entry.layer_block_ids:
+                pool.release(block_id)
+        self._entries.clear()
+
+    def __repr__(self):
+        return (
+            f"PrefixCache(entries={self.num_entries}, "
+            f"blocks_held={self.num_blocks_held}, hits={self.hits}/"
+            f"{self.lookups})"
+        )

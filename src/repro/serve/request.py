@@ -93,6 +93,11 @@ class SequenceState:
     admitted_at: int | None = None
     finished_at: int | None = None
     finish_reason: str | None = None
+    #: Worst-case pool-block demand reserved at admission (paged mode);
+    #: the scheduler holds ``reserved_blocks - cache.owned_blocks`` free
+    #: blocks back from later admissions so this sequence can always
+    #: grow/CoW to its capacity.
+    reserved_blocks: int = 0
 
     @property
     def request_id(self):

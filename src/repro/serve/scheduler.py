@@ -28,6 +28,15 @@ by one step even though the tokens are identical.
 The clock is discrete: one *round* = one scheduler iteration (admission,
 one sampling pass, one batched decode step).  Request arrival times are
 expressed in rounds.
+
+Paged mode (``paged=True``) swaps the dense per-sequence slabs for
+fixed-size blocks from a shared :class:`~repro.serve.paging.BlockPool`
+and shares full prompt-prefix blocks across requests through a
+:class:`~repro.serve.prefix_cache.PrefixCache` (copy-on-write, with
+eviction-policy state snapshots).  The equivalence guarantee extends to
+it: tokens are bit-identical dense vs paged, at any block size, with or
+without prefix hits — ``tests/serve/test_paged_equivalence.py`` and the
+fuzz suite lock this in.
 """
 
 from __future__ import annotations
@@ -42,6 +51,8 @@ from repro.core.kv_cache import BatchedKVCache
 from repro.core.policies.base import GENERATION, PREFILL
 from repro.core.policies.voting import VotingPolicy
 from repro.core.sampling import greedy
+from repro.serve.paging import BlockPool, PagedKVCache
+from repro.serve.prefix_cache import PrefixCache
 from repro.serve.request import FINISHED, RUNNING, Request, SequenceState
 
 __all__ = ["Scheduler", "ServingReport"]
@@ -59,6 +70,28 @@ class ServingReport:
     total_tokens: int = 0
     peak_concurrency: int = 0
     wall_seconds: float = 0.0
+    #: Peak KV memory over the run, in slots (one slot = one position's
+    #: kv vectors in one layer).  Dense mode counts allocated slab
+    #: capacity; paged mode counts slots of blocks actually in use — the
+    #: number the paged allocator exists to shrink.
+    peak_kv_slots: int = 0
+    # ---- paged-mode extras (zero when served dense) ----
+    paged: bool = False
+    block_size: int = 0
+    peak_blocks: int = 0
+    #: Mean over busy rounds of occupied slots / allocated block slots.
+    #: Can exceed 1.0 when prefix sharing makes several sequences count
+    #: the same physical block's slots.
+    mean_block_utilization: float = 0.0
+    prefix_lookups: int = 0
+    prefix_hits: int = 0
+    #: Prompt tokens whose prefill was skipped via a prefix-cache hit.
+    prefill_tokens_saved: int = 0
+    cow_copies: int = 0
+
+    @property
+    def prefix_hit_rate(self):
+        return self.prefix_hits / self.prefix_lookups if self.prefix_lookups else 0.0
 
     @property
     def tokens_per_round(self):
@@ -85,7 +118,7 @@ class ServingReport:
 
     def summary(self):
         """Flat dict of the aggregate metrics (for experiment tables)."""
-        return {
+        summary = {
             "requests": len(self.requests),
             "rounds": self.total_rounds,
             "tokens": self.total_tokens,
@@ -94,7 +127,20 @@ class ServingReport:
             "mean_latency_rounds": self.mean_latency,
             "mean_wait_rounds": self.mean_wait,
             "peak_batch": self.peak_concurrency,
+            "peak_kv_slots": self.peak_kv_slots,
         }
+        if self.paged:
+            summary.update(
+                {
+                    "block_size": self.block_size,
+                    "peak_blocks": self.peak_blocks,
+                    "block_util": self.mean_block_utilization,
+                    "prefix_hit_rate": self.prefix_hit_rate,
+                    "prefill_saved": self.prefill_tokens_saved,
+                    "cow_copies": self.cow_copies,
+                }
+            )
+        return summary
 
 
 class Scheduler:
@@ -117,6 +163,32 @@ class Scheduler:
         Per-layer per-step eviction cap, as in the engine.
     sampler:
         ``sampler(logits, rng) -> token`` (default greedy).
+    paged:
+        Store KV state in fixed-size blocks from a shared
+        :class:`~repro.serve.paging.BlockPool` instead of dense
+        per-sequence slabs.  Decoded tokens are bit-identical either way;
+        paging changes only where the floats live (and how much memory a
+        mixed batch pins).
+    block_size:
+        Cache slots per block (paged mode).
+    num_blocks:
+        Fixed pool capacity; admission then waits until the pool can
+        cover a request's worst-case block demand (after asking the
+        prefix cache to shed idle entries).  ``None`` (default) makes the
+        pool growable, matching the dense path's unbounded admission.
+    prefix_caching:
+        Share full prompt-prefix blocks across requests (paged mode):
+        a request whose prompt starts with an already-prefilled block
+        chain adopts those blocks copy-on-write and skips their prefill
+        compute.  Requires every admitted request's policy to carry the
+        same ``prefix_state_key`` for state snapshots to be reused; a
+        policy that cannot snapshot (``prefix_shareable = False``) simply
+        never shares.
+    prefix_cache_blocks:
+        LRU capacity bound (in pool blocks) for the prefix cache;
+        ``None`` keeps every registered block resident.  Bounding it is
+        what keeps never-rehit unique-suffix blocks from pinning pool
+        memory across the whole trace.
     """
 
     def __init__(
@@ -127,6 +199,11 @@ class Scheduler:
         budget=None,
         evictions_per_step=None,
         sampler=greedy,
+        paged=False,
+        block_size=16,
+        num_blocks=None,
+        prefix_caching=True,
+        prefix_cache_blocks=None,
     ):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -143,7 +220,33 @@ class Scheduler:
         self.evictions_per_step = evictions_per_step
         self.sampler = sampler
 
-        self.cache_bank = BatchedKVCache.for_model(model.config)
+        self.paged = bool(paged)
+        if self.paged:
+            config = model.config
+            self.block_pool = BlockPool(
+                config.n_heads, config.head_dim, block_size, num_blocks=num_blocks
+            )
+            self.prefix_cache = (
+                PrefixCache(block_size, max_blocks=prefix_cache_blocks)
+                if prefix_caching
+                else None
+            )
+            if self.prefix_cache is not None:
+                pool = self.block_pool
+                self.block_pool.reclaimer = (
+                    lambda needed: self.prefix_cache.reclaim(pool, needed)
+                )
+            self.cache_bank = BatchedKVCache.for_model(
+                config,
+                cache_factory=lambda capacity: PagedKVCache(
+                    self.block_pool, config.n_layers, capacity
+                ),
+            )
+        else:
+            self.block_pool = None
+            self.prefix_cache = None
+            self.cache_bank = BatchedKVCache.for_model(model.config)
+
         self._waiting = []  # SequenceState, FIFO by (arrival, submit order)
         self._running = []  # SequenceState, admission order
         self._finished = []
@@ -151,6 +254,10 @@ class Scheduler:
         self._busy_rounds = 0
         self._total_tokens = 0
         self._peak_concurrency = 0
+        self._prefill_tokens_saved = 0
+        self._peak_kv_slots = 0
+        self._utilization_sum = 0.0
+        self._utilization_rounds = 0
 
     # ------------------------------------------------------------------
     # Client API
@@ -167,6 +274,21 @@ class Scheduler:
         }
         if request.request_id in seen or request.request_id in self.cache_bank:
             raise KeyError(f"duplicate request id {request.request_id!r}")
+        if self.paged and not self.block_pool.growable:
+            # An unsatisfiable request would stall admission (and the
+            # whole FIFO queue behind it) forever; reject it up front.
+            budget = request.budget if request.budget is not None else self.budget
+            worst = self._worst_case_blocks(
+                sequence_capacity(
+                    request.prompt.shape[0], request.max_new_tokens, budget
+                )
+            )
+            if worst > self.block_pool.num_blocks:
+                raise ValueError(
+                    f"request {request.request_id!r} needs up to {worst} "
+                    f"blocks but the pool only has "
+                    f"{self.block_pool.num_blocks}"
+                )
         self._waiting.append(SequenceState(request=request))
         self._waiting.sort(key=lambda s: s.request.arrival_time)
 
@@ -204,6 +326,7 @@ class Scheduler:
 
         self._admit()
         self._peak_concurrency = max(self._peak_concurrency, len(self._running))
+        self._sample_kv_usage()
 
         sampled = self._sample()
         active = [s for s in self._running if s.status != FINISHED]
@@ -219,19 +342,29 @@ class Scheduler:
     # Round stages
     # ------------------------------------------------------------------
     def _admit(self):
-        """Admit arrived requests into free batch slots (prefill them)."""
+        """Admit arrived requests into free batch slots (prefill them).
+
+        In paged mode, admission additionally *reserves blocks, not
+        slabs*: a fixed-size pool must be able to cover the request's
+        worst-case block demand (prefix-cache entries are shed first),
+        otherwise the request — and, FIFO, everyone behind it — keeps
+        waiting until retirements free blocks.
+        """
         while (
             self._waiting
             and len(self._running) < self.max_batch_size
             and self._waiting[0].request.arrival_time <= self.round_index
         ):
-            state = self._waiting.pop(0)
-            request = state.request
-            prompt = request.prompt
+            request = self._waiting[0].request
             budget = request.budget if request.budget is not None else self.budget
             capacity = sequence_capacity(
-                prompt.shape[0], request.max_new_tokens, budget
+                request.prompt.shape[0], request.max_new_tokens, budget
             )
+            worst_blocks = self._worst_case_blocks(capacity)
+            if self.paged and not self._blocks_available(worst_blocks):
+                break
+            state = self._waiting.pop(0)
+            state.reserved_blocks = worst_blocks
 
             state.policy = self.policy_factory()
             state.policy.reset()
@@ -242,10 +375,10 @@ class Scheduler:
             state.status = RUNNING
             state.admitted_at = self.round_index
 
-            prefill = self.model.prefill(prompt, state.cache)
-            positions = np.arange(prompt.shape[0])
-            for layer, attn in enumerate(prefill.attention):
-                state.policy.observe_block(layer, attn, positions, PREFILL)
+            if self.paged:
+                logits = self._prefill_paged(state, budget)
+            else:
+                logits = self._prefill_dense(state)
             enforce_budget(
                 state.policy,
                 state.cache,
@@ -255,9 +388,132 @@ class Scheduler:
                 evictions_per_step=self.evictions_per_step,
             )
             state.cache_lengths.append(state.cache[0].length)
-            state.logits = prefill.logits
-            state.position = prompt.shape[0]
+            state.logits = logits
+            state.position = request.prompt.shape[0]
             self._running.append(state)
+
+    def _worst_case_blocks(self, capacity):
+        """Pool blocks a sequence can ever demand (all layers, all owned)."""
+        if not self.paged:
+            return 0
+        per_layer = -(-capacity // self.block_pool.block_size)  # ceil
+        return per_layer * self.model.config.n_layers
+
+    def _blocks_available(self, worst_blocks):
+        """Can the pool cover one more sequence's worst-case block need?
+
+        Admission reserves blocks, not slabs: besides the newcomer's
+        worst case, the free list must keep covering every running
+        sequence's *remaining* demand (``reserved_blocks`` minus the
+        blocks it already owns — growth and copy-on-write can claim the
+        difference at any decode step).  The prefix cache is asked to
+        shed idle entries first.
+        """
+        pool = self.block_pool
+        if pool.growable:
+            return True
+        outstanding = sum(
+            max(0, state.reserved_blocks - state.cache.owned_blocks)
+            for state in self._running
+        )
+        needed = worst_blocks + outstanding
+        if pool.num_free < needed and self.prefix_cache is not None:
+            self.prefix_cache.reclaim(pool, needed - pool.num_free)
+        return pool.num_free >= needed
+
+    def _prefill_dense(self, state):
+        """The seed path: one-shot prefill, one observe_block per layer."""
+        prompt = state.request.prompt
+        prefill = self.model.prefill(prompt, state.cache)
+        positions = np.arange(prompt.shape[0])
+        for layer, attn in enumerate(prefill.attention):
+            state.policy.observe_block(layer, attn, positions, PREFILL)
+        return prefill.logits
+
+    def _prefill_paged(self, state, budget):
+        """Paged prefill with cross-request prefix sharing.
+
+        1. Look up the longest cached chain of full prompt blocks; adopt
+           its blocks copy-on-write and import the policy's snapshotted
+           slot state for the shared span.
+        2. Run the model prefill over the remaining suffix only — the
+           continuation attends to the adopted keys/values, and prefill's
+           row-count-invariant matmuls make the result bitwise equal to a
+           cold prefill.
+        3. Feed the suffix attention rows to the policy in block-sized
+           chunks, snapshotting state at every block boundary and
+           registering the freshly written full blocks in the prefix
+           cache (before eviction can mutate them).
+        """
+        request = state.request
+        prompt = request.prompt
+        policy = state.policy
+        cache = state.cache
+        n_layers = self.model.config.n_layers
+        block_size = self.block_pool.block_size
+
+        shareable = self.prefix_cache is not None and policy.prefix_shareable
+        shared_length = 0
+        parent_key = None
+        if shareable:
+            policy_key = policy.prefix_state_key()
+            entries, parent_key = self.prefix_cache.match(prompt, policy_key)
+            if entries:
+                shared_length = len(entries) * block_size
+                cache.attach_prefix(
+                    [
+                        [entry.layer_block_ids[layer] for entry in entries]
+                        for layer in range(n_layers)
+                    ],
+                    shared_length,
+                )
+                snapshot = entries[-1].policy_state
+                for layer in range(n_layers):
+                    policy.import_prefill_state(
+                        layer, snapshot[layer], shared_length
+                    )
+                self._prefill_tokens_saved += shared_length
+
+        prefill = self.model.prefill(
+            prompt[shared_length:], cache, start_position=shared_length
+        )
+
+        # Chunked observation: rows [row_start, chunk_end) at a time, so
+        # the policy's slot state at every block boundary is a pure
+        # function of the tokens before it and can be snapshotted.
+        positions = np.arange(prompt.shape[0])
+        total = prompt.shape[0]
+        row_start = shared_length
+        while row_start < total:
+            chunk_end = min(
+                (row_start // block_size + 1) * block_size, total
+            )
+            for layer, attn in enumerate(prefill.attention):
+                rows = attn[
+                    :,
+                    row_start - shared_length : chunk_end - shared_length,
+                    :chunk_end,
+                ]
+                policy.observe_continuation(
+                    layer, rows, positions[:chunk_end], PREFILL
+                )
+            if shareable and chunk_end % block_size == 0:
+                block_index = chunk_end // block_size - 1
+                parent_key = self.prefix_cache.insert(
+                    parent_key,
+                    prompt[chunk_end - block_size : chunk_end],
+                    [
+                        cache[layer].block_ids[block_index]
+                        for layer in range(n_layers)
+                    ],
+                    [
+                        policy.export_prefill_state(layer, chunk_end)
+                        for layer in range(n_layers)
+                    ],
+                    self.block_pool,
+                )
+            row_start = chunk_end
+        return prefill.logits
 
     def _sample(self):
         """Sample one token per running sequence; retire EOS/full ones.
@@ -307,9 +563,40 @@ class Scheduler:
             state.logits = result.logits[b]
             state.position += 1
 
+    def _sample_kv_usage(self):
+        """Track peak KV memory (and, paged, block utilization).
+
+        Dense slabs pin ``capacity`` slots per layer for a sequence's
+        whole lifetime; paged mode pins only the blocks in use, so the
+        pool's own high-water mark (updated at every allocation, i.e.
+        including the transient prefill peak before eviction shrinks a
+        sequence to budget) is the honest comparison point.
+        """
+        if self.paged:
+            pool = self.block_pool
+            self._peak_kv_slots = pool.peak_in_use * pool.block_size
+            if pool.num_used:
+                self._utilization_sum += self.cache_bank.total_entries / (
+                    pool.num_used * pool.block_size
+                )
+                self._utilization_rounds += 1
+        else:
+            allocated = sum(
+                state.cache[0].capacity * self.model.config.n_layers
+                for state in self._running
+            )
+            self._peak_kv_slots = max(self._peak_kv_slots, allocated)
+
     def _finish(self, state, reason):
         self.cache_bank.remove_sequence(state.request_id)
         state.finish(self.round_index, reason)
+
+    def release_prefix_cache(self):
+        """Drop every prefix-cache entry, returning its blocks to the
+        pool (end-of-trace teardown; afterwards an idle fixed pool is
+        fully free again)."""
+        if self.prefix_cache is not None:
+            self.prefix_cache.clear(self.block_pool)
 
     def _retire(self):
         finished = [s for s in self._running if s.status == FINISHED]
@@ -346,11 +633,26 @@ class Scheduler:
             }
             for s in self._finished
         ]
-        return ServingReport(
+        report = ServingReport(
             requests=rows,
             total_rounds=self.round_index,
             busy_rounds=self._busy_rounds,
             total_tokens=self._total_tokens,
             peak_concurrency=self._peak_concurrency,
             wall_seconds=wall_seconds,
+            peak_kv_slots=self._peak_kv_slots,
         )
+        if self.paged:
+            report.paged = True
+            report.block_size = self.block_pool.block_size
+            report.peak_blocks = self.block_pool.peak_in_use
+            report.cow_copies = self.block_pool.cow_copies
+            if self._utilization_rounds:
+                report.mean_block_utilization = (
+                    self._utilization_sum / self._utilization_rounds
+                )
+            if self.prefix_cache is not None:
+                report.prefix_lookups = self.prefix_cache.lookups
+                report.prefix_hits = self.prefix_cache.hits
+            report.prefill_tokens_saved = self._prefill_tokens_saved
+        return report

@@ -1,0 +1,207 @@
+"""Property-based tests: paged KV storage invariants.
+
+The safety properties of the block allocator under arbitrary operation
+interleavings: no double-allocation of live blocks, refcount/free-list
+conservation, dense-equivalent compaction (position order preserved
+through any evict/append mix), and exactness of the chunk-fed voting
+kernel that prefix-cache snapshots rely on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kv_cache import LayerKVCache
+from repro.core.policies.base import PREFILL
+from repro.core.policies.voting import VotingPolicy
+from repro.models.inference import stable_softmax
+from repro.serve.paging import BlockPool, PagedLayerKVCache
+
+
+@st.composite
+def pool_op_sequence(draw):
+    """A random allocate/retain/release schedule."""
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["allocate", "retain", "release"]),
+                st.integers(0, 2**31 - 1),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+
+
+class TestBlockPoolInvariants:
+    @given(pool_op_sequence(), st.integers(1, 8), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_never_double_allocates_and_conserves_blocks(
+        self, ops, block_size, fixed
+    ):
+        pool = BlockPool(1, 2, block_size, num_blocks=16 if fixed else None)
+        live = {}  # block_id -> expected refcount
+        for op, pick in ops:
+            if op == "allocate":
+                if fixed and pool.num_free == 0:
+                    continue
+                block = pool.allocate()
+                # A freshly allocated block must not already be live.
+                assert block not in live
+                live[block] = 1
+            elif op == "retain" and live:
+                block = sorted(live)[pick % len(live)]
+                pool.retain(block)
+                live[block] += 1
+            elif op == "release" and live:
+                block = sorted(live)[pick % len(live)]
+                remaining = pool.release(block)
+                live[block] -= 1
+                assert remaining == live[block]
+                if live[block] == 0:
+                    del live[block]
+            # Conservation: every block is either free or live, and the
+            # pool's refcounts agree with the model's.
+            assert pool.num_free + len(live) == pool.num_blocks
+            for block, count in live.items():
+                assert pool.refcount(block) == count
+
+    @given(st.integers(1, 6), st.integers(1, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_growable_pool_allocations_unique(self, block_size, n):
+        pool = BlockPool(1, 2, block_size)
+        blocks = [pool.allocate() for _ in range(n)]
+        assert len(set(blocks)) == n
+
+
+@st.composite
+def append_evict_schedule(draw):
+    """An interleaving of appends and evictions (evict index is a draw
+    reduced mod the live length at execution time)."""
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["append", "evict"]),
+                st.integers(0, 2**31 - 1),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+
+
+class TestPagedDenseEquivalence:
+    @given(append_evict_schedule(), st.integers(1, 7), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_paged_tracks_dense_under_any_interleaving(
+        self, schedule, block_size, seed
+    ):
+        """Shadow-model property: after every operation the paged cache's
+        views equal the dense cache's, so position order is preserved
+        across arbitrary evict/append interleavings."""
+        rng = np.random.default_rng(seed)
+        pool = BlockPool(2, 3, block_size)
+        paged = PagedLayerKVCache(pool, capacity=64)
+        dense = LayerKVCache(2, 3, capacity=64)
+        position = 0
+        for op, pick in schedule:
+            if op == "append" and dense.length < 64:
+                key = rng.normal(size=(2, 3))
+                value = rng.normal(size=(2, 3))
+                paged.append(key, value, position)
+                dense.append(key, value, position)
+                position += 1
+            elif op == "evict" and dense.length:
+                index = pick % dense.length
+                assert paged.evict(index) == dense.evict(index)
+            np.testing.assert_array_equal(paged.positions, dense.positions)
+            np.testing.assert_array_equal(paged.keys, dense.keys)
+            np.testing.assert_array_equal(paged.values, dense.values)
+            # Positions stay strictly increasing (insertion order kept).
+            assert np.all(np.diff(paged.positions) > 0)
+        # Tail-block accounting: exactly the blocks the length needs.
+        assert paged.num_blocks == -(-dense.length // block_size)
+
+    @given(append_evict_schedule(), st.integers(1, 5), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_release_returns_pool_to_pristine(self, schedule, block_size, seed):
+        rng = np.random.default_rng(seed)
+        pool = BlockPool(2, 3, block_size)
+        paged = PagedLayerKVCache(pool, capacity=64)
+        position = 0
+        for op, pick in schedule:
+            if op == "append" and paged.length < 64:
+                paged.append(
+                    rng.normal(size=(2, 3)), rng.normal(size=(2, 3)), position
+                )
+                position += 1
+            elif op == "evict" and paged.length:
+                paged.evict(pick % paged.length)
+        paged.release()
+        assert pool.num_free == pool.num_blocks
+
+
+@st.composite
+def causal_block(draw):
+    """A (H, L, L) causal softmax attention block, as prefill records it."""
+    heads = draw(st.integers(1, 3))
+    length = draw(st.integers(2, 24))
+    seed = draw(st.integers(0, 2**31 - 1))
+    scale = draw(st.sampled_from([0.5, 2.0, 6.0]))
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=(heads, length, length)) * scale
+    mask = np.triu(np.ones((length, length), dtype=bool), k=1)
+    return stable_softmax(np.where(mask, -1e30, logits), axis=-1)
+
+
+class TestChunkedVotingExactness:
+    """The prefix-cache contract: chunked observation == one-shot, bitwise."""
+
+    @given(causal_block(), st.integers(0, 8), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_chunked_continuation_matches_one_shot(
+        self, attn, reserved, chunk
+    ):
+        length = attn.shape[1]
+        positions = np.arange(length)
+        one_shot = VotingPolicy(n_layers=1, reserved_length=reserved)
+        chunked = VotingPolicy(n_layers=1, reserved_length=reserved)
+        one_shot.observe_block(0, attn, positions, PREFILL)
+        start = 0
+        while start < length:
+            stop = min(start + chunk, length)
+            chunked.observe_continuation(
+                0, attn[:, start:stop, :stop], positions[:stop], PREFILL
+            )
+            start = stop
+        np.testing.assert_array_equal(
+            one_shot.vote_counts(0), chunked.vote_counts(0)
+        )
+
+    @given(causal_block(), st.integers(0, 8), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_snapshot_import_matches_one_shot(self, attn, reserved, boundary):
+        """Export at a boundary + import into a fresh policy + observe the
+        rest == observing everything: the prefix-hit voting path."""
+        length = attn.shape[1]
+        positions = np.arange(length)
+        boundary = min(boundary, length - 1)
+        one_shot = VotingPolicy(n_layers=1, reserved_length=reserved)
+        one_shot.observe_block(0, attn, positions, PREFILL)
+
+        producer = VotingPolicy(n_layers=1, reserved_length=reserved)
+        if boundary:
+            producer.observe_continuation(
+                0, attn[:, :boundary, :boundary], positions[:boundary], PREFILL
+            )
+        snapshot = producer.export_prefill_state(0, boundary)
+
+        consumer = VotingPolicy(n_layers=1, reserved_length=reserved)
+        consumer.import_prefill_state(0, snapshot, boundary)
+        consumer.observe_continuation(
+            0, attn[:, boundary:, :], positions, PREFILL
+        )
+        np.testing.assert_array_equal(
+            one_shot.vote_counts(0), consumer.vote_counts(0)
+        )

@@ -88,3 +88,75 @@ class TestCoSim:
         result = cosim.run(prompt, 3)
         # 7B-scale decode costs tens of millions of cycles per step.
         assert result.total_decode_cycles > 1e7
+
+
+class TestMeanAttentionCycles:
+    """Monotonicity of the priced attention cost with sequence length."""
+
+    def test_monotone_in_prompt_length_without_eviction(
+        self, tiny_inference, rng
+    ):
+        """Longer prompts mean a larger cache at every decode step, so
+        the mean per-step attention cycle cost must be non-decreasing —
+        and strictly increasing once the length difference is real."""
+        n_layers = tiny_inference.config.n_layers
+        means = []
+        for prompt_len in (6, 12, 24, 48):
+            cosim = CoSimulator(
+                GenerationEngine(tiny_inference, FullCachePolicy(n_layers))
+            )
+            result = cosim.run(rng.integers(0, 64, size=prompt_len), 5)
+            means.append(result.mean_attention_cycles)
+        assert means == sorted(means)
+        assert means[0] < means[-1]
+
+    def test_monotone_in_generation_length_without_eviction(
+        self, tiny_inference, prompt
+    ):
+        """Without eviction the cache grows every step, so generating
+        longer raises the mean priced cost per step."""
+        n_layers = tiny_inference.config.n_layers
+        means = []
+        for max_new in (2, 6, 12):
+            cosim = CoSimulator(
+                GenerationEngine(tiny_inference, FullCachePolicy(n_layers))
+            )
+            means.append(cosim.run(prompt, max_new).mean_attention_cycles)
+        assert means == sorted(means)
+        assert means[0] < means[-1]
+
+    def test_budget_flattens_prompt_length_dependence(self, tiny_inference, rng):
+        """With eviction to a fixed budget, the steady-state cost is set
+        by the budget, not the prompt: doubling the prompt must not
+        double the mean attention cycles (compare the full-cache gap)."""
+        n_layers = tiny_inference.config.n_layers
+
+        def mean_cycles(policy_budget, prompt_len):
+            engine = GenerationEngine(
+                tiny_inference,
+                VotingPolicy(n_layers, reserved_length=2),
+                budget=policy_budget,
+            )
+            return (
+                CoSimulator(engine)
+                .run(rng.integers(0, 64, size=prompt_len), 6)
+                .mean_attention_cycles
+            )
+
+        short_run = mean_cycles(10, 24)
+        long_run = mean_cycles(10, 48)
+        # Budgeted runs decode against budget+1 entries either way.
+        assert long_run == pytest.approx(short_run)
+
+    def test_mean_requires_recorded_steps(self, tiny_inference, prompt):
+        from repro.cosim import CoSimResult
+
+        empty = CoSimResult(
+            tokens=[],
+            cache_lengths=[4],
+            num_evictions=0,
+            attention_cycles_per_step=[],
+            total_decode_cycles=0.0,
+        )
+        with pytest.raises(ValueError):
+            empty.mean_attention_cycles
