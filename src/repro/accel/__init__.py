@@ -38,10 +38,12 @@ from repro.accel.scaling import (
     scale_energy_efficiency,
 )
 from repro.accel.scheduler import (
+    DATAFLOWS,
     AttentionBreakdown,
     attention_timeline,
     decode_attention,
     prefill_attention,
+    resolve_dataflow,
 )
 from repro.accel.sfu import (
     LayerNormUnit,
@@ -49,7 +51,13 @@ from repro.accel.sfu import (
     layernorm_stall_cycles,
     softmax_stall_cycles,
 )
-from repro.accel.simulator import AcceleratorSimulator, PhaseStats, RunStats
+from repro.accel.simulator import (
+    AcceleratorSimulator,
+    MixedRoundStats,
+    PhaseStats,
+    RoundStats,
+    RunStats,
+)
 from repro.accel.voting_engine import VotingEngine
 
 __all__ = [
@@ -71,6 +79,8 @@ __all__ = [
     "softmax_stall_cycles",
     "layernorm_stall_cycles",
     "AttentionBreakdown",
+    "DATAFLOWS",
+    "resolve_dataflow",
     "decode_attention",
     "prefill_attention",
     "attention_timeline",
@@ -85,6 +95,8 @@ __all__ = [
     "compute_bound_prompt_threshold",
     "PhaseStats",
     "RunStats",
+    "RoundStats",
+    "MixedRoundStats",
     "AreaPowerModel",
     "ModuleCost",
     "PAPER_TABLE1",

@@ -28,10 +28,21 @@ from dataclasses import dataclass, field
 from repro.accel.config import HardwareConfig
 from repro.accel.llm_mapping import decode_linear_ops, layer_norm_count, prefill_linear_ops
 from repro.accel.memory import HBMModel
-from repro.accel.scheduler import AttentionBreakdown, decode_attention, prefill_attention
+from repro.accel.scheduler import (
+    AttentionBreakdown,
+    decode_attention,
+    prefill_attention,
+    resolve_dataflow,
+)
 from repro.accel.sfu import layernorm_stall_cycles
 
-__all__ = ["PhaseStats", "RunStats", "AcceleratorSimulator"]
+__all__ = [
+    "PhaseStats",
+    "RunStats",
+    "RoundStats",
+    "MixedRoundStats",
+    "AcceleratorSimulator",
+]
 
 
 @dataclass
@@ -85,6 +96,96 @@ class RunStats:
         return self.total_attention_cycles / total_tokens
 
 
+@dataclass
+class RoundStats(PhaseStats):
+    """One batched decode round (serving): shared weight fetch, private KV.
+
+    Extends :class:`PhaseStats` with the per-sequence attention split:
+    ``per_sequence_attention[b]`` is the all-layer attention cycle total
+    of sequence ``b``, computed the same way the solo
+    :class:`repro.cosim.CoSimulator` prices a step, so batch-size-1
+    serving rounds are cycle-identical to solo decode steps.
+    """
+
+    per_sequence_attention: list = field(default_factory=list)
+
+    @property
+    def batch_size(self):
+        return len(self.per_sequence_attention)
+
+
+@dataclass
+class MixedRoundStats:
+    """One serving round mixing admissions (prefills) and decode steps.
+
+    ``prefills`` holds one :class:`PhaseStats` per admitted sequence
+    (each prefill runs as its own tiled pass); ``decode`` is the round's
+    batched :class:`RoundStats`, or ``None`` when no sequence decoded.
+    """
+
+    prefills: list = field(default_factory=list)
+    decode: RoundStats = None
+
+    @property
+    def cycles(self):
+        total = sum(stats.cycles for stats in self.prefills)
+        if self.decode is not None:
+            total += self.decode.cycles
+        return total
+
+    @property
+    def prefill_cycles(self):
+        return sum(stats.cycles for stats in self.prefills)
+
+    @property
+    def decode_cycles(self):
+        return self.decode.cycles if self.decode is not None else 0.0
+
+    @property
+    def attention_cycles(self):
+        total = sum(stats.attention.total for stats in self.prefills)
+        if self.decode is not None:
+            total += self.decode.attention.total
+        return total
+
+    @property
+    def linear_cycles(self):
+        total = sum(stats.linear_cycles for stats in self.prefills)
+        if self.decode is not None:
+            total += self.decode.linear_cycles
+        return total
+
+    @property
+    def nonlinear_cycles(self):
+        total = sum(stats.nonlinear_cycles for stats in self.prefills)
+        if self.decode is not None:
+            total += self.decode.nonlinear_cycles
+        return total
+
+    @property
+    def macs(self):
+        total = sum(stats.macs for stats in self.prefills)
+        if self.decode is not None:
+            total += self.decode.macs
+        return total
+
+    @property
+    def hbm_bytes(self):
+        total = sum(stats.hbm_bytes for stats in self.prefills)
+        if self.decode is not None:
+            total += self.decode.hbm_bytes
+        return total
+
+    @property
+    def per_sequence_attention(self):
+        """Per-decode-sequence attention cycles (empty without decodes)."""
+        return (
+            list(self.decode.per_sequence_attention)
+            if self.decode is not None
+            else []
+        )
+
+
 class AcceleratorSimulator:
     """Cycle/energy model of one accelerator configuration."""
 
@@ -118,8 +219,18 @@ class AcceleratorSimulator:
     # ------------------------------------------------------------------
     # Phases
     # ------------------------------------------------------------------
-    def prefill(self, prompt_length):
-        """Simulate the prefill phase for a prompt of ``prompt_length``."""
+    def prefill(self, prompt_length, dataflow="auto", prefix_length=0):
+        """Simulate the prefill phase for a prompt of ``prompt_length``.
+
+        ``prefix_length`` prices a continuation prefill over an already
+        resident cache (a prefix-cache hit): linear layers, KV
+        write-back, and nonlinear stalls cover only the ``prompt_length``
+        computed rows, while attention row ``j`` attends to
+        ``prefix_length + j`` keys.  ``dataflow`` selects the round-level
+        array mapping (see :mod:`repro.accel.scheduler`); the streaming
+        ``"decode"`` mapping re-streams K/V from HBM per row, which is
+        charged to ``hbm_bytes`` as well as cycles.
+        """
         if prompt_length <= 0:
             raise ValueError("prompt length must be positive")
         model, hw = self.model, self.hw
@@ -127,11 +238,30 @@ class AcceleratorSimulator:
 
         per_layer_ops, head_ops = prefill_linear_ops(model, prompt_length)
         attn = prefill_attention(
-            prompt_length, model.head_dim, model.n_heads, hw
+            prompt_length,
+            model.head_dim,
+            model.n_heads,
+            hw,
+            dataflow=dataflow,
+            prefix_length=prefix_length,
         )
-        attn_macs = (
-            2 * model.n_heads * model.head_dim * prompt_length * (prompt_length + 1) / 2
+        # Sum over computed rows j of the keys each attends to
+        # (prefix_length + j), for q.K^T and s'.V each.
+        attended = (
+            prefix_length * prompt_length
+            + prompt_length * (prompt_length + 1) / 2
         )
+        attn_macs = 2 * model.n_heads * model.head_dim * attended
+        # Streaming (GEMV-pinned) prefill re-reads the growing K and V
+        # from HBM for every computed row instead of reusing tiles.
+        streamed_kv_bytes = 0.0
+        if (
+            hw.flexible_dataflow
+            and resolve_dataflow(dataflow, hw, "prefill") == "decode"
+        ):
+            streamed_kv_bytes = (
+                2 * attended * model.d_model * hw.bytes_per_element
+            )
         norm_stall = layernorm_stall_cycles(model.d_model, hw, hw.element_serial)
 
         for _ in range(model.n_layers):
@@ -142,9 +272,10 @@ class AcceleratorSimulator:
                 stats.hbm_bytes += hbm_bytes
             stats.attention = stats.attention + attn
             stats.macs += attn_macs
-            # KV cache write-back for this layer.
+            # KV cache write-back for this layer (computed rows only).
             kv_bytes = 2 * prompt_length * model.d_model * hw.bytes_per_element
             stats.hbm_bytes += kv_bytes
+            stats.hbm_bytes += streamed_kv_bytes
             stats.nonlinear_cycles += (
                 layer_norm_count(model) * prompt_length * norm_stall
                 if not hw.element_serial
@@ -161,12 +292,20 @@ class AcceleratorSimulator:
         )
         return stats
 
-    def decode_step(self, cache_length):
-        """Simulate one decode step against a cache of ``cache_length``."""
+    def decode_step(self, cache_length, dataflow="auto"):
+        """Simulate one decode step against a cache of ``cache_length``.
+
+        ``dataflow`` selects the round-level array mapping (see
+        :mod:`repro.accel.scheduler`); ``"prefill"`` pins the array to
+        the tiled configuration, pricing the step like the fixed
+        baseline.
+        """
         model, hw = self.model, self.hw
         stats = PhaseStats()
         per_layer_ops, head_ops = decode_linear_ops(model)
-        attn = decode_attention(cache_length, model.head_dim, model.n_heads, hw)
+        attn = decode_attention(
+            cache_length, model.head_dim, model.n_heads, hw, dataflow=dataflow
+        )
         norm_stall = layernorm_stall_cycles(model.d_model, hw, hw.element_serial)
 
         for _ in range(model.n_layers):
@@ -191,6 +330,108 @@ class AcceleratorSimulator:
             stats.linear_cycles + stats.attention.total + stats.nonlinear_cycles
         )
         return stats
+
+    # ------------------------------------------------------------------
+    # Serving rounds (batched decode, mixed prefill/decode)
+    # ------------------------------------------------------------------
+    def decode_round(self, cache_lengths, dataflow="auto"):
+        """Simulate one batched decode round (serving).
+
+        ``cache_lengths[b]`` is the cache length sequence ``b`` attends
+        to this round.  Linear layers batch across the sequences — one
+        weight fetch per operator per layer serves every row, so the
+        cost is ``max(batch * compute, weight_memory)`` — while
+        attention stays per-sequence (every request has a private KV
+        cache, the paper's Orca argument).  With a single sequence this
+        is cycle-identical to :meth:`decode_step`, which is what anchors
+        the batch-size-1 serving-cosim equivalence.
+
+        Returns a :class:`RoundStats`; ``per_sequence_attention`` holds
+        each sequence's all-layer attention cycles in input order.
+        """
+        cache_lengths = list(cache_lengths)
+        if not cache_lengths:
+            raise ValueError("decode round needs at least one sequence")
+        model, hw = self.model, self.hw
+        stats = RoundStats()
+        batch = len(cache_lengths)
+        per_layer_ops, head_ops = decode_linear_ops(model)
+        norm_stall = layernorm_stall_cycles(model.d_model, hw, hw.element_serial)
+
+        for _ in range(model.n_layers):
+            for op in per_layer_ops:
+                compute = batch * op.compute_cycles(hw.tree_width)
+                memory = self.hbm.stream_cycles(op.weight_bytes)
+                stats.linear_cycles += max(compute, memory)
+                stats.macs += batch * op.macs
+                stats.hbm_bytes += op.weight_bytes
+            stats.nonlinear_cycles += batch * (layer_norm_count(model) * norm_stall)
+        for op in head_ops:
+            compute = batch * op.compute_cycles(hw.tree_width)
+            memory = self.hbm.stream_cycles(op.weight_bytes)
+            stats.linear_cycles += max(compute, memory)
+            stats.macs += batch * op.macs
+            stats.hbm_bytes += op.weight_bytes
+
+        for length in cache_lengths:
+            attn = decode_attention(
+                length, model.head_dim, model.n_heads, hw, dataflow=dataflow
+            )
+            for _ in range(model.n_layers):
+                stats.attention = stats.attention + attn
+                stats.macs += 2 * model.n_heads * model.head_dim * length
+                # KV cache read (K and V) + current token write-back.
+                stats.hbm_bytes += 2 * length * model.d_model * hw.bytes_per_element
+                stats.hbm_bytes += 2 * model.d_model * hw.bytes_per_element
+            stats.per_sequence_attention.append(attn.total * model.n_layers)
+
+        stats.cycles = (
+            stats.linear_cycles + stats.attention.total + stats.nonlinear_cycles
+        )
+        return stats
+
+    def mixed_round(
+        self,
+        prefill_lengths=(),
+        decode_lengths=(),
+        dataflow="auto",
+        prefix_lengths=None,
+    ):
+        """Price one serving round mixing admissions and decode steps.
+
+        ``prefill_lengths[j]`` is the number of prompt rows admission
+        ``j`` computes this round (``prefix_lengths[j]`` of its context
+        already resident from a prefix-cache hit); ``decode_lengths``
+        are the running batch's attention lengths.  Each prefill runs as
+        its own tiled pass (weights resident per pass); the decode
+        sequences share one batched pass.  ``dataflow`` applies to both
+        phases: ``"auto"`` reconfigures per phase, ``"prefill"`` /
+        ``"decode"`` pin the array for the whole round.
+
+        Returns a :class:`MixedRoundStats`.
+        """
+        prefill_lengths = list(prefill_lengths)
+        decode_lengths = list(decode_lengths)
+        if not prefill_lengths and not decode_lengths:
+            raise ValueError("mixed round needs at least one prefill or decode")
+        if prefix_lengths is None:
+            prefix_lengths = [0] * len(prefill_lengths)
+        prefix_lengths = list(prefix_lengths)
+        if len(prefix_lengths) != len(prefill_lengths):
+            raise ValueError(
+                f"{len(prefix_lengths)} prefix lengths != "
+                f"{len(prefill_lengths)} prefills"
+            )
+        prefills = [
+            self.prefill(length, dataflow=dataflow, prefix_length=prefix)
+            for length, prefix in zip(prefill_lengths, prefix_lengths)
+        ]
+        decode = (
+            self.decode_round(decode_lengths, dataflow=dataflow)
+            if decode_lengths
+            else None
+        )
+        return MixedRoundStats(prefills=prefills, decode=decode)
 
     # ------------------------------------------------------------------
     # Full runs

@@ -186,6 +186,22 @@ def _serve_bench(argv):
         action="store_true",
         help="disable cross-request prefix sharing in paged mode",
     )
+    parser.add_argument(
+        "--cosim",
+        action="store_true",
+        help="replay each serving trace through the accelerator cycle "
+        "model: per-round cycle counts, batched hardware tokens/s, and "
+        "the flexible-vs-fixed dataflow comparison (with --paged, both "
+        "the dense and paged traces are priced)",
+    )
+    parser.add_argument(
+        "--cosim-shapes",
+        choices=("7b", "served"),
+        default="7b",
+        help="model shapes priced by the co-simulator: Llama-2 7B (the "
+        "paper's hardware evaluation model) or the tiny model actually "
+        "served (default: 7b)",
+    )
     args = parser.parse_args(argv)
     try:
         batch_sizes = tuple(int(b) for b in args.batch_sizes.split(","))
@@ -198,7 +214,7 @@ def _serve_bench(argv):
         parser.error(
             f"--batch-sizes entries must be positive, got {args.batch_sizes!r}"
         )
-    result = serving.run(
+    common = dict(
         batch_sizes=batch_sizes,
         n_requests=args.requests,
         mean_interarrival=args.interarrival,
@@ -208,10 +224,18 @@ def _serve_bench(argv):
         shared_prefix=args.shared_prefix,
         prefix_caching=not args.no_prefix_cache,
     )
-    # Ad-hoc sweeps must not clobber the canonical `serving` artifact
-    # that `python -m repro all` regenerates.
-    result.experiment_id = "serving_bench"
-    _emit(result, extra=None)
+    if args.cosim:
+        result, extra = serving.run_cosim(
+            cosim_shapes=args.cosim_shapes, **common
+        )
+        result.experiment_id = "serving_cosim_bench"
+    else:
+        result = serving.run(**common)
+        extra = None
+        # Ad-hoc sweeps must not clobber the canonical `serving` artifact
+        # that `python -m repro all` regenerates.
+        result.experiment_id = "serving_bench"
+    _emit(result, extra=extra)
     return 0
 
 

@@ -11,6 +11,12 @@ This catches effects the idealized trajectory misses — e.g. a policy
 configured with ``evictions_per_step=1`` approaching its budget slowly,
 or a buggy policy failing to keep the cache bounded — and produces joint
 (quality, latency) numbers for any policy.
+
+This module prices one sequence at a time; the serving analogue —
+mixed prefill/decode rounds from a :class:`repro.serve.Scheduler`
+trace, batched linear layers, per-phase dataflow selection — lives in
+:class:`repro.serve.cosim.ServingCoSimulator`, which reduces to this
+co-simulator cycle-for-cycle at batch size 1.
 """
 
 from __future__ import annotations

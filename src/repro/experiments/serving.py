@@ -21,15 +21,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.config import tiny_config
+from repro.config import llama2_7b_shapes, tiny_config
 from repro.core.engine import budget_from_ratio
 from repro.core.policies.voting import VotingPolicy
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, format_table
 from repro.models.inference import CachedTransformer
 from repro.models.transformer import TransformerLM
-from repro.serve import Request, Scheduler
+from repro.serve import Request, Scheduler, compare_dataflows
 
-__all__ = ["run", "make_workload"]
+__all__ = ["run", "run_cosim", "make_workload"]
 
 
 def make_workload(
@@ -78,6 +78,59 @@ def make_workload(
     return requests
 
 
+def _make_server(
+    model,
+    reserved_length,
+    block_size,
+    prefix_caching,
+    shared_prefix,
+    workload_kwargs,
+):
+    """Build a ``serve(batch_size, use_paged) -> (scheduler, report)``
+    closure over one reproducible workload (shared by :func:`run` and
+    :func:`run_cosim`)."""
+    n_layers = model.config.n_layers
+    # Keep the hot shared prefix resident with headroom while letting
+    # never-rehit unique-suffix blocks recycle back to the pool.
+    prefix_cache_blocks = max(
+        16, 2 * n_layers * (int(shared_prefix) // block_size + 1)
+    )
+
+    def serve(batch_size, use_paged):
+        scheduler = Scheduler(
+            model,
+            policy_factory=lambda: VotingPolicy(
+                n_layers, reserved_length=reserved_length
+            ),
+            max_batch_size=batch_size,
+            paged=use_paged,
+            block_size=block_size,
+            prefix_caching=prefix_caching,
+            prefix_cache_blocks=prefix_cache_blocks,
+        )
+        for request in make_workload(**workload_kwargs):
+            scheduler.submit(request)
+        report = scheduler.run()
+        return scheduler, report
+
+    return serve
+
+
+def _assert_paged_tokens_match(
+    dense_scheduler, paged_scheduler, n_requests, batch_size
+):
+    """The paged run must be bit-identical to the dense run, per request."""
+    for i in range(n_requests):
+        request_id = f"req-{i}"
+        if paged_scheduler.tokens_for(request_id) != dense_scheduler.tokens_for(
+            request_id
+        ):
+            raise AssertionError(
+                f"paged tokens diverged from dense for {request_id} "
+                f"at batch cap {batch_size}"
+            )
+
+
 def run(
     batch_sizes=(1, 2, 4, 8),
     n_requests=8,
@@ -110,27 +163,14 @@ def run(
         model = CachedTransformer.from_module(
             TransformerLM(tiny_config(), seed=0)
         )
-    n_layers = model.config.n_layers
 
-    # Keep the hot shared prefix resident with headroom while letting
-    # never-rehit unique-suffix blocks recycle back to the pool.
-    prefix_cache_blocks = max(
-        16, 2 * n_layers * (int(shared_prefix) // block_size + 1)
-    )
-
-    def serve(batch_size, use_paged):
-        scheduler = Scheduler(
-            model,
-            policy_factory=lambda: VotingPolicy(
-                n_layers, reserved_length=reserved_length
-            ),
-            max_batch_size=batch_size,
-            paged=use_paged,
-            block_size=block_size,
-            prefix_caching=prefix_caching,
-            prefix_cache_blocks=prefix_cache_blocks,
-        )
-        for request in make_workload(
+    serve = _make_server(
+        model,
+        reserved_length=reserved_length,
+        block_size=block_size,
+        prefix_caching=prefix_caching,
+        shared_prefix=shared_prefix,
+        workload_kwargs=dict(
             n_requests=n_requests,
             mean_interarrival=mean_interarrival,
             prompt_range=prompt_range,
@@ -139,10 +179,8 @@ def run(
             shared_prefix=shared_prefix,
             vocab=model.config.vocab_size,
             seed=seed,
-        ):
-            scheduler.submit(request)
-        report = scheduler.run()
-        return scheduler, report
+        ),
+    )
 
     rows = []
     for batch_size in batch_sizes:
@@ -161,15 +199,9 @@ def run(
         }
         if paged:
             paged_scheduler, paged_report = serve(batch_size, use_paged=True)
-            for i in range(n_requests):
-                request_id = f"req-{i}"
-                if paged_scheduler.tokens_for(request_id) != scheduler.tokens_for(
-                    request_id
-                ):
-                    raise AssertionError(
-                        f"paged tokens diverged from dense for {request_id} "
-                        f"at batch cap {batch_size}"
-                    )
+            _assert_paged_tokens_match(
+                scheduler, paged_scheduler, n_requests, batch_size
+            )
             reduction = (
                 1.0 - paged_report.peak_kv_slots / report.peak_kv_slots
                 if report.peak_kv_slots
@@ -206,3 +238,149 @@ def run(
         rows=rows,
         notes=notes,
     )
+
+
+def run_cosim(
+    batch_sizes=(1, 2, 4, 8),
+    n_requests=8,
+    mean_interarrival=2.0,
+    reserved_length=4,
+    model=None,
+    seed=0,
+    paged=False,
+    block_size=8,
+    shared_prefix=0,
+    prefix_caching=True,
+    prompt_range=(12, 48),
+    max_new_range=(8, 24),
+    compression_ratio=0.5,
+    hw=None,
+    cosim_shapes="7b",
+):
+    """Serve the trace, then price it on the accelerator cycle model.
+
+    For every batch cap the workload is served (dense, and additionally
+    paged when ``paged=True``; tokens asserted bit-equal as in
+    :func:`run`), and the recorded per-round trace is replayed through
+    :class:`~repro.serve.ServingCoSimulator` under all three dataflow
+    selections.  ``cosim_shapes`` picks the priced model shapes:
+    ``"7b"`` projects the trace onto Llama-2 7B (the paper's hardware
+    evaluation model — real cache trajectories, datacenter shapes) while
+    ``"served"`` prices the model actually served.
+
+    Returns ``(ExperimentResult, extra_text)``: one summary row per
+    batch cap (hardware cycles, batched tokens/s, utilization, and the
+    cycle overhead of pinning the array to either fixed mapping), plus a
+    text block with the per-round cycle tables and the dataflow
+    comparison at the largest cap.
+    """
+    if cosim_shapes not in ("7b", "served"):
+        raise ValueError(f"cosim_shapes must be '7b' or 'served', got {cosim_shapes!r}")
+    if model is None:
+        model = CachedTransformer.from_module(
+            TransformerLM(tiny_config(), seed=0)
+        )
+    hw_model = llama2_7b_shapes() if cosim_shapes == "7b" else model.config
+
+    serve = _make_server(
+        model,
+        reserved_length=reserved_length,
+        block_size=block_size,
+        prefix_caching=prefix_caching,
+        shared_prefix=shared_prefix,
+        workload_kwargs=dict(
+            n_requests=n_requests,
+            mean_interarrival=mean_interarrival,
+            prompt_range=prompt_range,
+            max_new_range=max_new_range,
+            compression_ratio=compression_ratio,
+            shared_prefix=shared_prefix,
+            vocab=model.config.vocab_size,
+            seed=seed,
+        ),
+    )
+
+    rows = []
+    extra_blocks = []
+    for batch_size in batch_sizes:
+        scheduler, report = serve(batch_size, use_paged=False)
+        reports = compare_dataflows(scheduler, hw=hw, hw_model=hw_model)
+        flexible = reports["auto"]
+        row = {
+            "max_batch": batch_size,
+            "rounds": report.total_rounds,
+            "tokens": flexible.total_tokens,
+            "cycles": flexible.total_cycles,
+            "hw_tokens/s": flexible.tokens_per_second,
+            "util": flexible.utilization,
+            # Pre-formatted to 4 decimals: the pinned-mapping overheads
+            # are real but small when linear layers dominate, and the
+            # table's 3-decimal float format would round them away.
+            "fixed_prefill_x": format(
+                reports["prefill"].total_cycles / flexible.total_cycles, ".4f"
+            ),
+            "fixed_decode_x": format(
+                reports["decode"].total_cycles / flexible.total_cycles, ".4f"
+            ),
+        }
+        paged_reports = None
+        if paged:
+            paged_scheduler, paged_report = serve(batch_size, use_paged=True)
+            _assert_paged_tokens_match(
+                scheduler, paged_scheduler, n_requests, batch_size
+            )
+            paged_reports = compare_dataflows(
+                paged_scheduler, hw=hw, hw_model=hw_model
+            )
+            paged_flexible = paged_reports["auto"]
+            row.update(
+                {
+                    "cycles_paged": paged_flexible.total_cycles,
+                    "hw_tokens/s_paged": paged_flexible.tokens_per_second,
+                    "prefill_rows_saved": flexible.prefill_tokens
+                    - paged_flexible.prefill_tokens,
+                }
+            )
+        rows.append(row)
+
+        if batch_size == max(batch_sizes):
+            extra_blocks.append(
+                format_table(
+                    flexible.rounds,
+                    title=f"Per-round cycles, dense, batch cap {batch_size} "
+                    f"(dataflow=auto)",
+                )
+            )
+            if paged_reports is not None:
+                extra_blocks.append(
+                    format_table(
+                        paged_reports["auto"].rounds,
+                        title=f"Per-round cycles, paged, batch cap "
+                        f"{batch_size} (dataflow=auto)",
+                    )
+                )
+            extra_blocks.append(
+                format_table(
+                    [r.summary() for r in reports.values()],
+                    title=f"Dataflow selection on the same trace "
+                    f"(dense, batch cap {batch_size})",
+                )
+            )
+
+    notes = (
+        f"Scheduler traces (real per-sequence cache lengths under "
+        f"VotingPolicy eviction) replayed through the accelerator cycle "
+        f"model on {'Llama-2 7B' if cosim_shapes == '7b' else 'served-model'} "
+        "shapes. 'auto' reconfigures the PE array per phase (tiled "
+        "mapping for prefill rows, streaming for decode rows); "
+        "fixed_prefill_x / fixed_decode_x are the cycle multipliers paid "
+        "for pinning the array to either fixed mapping — the win of "
+        "dataflow flexibility at serving scale."
+    )
+    result = ExperimentResult(
+        "serving_cosim",
+        f"Serving-scale hardware co-simulation ({n_requests} requests)",
+        rows=rows,
+        notes=notes,
+    )
+    return result, "\n\n".join(extra_blocks)

@@ -1,7 +1,14 @@
 """Batched serving subsystem: requests, sequence state, the
-continuous-batching scheduler, and the paged KV memory layer
-(block pool, paged caches, cross-request prefix cache)."""
+continuous-batching scheduler, the paged KV memory layer (block pool,
+paged caches, cross-request prefix cache), and the serving-scale
+hardware co-simulator (per-round trace replay with phase-aware dataflow
+selection)."""
 
+from repro.serve.cosim import (
+    ServingCoSimReport,
+    ServingCoSimulator,
+    compare_dataflows,
+)
 from repro.serve.paging import (
     BlockPool,
     BlockPoolExhausted,
@@ -17,6 +24,7 @@ from repro.serve.request import (
     SequenceState,
 )
 from repro.serve.scheduler import Scheduler, ServingReport
+from repro.serve.trace import DecodeEvent, PrefillEvent, RoundTrace
 
 __all__ = [
     "BlockPool",
@@ -29,6 +37,12 @@ __all__ = [
     "SequenceState",
     "Scheduler",
     "ServingReport",
+    "ServingCoSimReport",
+    "ServingCoSimulator",
+    "compare_dataflows",
+    "DecodeEvent",
+    "PrefillEvent",
+    "RoundTrace",
     "QUEUED",
     "RUNNING",
     "FINISHED",

@@ -1,0 +1,297 @@
+"""Serving-scale algorithm/hardware co-simulation.
+
+:class:`repro.cosim.CoSimulator` closes the algorithm/hardware loop for
+one sequence: the real engine generates, and the measured cache-length
+trajectory is priced by the accelerator cycle model.  This module closes
+the same loop for the *serving* path: a
+:class:`~repro.serve.scheduler.Scheduler` run leaves behind a per-round
+trace (:mod:`repro.serve.trace`) of mixed prefill/decode work with the
+real per-sequence cache lengths produced by the eviction policies (dense
+or paged), and :class:`ServingCoSimulator` replays that trace through
+:meth:`repro.accel.simulator.AcceleratorSimulator.mixed_round`.
+
+Per-phase dataflow selection (paper's flexible PE-array mapping) is the
+serving-scale knob: ``dataflow="auto"`` reconfigures the array between
+the tiled mapping for prefill rows and the streaming mapping for decode
+rows within each round, while ``"prefill"`` / ``"decode"`` pin the array
+to one fixed mapping for the whole run.  :func:`compare_dataflows`
+quantifies the win of flexibility over either fixed choice on the same
+trace.
+
+Equivalence anchor: at batch size 1 (and ``count_dead_steps=True``) the
+replay is cycle-identical to the solo co-simulator — same per-step
+attention cycles, same total decode cycles —
+``tests/serve/test_serving_cosim.py`` locks this in.
+
+Worked example — price a hand-written two-round trace on Llama-2 7B
+shapes and show flexibility beating both fixed mappings::
+
+    >>> from repro.config import llama2_7b_shapes
+    >>> from repro.serve.cosim import ServingCoSimulator
+    >>> from repro.serve.trace import DecodeEvent, PrefillEvent, RoundTrace
+    >>> trace = [
+    ...     RoundTrace(0, prefills=[PrefillEvent("a", 64, 64)],
+    ...                decodes=[DecodeEvent("b", 512)]),
+    ...     RoundTrace(1, decodes=[DecodeEvent("a", 65),
+    ...                            DecodeEvent("b", 513)]),
+    ... ]
+    >>> report = ServingCoSimulator(hw_model=llama2_7b_shapes()).replay(trace)
+    >>> report.total_tokens, report.decode_steps, len(report.rounds)
+    (4, 3, 2)
+    >>> fixed = [
+    ...     ServingCoSimulator(hw_model=llama2_7b_shapes(),
+    ...                        dataflow=d).replay(trace).total_cycles
+    ...     for d in ("prefill", "decode")
+    ... ]
+    >>> all(report.total_cycles < cycles for cycles in fixed)
+    True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accel.config import HardwareConfig, veda_config
+from repro.accel.scheduler import DATAFLOWS
+from repro.accel.simulator import AcceleratorSimulator
+
+__all__ = ["ServingCoSimReport", "ServingCoSimulator", "compare_dataflows"]
+
+
+@dataclass
+class ServingCoSimReport:
+    """Hardware outcome of replaying one scheduler trace.
+
+    ``rounds`` holds one dict per non-empty scheduler round (keys:
+    ``round``, ``prefills``, ``prefill_rows``, ``decodes``, ``cycles``,
+    ``attn_cycles``, ``linear_cycles``, ``tokens``) ready for
+    :func:`repro.experiments.common.format_table`.  All cycle totals are
+    in accelerator clock cycles of the priced hardware configuration.
+    """
+
+    dataflow: str = "auto"
+    clock_ghz: float = 1.0
+    n_pe: int = 128
+    rounds: list = field(default_factory=list)
+    total_cycles: float = 0.0
+    prefill_cycles: float = 0.0
+    decode_cycles: float = 0.0
+    #: Tokens produced by priced work (one per prefill, one per real
+    #: decode step); dead steps never count as tokens.
+    total_tokens: int = 0
+    #: Prompt rows actually computed (prefix-cache hits excluded).
+    prefill_tokens: int = 0
+    #: Real decode steps priced (dead steps excluded).
+    decode_steps: int = 0
+    #: Engine-compatibility dead steps priced (0 when disabled).
+    dead_steps: int = 0
+    macs: float = 0.0
+    hbm_bytes: float = 0.0
+    #: request_id -> all-layer attention cycles per priced decode step,
+    #: in step order (includes the dead step when priced) — directly
+    #: comparable to ``CoSimResult.attention_cycles_per_step``.
+    per_request_attention: dict = field(default_factory=dict)
+    #: All priced decode steps' attention cycles, in replay order.
+    decode_attention_per_step: list = field(default_factory=list)
+
+    @property
+    def wall_seconds(self):
+        """Modeled wall-clock of the whole run on the accelerator."""
+        return self.total_cycles / (self.clock_ghz * 1e9)
+
+    @property
+    def tokens_per_second(self):
+        """Batched hardware throughput over the whole trace."""
+        return self.total_tokens / self.wall_seconds if self.total_cycles else 0.0
+
+    @property
+    def mean_round_cycles(self):
+        return self.total_cycles / len(self.rounds) if self.rounds else 0.0
+
+    @property
+    def mean_decode_attention_cycles(self):
+        """Mean all-layer attention cycles per priced decode step."""
+        if not self.decode_attention_per_step:
+            raise ValueError("no decode steps priced")
+        return sum(self.decode_attention_per_step) / len(
+            self.decode_attention_per_step
+        )
+
+    @property
+    def utilization(self):
+        """Achieved MAC-lane occupancy (achieved / peak throughput)."""
+        return self.macs / (self.total_cycles * self.n_pe) if self.total_cycles else 0.0
+
+    def request_decode_attention(self, request_id):
+        """Per-step attention cycle trace of one request."""
+        return list(self.per_request_attention[request_id])
+
+    def summary(self):
+        """Flat dict of the aggregate metrics (for experiment tables)."""
+        return {
+            "dataflow": self.dataflow,
+            "rounds": len(self.rounds),
+            "cycles": self.total_cycles,
+            "prefill_cycles": self.prefill_cycles,
+            "decode_cycles": self.decode_cycles,
+            "tokens": self.total_tokens,
+            "hw_tokens/s": self.tokens_per_second,
+            "utilization": self.utilization,
+            "hbm_gb": self.hbm_bytes / 1e9,
+        }
+
+
+class ServingCoSimulator:
+    """Replays a scheduler trace through the accelerator cycle model.
+
+    Parameters
+    ----------
+    scheduler:
+        A :class:`~repro.serve.scheduler.Scheduler` whose ``trace`` to
+        replay (optional when traces are passed to :meth:`replay`
+        directly, in which case ``hw_model`` is required).
+    hw:
+        Hardware configuration (default: full VEDA).
+    hw_model:
+        Model config whose *shapes* are priced; defaults to the
+        scheduler's own model config.  Substituting
+        :func:`repro.config.llama2_7b_shapes` projects datacenter-scale
+        latencies from a small-model serving trace, exactly like the
+        solo co-simulator's ``hw_model`` substitution.
+    dataflow:
+        Round-level PE-array mapping: ``"auto"`` (reconfigure per
+        phase — the paper's flexibility), ``"prefill"`` or ``"decode"``
+        (pinned).  See :mod:`repro.accel.scheduler`.
+    count_dead_steps:
+        Price the dead decode step the solo engine spends on the final
+        token of a length-capped request (the scheduler's loop skips
+        it).  Leave on for cycle-exact comparison against
+        :class:`repro.cosim.CoSimulator`; turn off to price only work
+        the serving loop actually performs.
+    """
+
+    def __init__(
+        self,
+        scheduler=None,
+        hw: HardwareConfig = None,
+        hw_model=None,
+        dataflow="auto",
+        count_dead_steps=True,
+    ):
+        if dataflow not in DATAFLOWS:
+            raise ValueError(
+                f"unknown dataflow {dataflow!r}, expected one of {DATAFLOWS}"
+            )
+        if scheduler is None and hw_model is None:
+            raise ValueError("need a scheduler or an explicit hw_model")
+        self.scheduler = scheduler
+        self.hw = hw or veda_config()
+        self.hw_model = hw_model or scheduler.model.config
+        self.dataflow = dataflow
+        self.count_dead_steps = bool(count_dead_steps)
+        self.simulator = AcceleratorSimulator(self.hw, self.hw_model)
+
+    def replay(self, trace=None):
+        """Price a per-round trace; returns a :class:`ServingCoSimReport`.
+
+        ``trace`` defaults to the constructor scheduler's recorded
+        ``trace`` (a list of :class:`~repro.serve.trace.RoundTrace`).
+        The model is never re-run: replaying the same trace under
+        different hardware configurations or dataflow selections is pure
+        arithmetic.
+        """
+        if trace is None:
+            if self.scheduler is None:
+                raise ValueError("no trace given and no scheduler attached")
+            trace = self.scheduler.trace
+        report = ServingCoSimReport(
+            dataflow=self.dataflow,
+            clock_ghz=self.hw.clock_ghz,
+            n_pe=self.hw.n_pe,
+        )
+        n_layers = self.hw_model.n_layers
+        for record in trace:
+            decode_events = list(record.decodes)
+            if self.count_dead_steps:
+                decode_events.extend(record.dead_steps)
+            if not record.prefills and not decode_events:
+                continue
+            stats = self.simulator.mixed_round(
+                prefill_lengths=[e.computed_tokens for e in record.prefills],
+                decode_lengths=[e.attention_length for e in decode_events],
+                dataflow=self.dataflow,
+                prefix_lengths=[e.prefix_length for e in record.prefills],
+            )
+            # Voting-engine vote counts live off-chip (paper Sec. V):
+            # UINT16 per position, read + write per step per layer, for
+            # every budget-managed sequence.
+            vote_bytes = sum(
+                2 * 2 * event.attention_length * n_layers
+                for event in decode_events
+                if event.budgeted
+            )
+            report.total_cycles += stats.cycles
+            report.prefill_cycles += stats.prefill_cycles
+            report.decode_cycles += stats.decode_cycles
+            report.macs += stats.macs
+            report.hbm_bytes += stats.hbm_bytes + vote_bytes
+            report.total_tokens += record.tokens
+            report.prefill_tokens += record.computed_prefill_tokens
+            report.decode_steps += record.num_decodes
+            report.dead_steps += len(decode_events) - record.num_decodes
+            for event, attention in zip(
+                decode_events, stats.per_sequence_attention
+            ):
+                report.per_request_attention.setdefault(
+                    event.request_id, []
+                ).append(attention)
+                report.decode_attention_per_step.append(attention)
+            report.rounds.append(
+                {
+                    "round": record.round_index,
+                    "prefills": record.num_prefills,
+                    "prefill_rows": record.computed_prefill_tokens,
+                    "decodes": len(decode_events),
+                    "cycles": stats.cycles,
+                    "attn_cycles": stats.attention_cycles,
+                    "linear_cycles": stats.linear_cycles,
+                    "tokens": record.tokens,
+                }
+            )
+        return report
+
+
+def compare_dataflows(
+    scheduler=None,
+    trace=None,
+    hw: HardwareConfig = None,
+    hw_model=None,
+    count_dead_steps=True,
+):
+    """Replay one trace under every dataflow selection.
+
+    Returns ``{"auto": report, "prefill": report, "decode": report}``.
+    ``"auto"`` (per-phase reconfiguration) lower-bounds both pinned
+    mappings by construction; the cycle gap on a mixed prefill/decode
+    trace is the serving-scale value of the paper's flexible PE array.
+
+    On fixed-dataflow hardware (``flexible_dataflow=False``) the array
+    cannot express the streaming mapping, so the comparison degrades to
+    ``{"auto", "prefill"}`` — both pricing the baseline's tiled
+    configuration.
+    """
+    effective_hw = hw or veda_config()
+    selections = (
+        DATAFLOWS if effective_hw.flexible_dataflow else ("auto", "prefill")
+    )
+    reports = {}
+    for dataflow in selections:
+        cosim = ServingCoSimulator(
+            scheduler=scheduler,
+            hw=hw,
+            hw_model=hw_model,
+            dataflow=dataflow,
+            count_dead_steps=count_dead_steps,
+        )
+        reports[dataflow] = cosim.replay(trace)
+    return reports

@@ -24,6 +24,26 @@ they hold bitwise-identical floats in the same order, so attention — and
 therefore every generated token — is bit-identical to the dense path;
 ``tests/serve/test_paged_equivalence.py`` locks this in across block
 sizes.
+
+Worked example — grow, evict, and release against a fixed pool::
+
+    >>> import numpy as np
+    >>> from repro.serve.paging import BlockPool, PagedKVCache
+    >>> pool = BlockPool(n_heads=2, head_dim=4, block_size=4, num_blocks=8)
+    >>> cache = PagedKVCache(pool, n_layers=1, capacity=16)
+    >>> for position in range(5):
+    ...     cache[0].append(np.ones((2, 4)), np.zeros((2, 4)), position)
+    >>> cache[0].length, cache[0].num_blocks, pool.num_free
+    (5, 2, 6)
+    >>> cache[0].evict(0)            # compaction preserves position order
+    0
+    >>> cache[0].positions.tolist()
+    [1, 2, 3, 4]
+    >>> cache[0].num_blocks, pool.num_free   # emptied tail block returned
+    (1, 7)
+    >>> cache.release()              # retirement frees everything
+    >>> pool.num_free
+    8
 """
 
 from __future__ import annotations
@@ -48,6 +68,11 @@ class BlockPool:
     One physical block holds ``block_size`` consecutive cache slots of one
     layer of one sequence: keys and values for all heads plus the slots'
     absolute positions.  Blocks are handed out by integer id.
+
+    Invariants: every live block has refcount >= 1 and is absent from
+    the free list; ``num_free + num_used == num_blocks``; allocation
+    order is deterministic (LIFO free list, low ids first), so paged
+    runs are bit-reproducible.
 
     Parameters
     ----------
@@ -108,7 +133,13 @@ class BlockPool:
     # Allocation
     # ------------------------------------------------------------------
     def allocate(self):
-        """Take a free block (refcount 1); its position slots are reset."""
+        """Take a free block; returns its integer id.
+
+        The block starts at refcount 1 with its position slots reset to
+        -1.  Under pressure the ``reclaimer`` hook is asked to shed
+        blocks first; a growable pool then doubles its storage, while a
+        fixed pool raises :class:`BlockPoolExhausted`.
+        """
         if not self._free and self.reclaimer is not None:
             self.reclaimer(1)
         if not self._free:

@@ -29,6 +29,26 @@ originating request therefore leaves the prefix resident.  ``reclaim``
 drops least-recently-used entries whose blocks nobody else references
 (deepest chain links first, so parents outlive children), and is wired as
 the pool's pressure valve by the scheduler.
+
+Worked example — register one full block, then hit and miss it::
+
+    >>> from repro.serve.paging import BlockPool
+    >>> from repro.serve.prefix_cache import PrefixCache
+    >>> pool = BlockPool(n_heads=1, head_dim=2, block_size=4, num_blocks=8)
+    >>> cache = PrefixCache(block_size=4)
+    >>> block = pool.allocate()
+    >>> root = PrefixCache.root_key(policy_key=("voting", 1))
+    >>> key = cache.insert(root, (1, 2, 3, 4), [block], [None], pool)
+    >>> entries, _ = cache.match([1, 2, 3, 4, 9, 9], ("voting", 1))
+    >>> len(entries), entries[0].layer_block_ids == (block,)
+    (1, True)
+    >>> cache.match([5, 6, 7, 8, 9], ("voting", 1))[0]   # content miss
+    []
+    >>> pool.refcount(block)   # the cache holds its own reference
+    2
+    >>> cache.clear(pool)
+    >>> pool.refcount(block)
+    1
 """
 
 from __future__ import annotations

@@ -11,6 +11,18 @@ from which the next token will be sampled.
 The state machine is ``QUEUED -> RUNNING -> FINISHED``; the per-phase
 timestamps it records (arrival, admission, completion) are what the
 scheduler's latency statistics are computed from.
+
+Worked example — requests validate their inputs up front::
+
+    >>> import numpy as np
+    >>> from repro.serve.request import Request
+    >>> request = Request("r0", np.array([1, 2, 3]), max_new_tokens=4, budget=8)
+    >>> request.arrival_time, request.eos, request.budget
+    (0, None, 8)
+    >>> Request("bad", np.array([1, 2]), max_new_tokens=0)
+    Traceback (most recent call last):
+        ...
+    ValueError: max_new_tokens must be positive
 """
 
 from __future__ import annotations
@@ -98,6 +110,9 @@ class SequenceState:
     #: blocks back from later admissions so this sequence can always
     #: grow/CoW to its capacity.
     reserved_blocks: int = 0
+    #: Prompt tokens adopted from the prefix cache at admission (their
+    #: prefill compute was skipped); 0 when served dense or on a miss.
+    prefix_hit_length: int = 0
 
     @property
     def request_id(self):

@@ -37,6 +37,31 @@ eviction-policy state snapshots).  The equivalence guarantee extends to
 it: tokens are bit-identical dense vs paged, at any block size, with or
 without prefix hits — ``tests/serve/test_paged_equivalence.py`` and the
 fuzz suite lock this in.
+
+Every round is also recorded in :attr:`Scheduler.trace` (prefill row
+counts, per-sequence decode attention lengths), which
+:class:`~repro.serve.cosim.ServingCoSimulator` prices on the
+accelerator cycle model after the run.
+
+Worked example — serve three requests at batch cap 2::
+
+    >>> import numpy as np
+    >>> from repro.config import tiny_config
+    >>> from repro.models.inference import CachedTransformer
+    >>> from repro.models.transformer import TransformerLM
+    >>> from repro.serve import Request, Scheduler
+    >>> model = CachedTransformer.from_module(TransformerLM(tiny_config(), seed=0))
+    >>> scheduler = Scheduler(model, max_batch_size=2)
+    >>> for i in range(3):
+    ...     scheduler.submit(Request(f"r{i}", np.arange(6) + i,
+    ...                              max_new_tokens=4, seed=i))
+    >>> report = scheduler.run()
+    >>> len(report.requests), report.total_tokens, scheduler.done
+    (3, 12, True)
+    >>> len(scheduler.tokens_for("r1"))   # same tokens as solo decode
+    4
+    >>> [r.num_decodes for r in scheduler.trace][:3]   # lock-step rounds
+    [2, 2, 2]
 """
 
 from __future__ import annotations
@@ -54,13 +79,23 @@ from repro.core.sampling import greedy
 from repro.serve.paging import BlockPool, PagedKVCache
 from repro.serve.prefix_cache import PrefixCache
 from repro.serve.request import FINISHED, RUNNING, Request, SequenceState
+from repro.serve.trace import DecodeEvent, PrefillEvent, RoundTrace
 
 __all__ = ["Scheduler", "ServingReport"]
 
 
 @dataclass
 class ServingReport:
-    """Aggregate + per-request outcome of one scheduler run."""
+    """Aggregate + per-request outcome of one scheduler run.
+
+    Invariants: ``total_tokens`` equals the sum of per-request token
+    counts in ``requests``; ``busy_rounds <= total_rounds``;
+    ``peak_concurrency <= max_batch_size``; throughput properties return
+    0.0 (never raise) on an empty run.  All ``*_rounds`` quantities are
+    in scheduler rounds (the discrete clock), ``wall_seconds`` is host
+    wall-clock — hardware-model time lives in
+    :class:`~repro.serve.cosim.ServingCoSimReport`, not here.
+    """
 
     #: One dict per retired request (arrival/admission/finish rounds,
     #: wait, latency, token count, finish reason, eviction count).
@@ -250,6 +285,10 @@ class Scheduler:
         self._waiting = []  # SequenceState, FIFO by (arrival, submit order)
         self._running = []  # SequenceState, admission order
         self._finished = []
+        #: Per-round hardware trace (:class:`~repro.serve.trace.RoundTrace`
+        #: per non-empty round), consumed by
+        #: :class:`~repro.serve.cosim.ServingCoSimulator`.
+        self.trace = []
         self.round_index = 0
         self._busy_rounds = 0
         self._total_tokens = 0
@@ -263,7 +302,24 @@ class Scheduler:
     # Client API
     # ------------------------------------------------------------------
     def submit(self, request):
-        """Queue a :class:`Request` (or build one from kwargs-free args)."""
+        """Queue a :class:`Request` for admission.
+
+        The request becomes visible to the admission loop at its
+        ``arrival_time``; requests are admitted FIFO by arrival.
+
+        Raises
+        ------
+        TypeError
+            If ``request`` is not a :class:`Request`.
+        KeyError
+            If the id collides with any live *or finished* request
+            (results are keyed by request id, so ids are never reused
+            within one scheduler).
+        ValueError
+            In paged mode with a fixed pool, if the request's worst-case
+            block demand exceeds the whole pool (it could never be
+            admitted and would stall the FIFO queue forever).
+        """
         if not isinstance(request, Request):
             raise TypeError(f"expected Request, got {type(request).__name__}")
         # Finished ids stay reserved too: results are keyed by request id
@@ -308,7 +364,13 @@ class Scheduler:
     # Scheduling loop
     # ------------------------------------------------------------------
     def run(self):
-        """Serve until every submitted request retired; returns a report."""
+        """Serve until every submitted request has retired.
+
+        Returns a :class:`ServingReport` aggregating throughput, latency
+        and memory statistics over the whole run; per-request tokens
+        stay retrievable through :meth:`tokens_for` and the per-round
+        hardware trace through :attr:`trace`.
+        """
         start = time.perf_counter()
         while not self.done:
             self.run_round()
@@ -316,7 +378,13 @@ class Scheduler:
         return self._report(wall)
 
     def run_round(self):
-        """One scheduler iteration: admit, sample, batched decode."""
+        """One scheduler iteration: admit, sample, batched decode.
+
+        Each round appends a :class:`~repro.serve.trace.RoundTrace` to
+        :attr:`trace` recording the hardware work performed (prefill row
+        counts, per-sequence decode attention lengths), which the
+        serving co-simulator prices after the fact.
+        """
         # Fast-forward through idle time: nothing running and the next
         # arrival is still in the future.
         if not self._running and self._waiting:
@@ -324,24 +392,27 @@ class Scheduler:
             if next_arrival > self.round_index:
                 self.round_index = next_arrival
 
-        self._admit()
+        record = RoundTrace(round_index=self.round_index)
+        self._admit(record)
         self._peak_concurrency = max(self._peak_concurrency, len(self._running))
         self._sample_kv_usage()
 
-        sampled = self._sample()
+        sampled = self._sample(record)
         active = [s for s in self._running if s.status != FINISHED]
         if active:
-            self._decode(active)
+            self._decode(active, record)
         if sampled:
             self._busy_rounds += 1
             self._total_tokens += sampled
+        if record.prefills or record.decodes or record.dead_steps:
+            self.trace.append(record)
         self._retire()
         self.round_index += 1
 
     # ------------------------------------------------------------------
     # Round stages
     # ------------------------------------------------------------------
-    def _admit(self):
+    def _admit(self, record):
         """Admit arrived requests into free batch slots (prefill them).
 
         In paged mode, admission additionally *reserves blocks, not
@@ -390,6 +461,17 @@ class Scheduler:
             state.cache_lengths.append(state.cache[0].length)
             state.logits = logits
             state.position = request.prompt.shape[0]
+            record.prefills.append(
+                PrefillEvent(
+                    request_id=request.request_id,
+                    prompt_length=int(request.prompt.shape[0]),
+                    computed_tokens=int(
+                        request.prompt.shape[0] - state.prefix_hit_length
+                    ),
+                    prefix_length=int(state.prefix_hit_length),
+                    budgeted=budget is not None,
+                )
+            )
             self._running.append(state)
 
     def _worst_case_blocks(self, capacity):
@@ -472,6 +554,7 @@ class Scheduler:
                     policy.import_prefill_state(
                         layer, snapshot[layer], shared_length
                     )
+                state.prefix_hit_length = shared_length
                 self._prefill_tokens_saved += shared_length
 
         prefill = self.model.prefill(
@@ -515,12 +598,13 @@ class Scheduler:
             row_start = chunk_end
         return prefill.logits
 
-    def _sample(self):
+    def _sample(self, record):
         """Sample one token per running sequence; retire EOS/full ones.
 
         Mirrors the engine's per-step prologue: sample, append, stop on
         EOS or on reaching ``max_new_tokens`` (in which case no further
-        decode step is spent on the sequence).
+        decode step is spent on the sequence — the engine's dead step is
+        recorded in the trace as such, never executed).
         """
         sampled = 0
         for state in self._running:
@@ -531,14 +615,40 @@ class Scheduler:
             if request.eos is not None and token == request.eos:
                 self._finish(state, "eos")
             elif state.num_generated >= request.max_new_tokens:
+                budget = (
+                    request.budget if request.budget is not None else self.budget
+                )
+                record.dead_steps.append(
+                    DecodeEvent(
+                        request_id=request.request_id,
+                        attention_length=int(state.cache[0].length + 1),
+                        budgeted=budget is not None,
+                        dead=True,
+                    )
+                )
                 self._finish(state, "length")
         return sampled
 
-    def _decode(self, active):
+    def _decode(self, active, record):
         """One batched decode step for every still-active sequence."""
         tokens = [s.tokens[-1] for s in active]
         positions = [s.position for s in active]
         caches = [s.cache for s in active]
+        for state in active:
+            budget = (
+                state.request.budget
+                if state.request.budget is not None
+                else self.budget
+            )
+            # The step appends then attends, so attention runs against
+            # the pre-step length plus the new token (append-then-evict).
+            record.decodes.append(
+                DecodeEvent(
+                    request_id=state.request_id,
+                    attention_length=int(state.cache[0].length + 1),
+                    budgeted=budget is not None,
+                )
+            )
         result = self.model.step_batch(tokens, positions, caches)
 
         for b, state in enumerate(active):

@@ -1,0 +1,129 @@
+"""Per-round hardware trace of a scheduler run.
+
+The :class:`~repro.serve.scheduler.Scheduler` records, for every round
+it executes, exactly the quantities the accelerator cycle model needs to
+price that round: which sequences prefilled (and how many prompt rows
+they actually computed, after prefix-cache hits), and which sequences
+took a decode step (and the cache length each one's attention ran
+against).  The :class:`~repro.serve.cosim.ServingCoSimulator` replays
+this trace through :class:`repro.accel.simulator.AcceleratorSimulator`
+without re-running the model.
+
+The trace is *honest*: it records work the scheduler performed.  The one
+engine/scheduler divergence — the dead decode step the solo
+:class:`~repro.core.engine.GenerationEngine` spends on the final token of
+a length-capped request, which the scheduler's loop skips — is recorded
+separately in ``dead_steps`` so the co-simulator can either price it
+(for cycle-exact comparison against the solo co-simulator) or ignore it
+(for pure serving throughput).
+
+Worked example — a one-round trace priced by hand::
+
+    >>> from repro.serve.trace import DecodeEvent, PrefillEvent, RoundTrace
+    >>> round0 = RoundTrace(round_index=0)
+    >>> round0.prefills.append(
+    ...     PrefillEvent("r0", prompt_length=16, computed_tokens=12,
+    ...                  prefix_length=4, budgeted=True)
+    ... )
+    >>> round0.decodes.append(
+    ...     DecodeEvent("r1", attention_length=33, budgeted=False)
+    ... )
+    >>> round0.num_prefills, round0.num_decodes, round0.computed_prefill_tokens
+    (1, 1, 12)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DecodeEvent", "PrefillEvent", "RoundTrace"]
+
+
+@dataclass
+class PrefillEvent:
+    """One admission's prefill work within a round.
+
+    Attributes
+    ----------
+    request_id:
+        The admitted request.
+    prompt_length:
+        Full prompt length (resident context after the prefill).
+    computed_tokens:
+        Prompt rows actually computed this round; less than
+        ``prompt_length`` when a prefix-cache hit made the leading
+        ``prefix_length`` rows resident without compute.
+    prefix_length:
+        Rows adopted from the prefix cache (``prompt_length -
+        computed_tokens``).
+    budgeted:
+        Whether a KV budget is active for this sequence.  Recorded for
+        trace completeness (e.g. future energy accounting); the
+        co-simulator charges vote HBM traffic per *decode* step only,
+        matching the solo simulator's accounting.
+    """
+
+    request_id: object
+    prompt_length: int
+    computed_tokens: int
+    prefix_length: int = 0
+    budgeted: bool = False
+
+
+@dataclass
+class DecodeEvent:
+    """One sequence's decode step within a round.
+
+    Attributes
+    ----------
+    request_id:
+        The decoding request.
+    attention_length:
+        Entries the step's attention ran against: the cache length
+        before the step plus the appended token (append-then-evict).
+    budgeted:
+        Whether a KV budget is active for this sequence (prices the vote
+        read/write HBM traffic, paper Sec. V).
+    dead:
+        True for the engine-compatibility dead step of a length-capped
+        request (see module docstring); recorded under
+        ``RoundTrace.dead_steps``, never under ``decodes``.
+    """
+
+    request_id: object
+    attention_length: int
+    budgeted: bool = False
+    dead: bool = False
+
+
+@dataclass
+class RoundTrace:
+    """Everything the hardware executed in one scheduler round."""
+
+    round_index: int
+    #: Admissions prefilled this round.
+    prefills: list = field(default_factory=list)
+    #: Batched decode steps taken this round (one per active sequence).
+    decodes: list = field(default_factory=list)
+    #: Dead steps of requests that retired by ``max_new_tokens`` this
+    #: round — work the solo engine performs but the scheduler skips.
+    dead_steps: list = field(default_factory=list)
+
+    @property
+    def num_prefills(self):
+        return len(self.prefills)
+
+    @property
+    def num_decodes(self):
+        return len(self.decodes)
+
+    @property
+    def computed_prefill_tokens(self):
+        """Prompt rows computed this round (prefix hits excluded)."""
+        return sum(event.computed_tokens for event in self.prefills)
+
+    @property
+    def tokens(self):
+        """Tokens attributable to this round's compute: every prefill
+        and every (real) decode step produces logits that get sampled."""
+        return self.num_prefills + self.num_decodes

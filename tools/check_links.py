@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Markdown link/anchor checker for the docs CI job.
+
+Usage::
+
+    python tools/check_links.py README.md docs/ARCHITECTURE.md
+
+Checks every inline markdown link ``[text](target)`` in the given
+files:
+
+- relative file targets must exist (resolved against the linking file's
+  directory);
+- ``#anchor`` fragments (same-file or ``file.md#anchor``) must match a
+  heading in the target file, using GitHub's slug rules (lowercase,
+  punctuation stripped, spaces to hyphens);
+- ``http(s)`` / ``mailto`` targets are skipped (CI has no network).
+
+Exits 1 with one line per broken link, 0 when everything resolves.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading):
+    """GitHub-style anchor slug of one heading."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path):
+    text = CODE_FENCE.sub("", path.read_text())
+    slugs = []
+    counts = {}
+    for match in HEADING.finditer(text):
+        slug = slugify(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.append(slug if n == 0 else f"{slug}-{n}")
+    return set(slugs)
+
+
+def check_file(path):
+    errors = []
+    text = CODE_FENCE.sub("", path.read_text())
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}: broken link target {target!r}")
+                continue
+        else:
+            resolved = path.resolve()
+        if anchor:
+            if resolved.suffix.lower() not in (".md", ".markdown"):
+                continue
+            if anchor not in heading_slugs(resolved):
+                errors.append(
+                    f"{path}: anchor {target!r} matches no heading in "
+                    f"{resolved.name}"
+                )
+    return errors
+
+
+def main(argv):
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    errors = []
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{name}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"ok: {len(argv)} file(s), all links and anchors resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
