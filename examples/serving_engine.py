@@ -1,0 +1,136 @@
+"""Async serving engine demo: streaming submission, chunked prefill,
+SLA-aware admission.
+
+Drives :class:`repro.serve.ServingEngine` the way a server front-end
+would: the loop is already running (``run_forever`` generator) when
+requests stream in from a bursty arrival process, tokens are retrieved
+incrementally through per-request handles as they are produced, and a
+long "tail" prompt arrives mid-run to show chunked prefill interleaving
+its admission with the live decode batch instead of stalling it.
+
+The same workload is then served whole-prompt vs chunked and priced on
+the accelerator cycle model: tokens are bit-identical, but chunking caps
+the worst single-round cycle cost (the head-of-line prefill spike).
+
+Run:  python examples/serving_engine.py
+"""
+
+import numpy as np
+
+from repro.config import llama2_7b_shapes, tiny_config
+from repro.core.engine import budget_from_ratio
+from repro.experiments.common import format_table
+from repro.experiments.serving import make_workload
+from repro.models.inference import CachedTransformer
+from repro.models.transformer import TransformerLM
+from repro.serve import Request, ServingEngine
+
+
+def streaming_demo(model):
+    """Submit requests *while* the loop runs; stream tokens back."""
+    print("=== streaming submission (chunked prefill, EDF admission) ===")
+    engine = ServingEngine(
+        model, admission="edf", prefill_chunk=8, max_batch_size=4
+    )
+    loop = engine.run_forever()
+    rng = np.random.default_rng(7)
+
+    # Two interactive requests with tight deadlines...
+    handles = [
+        engine.submit(
+            Request(
+                request_id=f"chat-{i}",
+                prompt=rng.integers(0, model.config.vocab_size, size=12),
+                max_new_tokens=6,
+                deadline=engine.now + 30,
+                seed=i,
+            )
+        )
+        for i in range(2)
+    ]
+    for _ in range(3):
+        next(loop)
+
+    # ... then a long-prompt batch job lands mid-run.  Its prompt is
+    # prefilled in 8-token chunks between the chat requests' decode
+    # steps — no round ever carries the whole 96-row prompt.
+    prompt_len = 96
+    handles.append(
+        engine.submit(
+            Request(
+                request_id="batch-job",
+                prompt=rng.integers(0, model.config.vocab_size, size=prompt_len),
+                max_new_tokens=8,
+                budget=budget_from_ratio(0.5, prompt_len, minimum=8),
+                priority=-1,
+                seed=99,
+            )
+        )
+    )
+    streamed = {h.request_id: [] for h in handles}
+    engine.close()
+    for tick in loop:  # drain, collecting tokens as they appear
+        for handle in handles:
+            fresh = handle.new_tokens()
+            if fresh:
+                streamed[handle.request_id].extend(fresh)
+
+    for handle in handles:
+        assert streamed[handle.request_id] == handle.result()
+        print(
+            f"  {handle.request_id:>10}: {len(handle.result())} tokens "
+            f"streamed, ttft={handle.ttft_rounds} rounds, "
+            f"status={handle.status}, deadline_missed={handle.deadline_missed}"
+        )
+    report = engine.report()
+    print(format_table([report.summary()], title="engine report"))
+    print()
+
+
+def chunking_demo(model):
+    """Whole-prompt vs chunked prefill on a heavy-tailed workload."""
+    print("=== chunked prefill vs whole-prompt, priced in cycles ===")
+    workload = make_workload(
+        n_requests=6,
+        prompt_dist="lognormal",
+        arrival="bursty",
+        deadline_slack=2.0,
+        vocab=model.config.vocab_size,
+        seed=3,
+    )
+    rows = []
+    tokens = {}
+    for chunk in (None, 16):
+        engine = ServingEngine(model, prefill_chunk=chunk, max_batch_size=4)
+        handles = engine.play(workload)
+        tokens[chunk] = {h.request_id: h.result() for h in handles}
+        report = engine.report()
+        hw = engine.cosim(hw_model=llama2_7b_shapes())
+        rows.append(
+            {
+                "chunk": "whole" if chunk is None else chunk,
+                "rounds": report.total_rounds,
+                "tokens": report.total_tokens,
+                "mean_ttft_rounds": report.mean_ttft,
+                "miss_rate": report.deadline_miss_rate,
+                "max_round_cyc": hw.max_round_cycles,
+                "mean_ttft_cyc": hw.mean_ttft_cycles,
+            }
+        )
+    assert tokens[None] == tokens[16], "chunking must never change tokens"
+    print(format_table(rows, title="same workload, same tokens (asserted)"))
+    print(
+        "\nchunked prefill caps the worst round "
+        f"({rows[0]['max_round_cyc']:,.0f} -> {rows[1]['max_round_cyc']:,.0f} "
+        "cycles): long prompts no longer head-of-line-block the batch."
+    )
+
+
+def main():
+    model = CachedTransformer.from_module(TransformerLM(tiny_config(), seed=0))
+    streaming_demo(model)
+    chunking_demo(model)
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,10 @@ Usage::
     python -m repro serve-bench --requests 16 --batch-sizes 1,4,8
     python -m repro serve-bench --paged --shared-prefix 32
                                          # paged KV + prefix sharing vs dense
+    python -m repro serve-bench --cosim --chunk-prefill 16
+                                         # chunked prefill, priced in cycles
+    python -m repro serve-engine         # async engine: admission x chunking
+    python -m repro serve-engine --admissions fifo,edf --chunk-sizes 0,8 --cosim
 
 Results are also written to ``.artifacts/results/`` as text tables.
 """
@@ -132,6 +136,13 @@ def _mean_gap(value):
     return number
 
 
+def _nonnegative_float(value):
+    number = float(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
+    return number
+
+
 def _serve_bench(argv):
     """The ``serve-bench`` subcommand: configurable serving benchmark."""
     parser = argparse.ArgumentParser(
@@ -202,6 +213,15 @@ def _serve_bench(argv):
         "paper's hardware evaluation model) or the tiny model actually "
         "served (default: 7b)",
     )
+    parser.add_argument(
+        "--chunk-prefill",
+        type=_nonnegative_int,
+        default=0,
+        help="per-round prompt-token budget for Sarathi-style chunked "
+        "prefill (0 = whole-prompt admission); tokens are bit-identical "
+        "either way, but chunking caps the per-round prefill work — "
+        "with --cosim, watch max_round_cyc drop",
+    )
     args = parser.parse_args(argv)
     try:
         batch_sizes = tuple(int(b) for b in args.batch_sizes.split(","))
@@ -223,6 +243,7 @@ def _serve_bench(argv):
         block_size=args.block_size,
         shared_prefix=args.shared_prefix,
         prefix_caching=not args.no_prefix_cache,
+        prefill_chunk=args.chunk_prefill or None,
     )
     if args.cosim:
         result, extra = serving.run_cosim(
@@ -236,6 +257,146 @@ def _serve_bench(argv):
         # that `python -m repro all` regenerates.
         result.experiment_id = "serving_bench"
     _emit(result, extra=extra)
+    return 0
+
+
+def _serve_engine(argv):
+    """The ``serve-engine`` subcommand: async-engine SLA benchmark."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve-engine",
+        description=(
+            "Stream an arrival-timed workload through the async serving "
+            "engine for every (admission policy, prefill chunk) "
+            "combination; per-request tokens are asserted identical "
+            "across all rows, so TTFT / deadline-miss differences are "
+            "pure scheduling."
+        ),
+    )
+    parser.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=8,
+        help="number of requests (conversations with --turns > 1)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=4,
+        help="admission cap on concurrently running sequences",
+    )
+    parser.add_argument(
+        "--chunk-sizes",
+        default="0,8",
+        help="comma-separated prefill chunk budgets to sweep "
+        "(0 = whole-prompt admission)",
+    )
+    parser.add_argument(
+        "--admissions",
+        default="fifo,edf",
+        help="comma-separated admission policies (fifo, edf, priority)",
+    )
+    parser.add_argument(
+        "--arrival",
+        choices=("geometric", "poisson", "bursty"),
+        default="poisson",
+        help="arrival process of the workload",
+    )
+    parser.add_argument(
+        "--prompt-dist",
+        choices=("uniform", "lognormal", "zipf"),
+        default="lognormal",
+        help="prompt-length distribution (heavy tails are where chunked "
+        "prefill matters)",
+    )
+    parser.add_argument(
+        "--deadline-slack",
+        type=_nonnegative_float,
+        default=1.5,
+        help="per-request deadline = arrival + slack * service estimate "
+        "(0 disables deadlines)",
+    )
+    parser.add_argument(
+        "--priority-levels",
+        type=_positive_int,
+        default=1,
+        help="draw request priorities in [0, N) (for the priority policy)",
+    )
+    parser.add_argument(
+        "--turns",
+        type=_positive_int,
+        default=1,
+        help="turns per conversation (> 1 re-hits the prefix cache "
+        "across turns; combine with --paged)",
+    )
+    parser.add_argument(
+        "--interarrival",
+        type=_mean_gap,
+        default=2.0,
+        help="mean request inter-arrival gap in rounds (>= 1)",
+    )
+    parser.add_argument(
+        "--paged",
+        action="store_true",
+        help="serve from the paged block pool (with prefix sharing)",
+    )
+    parser.add_argument(
+        "--block-size",
+        type=_positive_int,
+        default=8,
+        help="KV slots per pool block (paged mode)",
+    )
+    parser.add_argument(
+        "--cosim",
+        action="store_true",
+        help="also price every run on the accelerator cycle model: "
+        "hardware TTFT (cycles) and the worst single-round cycle cost",
+    )
+    parser.add_argument(
+        "--cosim-shapes",
+        choices=("7b", "served"),
+        default="7b",
+        help="model shapes priced by the co-simulator (default: 7b)",
+    )
+    parser.add_argument(
+        "--seed", type=_nonnegative_int, default=0, help="workload seed"
+    )
+    args = parser.parse_args(argv)
+    try:
+        chunk_sizes = tuple(
+            int(c) or None for c in args.chunk_sizes.split(",")
+        )
+    except ValueError:
+        parser.error(
+            f"--chunk-sizes must be comma-separated integers, "
+            f"got {args.chunk_sizes!r}"
+        )
+    if any(c is not None and c < 0 for c in chunk_sizes):
+        parser.error(f"--chunk-sizes must be >= 0, got {args.chunk_sizes!r}")
+    admissions = tuple(a.strip() for a in args.admissions.split(",") if a.strip())
+    unknown = [a for a in admissions if a not in ("fifo", "edf", "priority")]
+    if unknown or not admissions:
+        parser.error(
+            f"--admissions entries must be fifo/edf/priority, "
+            f"got {args.admissions!r}"
+        )
+    result = serving.run_engine(
+        n_requests=args.requests,
+        max_batch_size=args.batch_size,
+        chunk_sizes=chunk_sizes,
+        admissions=admissions,
+        arrival=args.arrival,
+        prompt_dist=args.prompt_dist,
+        mean_interarrival=args.interarrival,
+        deadline_slack=args.deadline_slack or None,
+        priority_levels=args.priority_levels,
+        turns=args.turns,
+        paged=args.paged,
+        block_size=args.block_size,
+        seed=args.seed,
+        cosim=args.cosim,
+        cosim_shapes=args.cosim_shapes,
+    )
+    _emit(result, extra=None)
     return 0
 
 
@@ -257,6 +418,8 @@ def main(argv=None):
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "serve-bench":
         return _serve_bench(argv[1:])
+    if argv and argv[0] == "serve-engine":
+        return _serve_engine(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -266,7 +429,7 @@ def main(argv=None):
         "experiment",
         choices=sorted(_EXPERIMENTS) + ["list", "all"],
         help="artifact to regenerate, 'list', 'all', or the "
-        "'serve-bench' subcommand (see 'serve-bench --help')",
+        "'serve-bench' / 'serve-engine' subcommands (see their --help)",
     )
     parser.add_argument(
         "--fast", action="store_true",
@@ -278,6 +441,7 @@ def main(argv=None):
         for name in sorted(_EXPERIMENTS):
             print(name)
         print("serve-bench")
+        print("serve-engine")
         return 0
 
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]

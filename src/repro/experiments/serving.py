@@ -21,15 +21,21 @@ from __future__ import annotations
 
 import numpy as np
 
+import math
+
 from repro.config import llama2_7b_shapes, tiny_config
 from repro.core.engine import budget_from_ratio
 from repro.core.policies.voting import VotingPolicy
 from repro.experiments.common import ExperimentResult, format_table
 from repro.models.inference import CachedTransformer
 from repro.models.transformer import TransformerLM
-from repro.serve import Request, Scheduler, compare_dataflows
+from repro.serve import Request, Scheduler, ServingEngine, compare_dataflows
 
-__all__ = ["run", "run_cosim", "make_workload"]
+__all__ = ["run", "run_cosim", "run_engine", "make_workload"]
+
+#: Supported prompt-length distributions / arrival streams.
+PROMPT_DISTS = ("uniform", "lognormal", "zipf")
+ARRIVALS = ("geometric", "poisson", "bursty")
 
 
 def make_workload(
@@ -41,40 +47,138 @@ def make_workload(
     shared_prefix=0,
     vocab=None,
     seed=0,
+    prompt_dist="uniform",
+    arrival="geometric",
+    burst_size=4,
+    deadline_slack=None,
+    priority_levels=1,
+    turns=1,
+    turn_gap=8.0,
 ):
     """A reproducible multi-tenant request trace.
 
-    Arrival gaps are geometric (discrete Poisson-ish) with the given
-    mean; prompt lengths and generation caps are uniform in their
-    ranges; each request gets the paper's ratio-derived cache budget
-    ``S = Round(r * P)`` with the R = 32 floor relaxed to 8 for the tiny
-    model.  ``shared_prefix`` prepends the same ``shared_prefix``-token
-    system prompt to every request (the prefix-cache workload); prompt
-    lengths then are ``shared_prefix`` plus the per-request draw.
+    The defaults reproduce the original workload bit-for-bit: geometric
+    (discrete Poisson-ish) arrival gaps with the given mean, uniform
+    prompt lengths and generation caps, and the paper's ratio-derived
+    cache budget ``S = Round(r * P)`` per request with the R = 32 floor
+    relaxed to 8 for the tiny model.  ``shared_prefix`` prepends the
+    same ``shared_prefix``-token system prompt to every request (the
+    prefix-cache workload).
+
+    The knobs beyond that stress the serving stack realistically:
+
+    prompt_dist:
+        ``"uniform"`` draws from ``prompt_range``; ``"lognormal"`` is
+        heavy-tailed around the range's geometric mean (tail clipped at
+        ``4 * max``); ``"zipf"`` is the classic power-law tail starting
+        at the range minimum.  Heavy tails are what make chunked prefill
+        matter: one tail prompt head-of-line-blocks a whole-prompt
+        admission round.
+    arrival:
+        ``"geometric"`` gaps (legacy), ``"poisson"`` gaps (can be 0 —
+        simultaneous arrivals), or ``"bursty"``: ``burst_size`` requests
+        arrive together, then one long geometric gap with mean
+        ``mean_interarrival * burst_size`` (same long-run rate, spiky).
+    deadline_slack:
+        When set, each request gets ``deadline = arrival +
+        ceil(slack * (max_new_tokens + prompt_len / 8))`` — a rough
+        per-request service estimate scaled by the slack factor, so
+        tighter slack means more SLA pressure.
+    priority_levels:
+        ``> 1`` draws a uniform priority in ``[0, levels)`` per request
+        (for the priority admission policy).
+    turns:
+        ``> 1`` turns each request into a multi-turn conversation: turn
+        ``t`` re-submits the previous turn's full prompt extended with a
+        fresh followup (ids ``req-i.t1``, ``req-i.t2``, ...), arriving a
+        geometric ``turn_gap`` after the previous turn.  Later turns
+        re-hit the prefix cache on the shared conversation head — the
+        cross-turn sharing workload (generated tokens are not echoed
+        into the followup prompt; the conversation head alone carries
+        the sharing).
     """
+    if prompt_dist not in PROMPT_DISTS:
+        raise ValueError(
+            f"prompt_dist must be one of {PROMPT_DISTS}, got {prompt_dist!r}"
+        )
+    if arrival not in ARRIVALS:
+        raise ValueError(f"arrival must be one of {ARRIVALS}, got {arrival!r}")
+    if burst_size <= 0:
+        raise ValueError("burst_size must be positive")
+    if deadline_slack is not None and deadline_slack <= 0:
+        raise ValueError("deadline_slack must be positive when given")
+    if priority_levels < 1:
+        raise ValueError("priority_levels must be at least 1")
+    if turns < 1:
+        raise ValueError("turns must be at least 1")
+    if turn_gap < 1.0:
+        raise ValueError("turn_gap must be >= 1")
     rng = np.random.default_rng(seed)
     vocab = vocab if vocab is not None else tiny_config().vocab_size
     prefix = rng.integers(0, vocab, size=int(shared_prefix))
+    lo, hi = prompt_range
+
+    def draw_prompt_length():
+        if prompt_dist == "uniform":
+            return int(rng.integers(lo, hi))
+        if prompt_dist == "lognormal":
+            median = math.sqrt(lo * hi)
+            draw = int(round(median * rng.lognormal(0.0, 0.6)))
+            return int(np.clip(draw, lo, 4 * hi))
+        return int(min(lo + rng.zipf(2.0) - 1, 4 * hi))  # zipf
+
+    def draw_gap(index):
+        if arrival == "geometric":
+            return int(rng.geometric(1.0 / mean_interarrival))
+        if arrival == "poisson":
+            return int(rng.poisson(mean_interarrival))
+        # bursty: whole bursts arrive at once, long gaps between bursts.
+        if (index + 1) % burst_size:
+            return 0
+        return int(rng.geometric(1.0 / (mean_interarrival * burst_size)))
+
     requests = []
-    arrival = 0
+    arrival_round = 0
     for i in range(n_requests):
-        unique_len = int(rng.integers(*prompt_range))
+        unique_len = draw_prompt_length()
         prompt = np.concatenate(
             [prefix, rng.integers(0, vocab, size=unique_len)]
         )
-        requests.append(
-            Request(
-                request_id=f"req-{i}",
-                prompt=prompt,
-                max_new_tokens=int(rng.integers(*max_new_range)),
-                arrival_time=arrival,
-                seed=i,
-                budget=budget_from_ratio(
-                    compression_ratio, prompt.shape[0], minimum=8
-                ),
+        turn_arrival = arrival_round
+        for t in range(turns):
+            if t:
+                followup = rng.integers(
+                    0, vocab, size=max(4, unique_len // 2)
+                )
+                prompt = np.concatenate([prompt, followup])
+                turn_arrival += int(rng.geometric(1.0 / turn_gap))
+            max_new = int(rng.integers(*max_new_range))
+            deadline = None
+            if deadline_slack is not None:
+                service = max_new + prompt.shape[0] / 8.0
+                deadline = turn_arrival + int(
+                    math.ceil(deadline_slack * service)
+                )
+            priority = (
+                int(rng.integers(0, priority_levels))
+                if priority_levels > 1
+                else 0
             )
-        )
-        arrival += int(rng.geometric(1.0 / mean_interarrival))
+            requests.append(
+                Request(
+                    request_id=f"req-{i}" if t == 0 else f"req-{i}.t{t}",
+                    prompt=prompt.copy(),
+                    max_new_tokens=max_new,
+                    arrival_time=turn_arrival,
+                    seed=i * turns + t,
+                    budget=budget_from_ratio(
+                        compression_ratio, prompt.shape[0], minimum=8
+                    ),
+                    deadline=deadline,
+                    priority=priority,
+                )
+            )
+        arrival_round += draw_gap(i)
     return requests
 
 
@@ -85,6 +189,7 @@ def _make_server(
     prefix_caching,
     shared_prefix,
     workload_kwargs,
+    prefill_chunk=None,
 ):
     """Build a ``serve(batch_size, use_paged) -> (scheduler, report)``
     closure over one reproducible workload (shared by :func:`run` and
@@ -107,6 +212,7 @@ def _make_server(
             block_size=block_size,
             prefix_caching=prefix_caching,
             prefix_cache_blocks=prefix_cache_blocks,
+            prefill_chunk=prefill_chunk,
         )
         for request in make_workload(**workload_kwargs):
             scheduler.submit(request)
@@ -145,6 +251,7 @@ def run(
     prompt_range=(12, 48),
     max_new_range=(8, 24),
     compression_ratio=0.5,
+    prefill_chunk=None,
 ):
     """Serve the same trace at several batch caps; tabulate the effect.
 
@@ -180,6 +287,7 @@ def run(
             vocab=model.config.vocab_size,
             seed=seed,
         ),
+        prefill_chunk=prefill_chunk,
     )
 
     rows = []
@@ -193,6 +301,7 @@ def run(
             "tokens/round": summary["tokens/round"],
             "tokens/s": summary["tokens/s"],
             "mean_wait": summary["mean_wait_rounds"],
+            "mean_ttft": summary["mean_ttft_rounds"],
             "mean_latency": summary["mean_latency_rounds"],
             "peak_batch": summary["peak_batch"],
             "peak_kv": summary["peak_kv_slots"],
@@ -256,6 +365,7 @@ def run_cosim(
     compression_ratio=0.5,
     hw=None,
     cosim_shapes="7b",
+    prefill_chunk=None,
 ):
     """Serve the trace, then price it on the accelerator cycle model.
 
@@ -298,6 +408,7 @@ def run_cosim(
             vocab=model.config.vocab_size,
             seed=seed,
         ),
+        prefill_chunk=prefill_chunk,
     )
 
     rows = []
@@ -311,6 +422,8 @@ def run_cosim(
             "rounds": report.total_rounds,
             "tokens": flexible.total_tokens,
             "cycles": flexible.total_cycles,
+            "max_round_cyc": flexible.max_round_cycles,
+            "mean_ttft_cyc": flexible.mean_ttft_cycles,
             "hw_tokens/s": flexible.tokens_per_second,
             "util": flexible.utilization,
             # Pre-formatted to 4 decimals: the pinned-mapping overheads
@@ -384,3 +497,140 @@ def run_cosim(
         notes=notes,
     )
     return result, "\n\n".join(extra_blocks)
+
+
+def run_engine(
+    n_requests=8,
+    max_batch_size=4,
+    chunk_sizes=(None, 8),
+    admissions=("fifo", "edf"),
+    arrival="poisson",
+    prompt_dist="lognormal",
+    mean_interarrival=2.0,
+    prompt_range=(12, 48),
+    max_new_range=(8, 24),
+    deadline_slack=1.5,
+    priority_levels=1,
+    turns=1,
+    compression_ratio=0.5,
+    reserved_length=4,
+    paged=False,
+    block_size=8,
+    shared_prefix=0,
+    model=None,
+    seed=0,
+    cosim=False,
+    cosim_shapes="7b",
+    hw=None,
+):
+    """Stream one workload through the async engine across admission
+    policies and prefill chunk budgets; tabulate the SLA effect.
+
+    The same arrival-timed workload (heavy-tailed prompts and Poisson or
+    bursty arrivals by default — the regime where whole-prompt prefill
+    head-of-line-blocks) is fed through
+    :meth:`repro.serve.ServingEngine.play` for every ``(admission,
+    chunk)`` combination.  Per-request generated tokens are asserted
+    identical across all combinations (batch-invariant decode plus
+    chunk-invariant prefill: scheduling changes *when*, never *what*).
+    Rows report the scheduling-only differences: mean/p95 TTFT, mean
+    latency, deadline-miss rate, and rejections; with ``cosim=True``
+    each run's trace is also priced on the accelerator cycle model,
+    adding hardware TTFT (cycles) and the worst single-round cycle cost
+    (the head-of-line spike chunked prefill caps).
+    """
+    if model is None:
+        model = CachedTransformer.from_module(
+            TransformerLM(tiny_config(), seed=0)
+        )
+    if cosim_shapes not in ("7b", "served"):
+        raise ValueError(
+            f"cosim_shapes must be '7b' or 'served', got {cosim_shapes!r}"
+        )
+    hw_model = llama2_7b_shapes() if cosim_shapes == "7b" else model.config
+    n_layers = model.config.n_layers
+    workload = make_workload(
+        n_requests=n_requests,
+        mean_interarrival=mean_interarrival,
+        prompt_range=prompt_range,
+        max_new_range=max_new_range,
+        compression_ratio=compression_ratio,
+        shared_prefix=shared_prefix,
+        vocab=model.config.vocab_size,
+        seed=seed,
+        prompt_dist=prompt_dist,
+        arrival=arrival,
+        deadline_slack=deadline_slack,
+        priority_levels=priority_levels,
+        turns=turns,
+    )
+
+    rows = []
+    reference_tokens = None
+    for admission in admissions:
+        for chunk in chunk_sizes:
+            engine = ServingEngine(
+                model,
+                admission=admission,
+                prefill_chunk=chunk,
+                policy_factory=lambda: VotingPolicy(
+                    n_layers, reserved_length=reserved_length
+                ),
+                max_batch_size=max_batch_size,
+                paged=paged,
+                block_size=block_size,
+            )
+            handles = engine.play(workload)
+            report = engine.report()
+            tokens = {
+                h.request_id: tuple(h.result())
+                for h in handles
+                if h.rejection is None
+            }
+            if reference_tokens is None:
+                reference_tokens = tokens
+            elif tokens != reference_tokens:
+                raise AssertionError(
+                    f"tokens diverged under admission={admission} "
+                    f"chunk={chunk}: scheduling must never change outputs"
+                )
+            row = {
+                "admission": admission,
+                "chunk": "whole" if chunk is None else chunk,
+                "rounds": report.total_rounds,
+                "tokens": report.total_tokens,
+                "tokens/round": report.tokens_per_round,
+                "mean_ttft": report.mean_ttft,
+                "p95_ttft": report.p95_ttft,
+                "mean_latency": report.mean_latency,
+                "miss_rate": report.deadline_miss_rate,
+                "rejected": len(report.rejections),
+            }
+            if cosim:
+                hw_report = engine.cosim(hw=hw, hw_model=hw_model)
+                row["max_round_cyc"] = hw_report.max_round_cycles
+                row["mean_ttft_cyc"] = hw_report.mean_ttft_cycles
+            rows.append(row)
+
+    notes = (
+        f"One arrival-timed workload ({prompt_dist} prompt lengths, "
+        f"{arrival} arrivals, deadline slack {deadline_slack}) streamed "
+        "through ServingEngine.play for every (admission, chunk) "
+        "combination; per-request tokens are asserted identical across "
+        "all rows, so TTFT/miss-rate differences are pure scheduling. "
+        "'chunk' is the per-round prompt-token budget (chunked prefill); "
+        "'whole' admits entire prompts in one round."
+    )
+    if cosim:
+        notes += (
+            " max_round_cyc is the worst single round on the accelerator "
+            f"({'Llama-2 7B' if cosim_shapes == '7b' else 'served-model'} "
+            "shapes): chunked prefill caps the whole-prompt head-of-line "
+            "spike; mean_ttft_cyc is hardware time-to-first-token."
+        )
+    return ExperimentResult(
+        "serving_engine",
+        f"Async engine: admission x chunked prefill ({n_requests} requests)",
+        rows=rows,
+        notes=notes,
+    )

@@ -1,13 +1,26 @@
 """Batched serving subsystem: requests, sequence state, the
-continuous-batching scheduler, the paged KV memory layer (block pool,
-paged caches, cross-request prefix cache), and the serving-scale
-hardware co-simulator (per-round trace replay with phase-aware dataflow
-selection)."""
+continuous-batching scheduler (with Sarathi-style chunked prefill), the
+async serving engine (streaming submission, per-request handles,
+SLA-aware admission), the paged KV memory layer (block pool, paged
+caches, cross-request prefix cache), and the serving-scale hardware
+co-simulator (per-round trace replay with phase-aware dataflow
+selection and TTFT-in-cycles accounting)."""
 
 from repro.serve.cosim import (
     ServingCoSimReport,
     ServingCoSimulator,
     compare_dataflows,
+)
+from repro.serve.engine import (
+    AdmissionPolicy,
+    EDFAdmission,
+    EngineTick,
+    FIFOAdmission,
+    PriorityAdmission,
+    RequestHandle,
+    ServingEngine,
+    available_admissions,
+    make_admission,
 )
 from repro.serve.paging import (
     BlockPool,
@@ -18,8 +31,10 @@ from repro.serve.paging import (
 from repro.serve.prefix_cache import PrefixCache, PrefixEntry
 from repro.serve.request import (
     FINISHED,
+    PREFILLING,
     QUEUED,
     RUNNING,
+    Rejection,
     Request,
     SequenceState,
 )
@@ -27,23 +42,34 @@ from repro.serve.scheduler import Scheduler, ServingReport
 from repro.serve.trace import DecodeEvent, PrefillEvent, RoundTrace
 
 __all__ = [
+    "AdmissionPolicy",
     "BlockPool",
     "BlockPoolExhausted",
+    "EDFAdmission",
+    "EngineTick",
+    "FIFOAdmission",
     "PagedKVCache",
     "PagedLayerKVCache",
     "PrefixCache",
     "PrefixEntry",
+    "PriorityAdmission",
+    "Rejection",
     "Request",
+    "RequestHandle",
     "SequenceState",
     "Scheduler",
+    "ServingEngine",
     "ServingReport",
     "ServingCoSimReport",
     "ServingCoSimulator",
+    "available_admissions",
     "compare_dataflows",
+    "make_admission",
     "DecodeEvent",
     "PrefillEvent",
     "RoundTrace",
     "QUEUED",
+    "PREFILLING",
     "RUNNING",
     "FINISHED",
 ]

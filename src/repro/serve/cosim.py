@@ -18,6 +18,13 @@ to one fixed mapping for the whole run.  :func:`compare_dataflows`
 quantifies the win of flexibility over either fixed choice on the same
 trace.
 
+Latency accounting: every request's TTFT is priced in cycles — from the
+cycles accumulated when it arrived to the end of the round pricing its
+*final* prefill event (the round whose sampling pass yields its first
+token) — and ``max_round_cycles`` exposes the worst single round, the
+head-of-line prefill spike that chunked prefill
+(``Scheduler(prefill_chunk=...)``) exists to cap.
+
 Equivalence anchor: at batch size 1 (and ``count_dead_steps=True``) the
 replay is cycle-identical to the solo co-simulator — same per-step
 attention cycles, same total decode cycles —
@@ -93,6 +100,11 @@ class ServingCoSimReport:
     per_request_attention: dict = field(default_factory=dict)
     #: All priced decode steps' attention cycles, in replay order.
     decode_attention_per_step: list = field(default_factory=list)
+    #: request_id -> time-to-first-token in accelerator cycles: from the
+    #: cycles accumulated when the request arrived (0 when arrivals are
+    #: unknown) to the end of the round pricing its *final* prefill
+    #: event — the round whose sampling pass produces the first token.
+    ttft_cycles: dict = field(default_factory=dict)
 
     @property
     def wall_seconds(self):
@@ -107,6 +119,25 @@ class ServingCoSimReport:
     @property
     def mean_round_cycles(self):
         return self.total_cycles / len(self.rounds) if self.rounds else 0.0
+
+    @property
+    def max_round_cycles(self):
+        """Worst single round — the head-of-line latency spike a whole
+        long-prompt prefill causes (chunked prefill exists to cap it)."""
+        return max((r["cycles"] for r in self.rounds), default=0.0)
+
+    @property
+    def mean_ttft_cycles(self):
+        """Mean time-to-first-token in accelerator cycles (0.0 when no
+        prefill completed)."""
+        if not self.ttft_cycles:
+            return 0.0
+        return sum(self.ttft_cycles.values()) / len(self.ttft_cycles)
+
+    @property
+    def max_ttft_cycles(self):
+        """Worst-case TTFT in cycles (0.0 when no prefill completed)."""
+        return max(self.ttft_cycles.values(), default=0.0)
 
     @property
     def mean_decode_attention_cycles(self):
@@ -137,6 +168,8 @@ class ServingCoSimReport:
             "tokens": self.total_tokens,
             "hw_tokens/s": self.tokens_per_second,
             "utilization": self.utilization,
+            "max_round_cycles": self.max_round_cycles,
+            "mean_ttft_cycles": self.mean_ttft_cycles,
             "hbm_gb": self.hbm_bytes / 1e9,
         }
 
@@ -191,7 +224,16 @@ class ServingCoSimulator:
         self.count_dead_steps = bool(count_dead_steps)
         self.simulator = AcceleratorSimulator(self.hw, self.hw_model)
 
-    def replay(self, trace=None):
+    def _scheduler_arrivals(self):
+        """``request_id -> arrival round`` of every request the attached
+        scheduler knows about (empty when replaying a bare trace)."""
+        if self.scheduler is None:
+            return {}
+        scheduler = self.scheduler
+        states = scheduler._finished + scheduler._running + scheduler._waiting
+        return {s.request_id: s.request.arrival_time for s in states}
+
+    def replay(self, trace=None, arrivals=None):
         """Price a per-round trace; returns a :class:`ServingCoSimReport`.
 
         ``trace`` defaults to the constructor scheduler's recorded
@@ -199,18 +241,40 @@ class ServingCoSimulator:
         The model is never re-run: replaying the same trace under
         different hardware configurations or dataflow selections is pure
         arithmetic.
+
+        ``arrivals`` maps ``request_id -> arrival round``; it anchors
+        each request's TTFT-in-cycles at the cycles accumulated when the
+        simulated clock passed its arrival.  Defaults to the attached
+        scheduler's request arrivals; with neither, TTFT is measured
+        from the start of the trace.
         """
         if trace is None:
             if self.scheduler is None:
                 raise ValueError("no trace given and no scheduler attached")
             trace = self.scheduler.trace
+        if arrivals is None:
+            arrivals = self._scheduler_arrivals()
         report = ServingCoSimReport(
             dataflow=self.dataflow,
             clock_ghz=self.hw.clock_ghz,
             n_pe=self.hw.n_pe,
         )
         n_layers = self.hw_model.n_layers
+        # A request's clock starts at the cycles accumulated before the
+        # first priced round at or past its arrival round; trace rounds
+        # are in order, so one pointer over arrival-sorted requests
+        # anchors everyone in O(requests + rounds).
+        arrival_cycles = {}
+        pending_arrivals = sorted(arrivals.items(), key=lambda item: item[1])
+        next_arrival = 0
         for record in trace:
+            while (
+                next_arrival < len(pending_arrivals)
+                and pending_arrivals[next_arrival][1] <= record.round_index
+            ):
+                request_id = pending_arrivals[next_arrival][0]
+                arrival_cycles[request_id] = report.total_cycles
+                next_arrival += 1
             decode_events = list(record.decodes)
             if self.count_dead_steps:
                 decode_events.extend(record.dead_steps)
@@ -246,6 +310,14 @@ class ServingCoSimulator:
                     event.request_id, []
                 ).append(attention)
                 report.decode_attention_per_step.append(attention)
+            for event in record.prefills:
+                if event.final:
+                    # First token sampled from this round's logits: TTFT
+                    # spans arrival to the end of this round.
+                    report.ttft_cycles[event.request_id] = (
+                        report.total_cycles
+                        - arrival_cycles.get(event.request_id, 0.0)
+                    )
             report.rounds.append(
                 {
                     "round": record.round_index,

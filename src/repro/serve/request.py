@@ -8,17 +8,26 @@ scheduler's per-request working state while the request is live: its own
 (votes are per-sequence state), its sampling RNG, and the pending logits
 from which the next token will be sampled.
 
-The state machine is ``QUEUED -> RUNNING -> FINISHED``; the per-phase
-timestamps it records (arrival, admission, completion) are what the
-scheduler's latency statistics are computed from.
+The state machine is ``QUEUED -> [PREFILLING ->] RUNNING -> FINISHED``
+(the ``PREFILLING`` stage only exists under chunked prefill, where a
+prompt spans several scheduler rounds before its first token can be
+sampled); the per-phase timestamps it records (arrival, admission, first
+token, completion) are what the scheduler's latency statistics — TTFT,
+per-token latency, deadline misses — are computed from.
+
+A request the scheduler cannot serve (e.g. its worst-case block demand
+exceeds a fixed paged pool) is turned into a structured
+:class:`Rejection` instead of silently dropping, so engine-level
+admission can retry, degrade, or report it.
 
 Worked example — requests validate their inputs up front::
 
     >>> import numpy as np
     >>> from repro.serve.request import Request
-    >>> request = Request("r0", np.array([1, 2, 3]), max_new_tokens=4, budget=8)
-    >>> request.arrival_time, request.eos, request.budget
-    (0, None, 8)
+    >>> request = Request("r0", np.array([1, 2, 3]), max_new_tokens=4, budget=8,
+    ...                   deadline=40, priority=2)
+    >>> request.arrival_time, request.eos, request.budget, request.deadline
+    (0, None, 8, 40)
     >>> Request("bad", np.array([1, 2]), max_new_tokens=0)
     Traceback (most recent call last):
         ...
@@ -31,10 +40,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Request", "SequenceState", "QUEUED", "RUNNING", "FINISHED"]
+__all__ = [
+    "Request",
+    "Rejection",
+    "SequenceState",
+    "QUEUED",
+    "PREFILLING",
+    "RUNNING",
+    "FINISHED",
+]
 
 #: Sequence lifecycle states.
 QUEUED = "queued"
+#: Admitted, but the prompt is still being prefilled in chunks; the
+#: sequence owns a batch slot and a cache but cannot sample yet.
+PREFILLING = "prefilling"
 RUNNING = "running"
 FINISHED = "finished"
 
@@ -64,6 +84,14 @@ class Request:
     budget:
         Optional per-request KV cache budget overriding the scheduler's
         default (``None`` = use the scheduler default).
+    deadline:
+        Optional SLA deadline: the scheduler round by which the request
+        should have *finished*.  Purely advisory for the FIFO scheduler;
+        the engine's EDF admission orders by it and the report counts
+        misses (``None`` = no deadline).
+    priority:
+        Scheduling priority (higher = more urgent); consumed by the
+        engine's priority admission policy, ignored by plain FIFO.
     """
 
     request_id: object
@@ -73,6 +101,8 @@ class Request:
     eos: int | None = None
     seed: int = 0
     budget: int | None = None
+    deadline: int | None = None
+    priority: int = 0
 
     def __post_init__(self):
         self.prompt = np.asarray(self.prompt)
@@ -84,6 +114,46 @@ class Request:
             raise ValueError("arrival_time must be non-negative")
         if self.budget is not None and self.budget <= 0:
             raise ValueError("budget must be positive when given")
+        if self.deadline is not None and self.deadline < self.arrival_time:
+            raise ValueError(
+                f"deadline {self.deadline} precedes arrival "
+                f"{self.arrival_time}"
+            )
+
+
+@dataclass
+class Rejection:
+    """Structured record of a request the scheduler could not accept.
+
+    Produced by :meth:`repro.serve.Scheduler.submit` instead of (or, in
+    strict mode, alongside) raising, so engine-level admission can
+    degrade gracefully — retry with a smaller budget, route to another
+    pool, or surface the reason to the client.  All rejections of a run
+    are threaded into ``ServingReport.rejections``.
+    """
+
+    request_id: object
+    #: Machine-readable reason code (currently ``"pool_too_small"``).
+    reason: str
+    #: Human-readable explanation.
+    detail: str
+    #: Worst-case pool blocks the request would need (0 if n/a).
+    needed_blocks: int = 0
+    #: Total blocks the fixed pool has (0 if n/a).
+    pool_blocks: int = 0
+    #: Scheduler round at which the rejection happened.
+    round_index: int = 0
+
+    def as_row(self):
+        """Flat dict for ``ServingReport.rejections``."""
+        return {
+            "request_id": self.request_id,
+            "reason": self.reason,
+            "detail": self.detail,
+            "needed_blocks": self.needed_blocks,
+            "pool_blocks": self.pool_blocks,
+            "round": self.round_index,
+        }
 
 
 @dataclass
@@ -105,6 +175,17 @@ class SequenceState:
     admitted_at: int | None = None
     finished_at: int | None = None
     finish_reason: str | None = None
+    #: Round the first generated token was sampled (TTFT anchor); under
+    #: chunked prefill this trails ``admitted_at`` by the prefill rounds.
+    first_token_round: int | None = None
+    #: Prompt tokens resident in the cache so far (prefix-cache hits plus
+    #: prefilled chunks); equals the prompt length once prefill is done.
+    prefilled: int = 0
+    #: Prefix-cache chain key of the last full prompt block this sequence
+    #: registered/adopted (chunked paged prefill resumes insertion here).
+    prefix_parent_key: object = None
+    #: Monotone submission index (admission-policy tie-breaker).
+    submit_index: int = 0
     #: Worst-case pool-block demand reserved at admission (paged mode);
     #: the scheduler holds ``reserved_blocks - cache.owned_blocks`` free
     #: blocks back from later admissions so this sequence can always
@@ -121,6 +202,37 @@ class SequenceState:
     @property
     def num_generated(self):
         return len(self.tokens)
+
+    @property
+    def ttft_rounds(self):
+        """Rounds from arrival to the first sampled token (``None``
+        until a token exists)."""
+        if self.first_token_round is None:
+            return None
+        return self.first_token_round - self.request.arrival_time
+
+    @property
+    def inter_token_rounds(self):
+        """Mean rounds between consecutive generated tokens (0.0 for a
+        single-token generation or before the first token)."""
+        if self.first_token_round is None or self.num_generated <= 1:
+            return 0.0
+        end = (
+            self.finished_at
+            if self.finished_at is not None
+            else self.first_token_round
+        )
+        return (end - self.first_token_round) / (self.num_generated - 1)
+
+    @property
+    def deadline_missed(self):
+        """Whether the request finished after its deadline (``False``
+        when no deadline was set or the request is still live)."""
+        return (
+            self.request.deadline is not None
+            and self.finished_at is not None
+            and self.finished_at > self.request.deadline
+        )
 
     def finish(self, round_index, reason):
         self.status = FINISHED

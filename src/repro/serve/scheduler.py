@@ -38,6 +38,25 @@ it: tokens are bit-identical dense vs paged, at any block size, with or
 without prefix hits — ``tests/serve/test_paged_equivalence.py`` and the
 fuzz suite lock this in.
 
+Chunked prefill (``prefill_chunk=N``) bounds the prompt rows computed
+per round, Sarathi-style: an admitted prompt is prefilled in N-token
+chunks interleaved with the running batch's decode rounds (the sequence
+sits in the ``PREFILLING`` state, holding a batch slot but not sampling,
+until its last chunk lands).  Because the model's prefill is
+row-count-invariant over a populated cache and every policy's
+``observe_continuation`` is chunk-invariant, generated tokens are
+bit-identical to whole-prompt prefill at any chunk budget — the win is
+latency shape only: no single round carries a whole long prompt, so
+decode rounds never stall behind one (the head-of-line cycle spike
+visible in ``serve-bench --cosim``).
+
+Admission order is pluggable (``admission_policy``): the default is
+FIFO by arrival; the engine layer provides EDF and priority-with-aging
+policies keyed on the new ``Request.deadline`` / ``Request.priority``
+fields.  Unsatisfiable paged requests become structured
+:class:`~repro.serve.request.Rejection` records (surfaced in
+``ServingReport.rejections``) instead of only raising.
+
 Every round is also recorded in :attr:`Scheduler.trace` (prefill row
 counts, per-sequence decode attention lengths), which
 :class:`~repro.serve.cosim.ServingCoSimulator` prices on the
@@ -53,8 +72,8 @@ Worked example — serve three requests at batch cap 2::
     >>> model = CachedTransformer.from_module(TransformerLM(tiny_config(), seed=0))
     >>> scheduler = Scheduler(model, max_batch_size=2)
     >>> for i in range(3):
-    ...     scheduler.submit(Request(f"r{i}", np.arange(6) + i,
-    ...                              max_new_tokens=4, seed=i))
+    ...     _ = scheduler.submit(Request(f"r{i}", np.arange(6) + i,
+    ...                                  max_new_tokens=4, seed=i))
     >>> report = scheduler.run()
     >>> len(report.requests), report.total_tokens, scheduler.done
     (3, 12, True)
@@ -78,7 +97,14 @@ from repro.core.policies.voting import VotingPolicy
 from repro.core.sampling import greedy
 from repro.serve.paging import BlockPool, PagedKVCache
 from repro.serve.prefix_cache import PrefixCache
-from repro.serve.request import FINISHED, RUNNING, Request, SequenceState
+from repro.serve.request import (
+    FINISHED,
+    PREFILLING,
+    RUNNING,
+    Rejection,
+    Request,
+    SequenceState,
+)
 from repro.serve.trace import DecodeEvent, PrefillEvent, RoundTrace
 
 __all__ = ["Scheduler", "ServingReport"]
@@ -97,10 +123,18 @@ class ServingReport:
     :class:`~repro.serve.cosim.ServingCoSimReport`, not here.
     """
 
-    #: One dict per retired request (arrival/admission/finish rounds,
-    #: wait, latency, token count, finish reason, eviction count).
+    #: One dict per retired request (arrival/admission/first-token/finish
+    #: rounds, wait, latency, TTFT, token count, finish reason, deadline
+    #: outcome, eviction count).
     requests: list = field(default_factory=list)
+    #: One dict per rejected submission (structured
+    #: :meth:`~repro.serve.request.Rejection.as_row` records), so
+    #: engine-level admission can retry or degrade instead of losing the
+    #: request silently.
+    rejections: list = field(default_factory=list)
     total_rounds: int = 0
+    #: Rounds in which the hardware did any work (prefill chunks count
+    #: even when no token was sampled yet).
     busy_rounds: int = 0
     total_tokens: int = 0
     peak_concurrency: int = 0
@@ -151,6 +185,40 @@ class ServingReport:
             return 0.0
         return float(np.mean([row["wait_rounds"] for row in self.requests]))
 
+    @property
+    def mean_ttft(self):
+        """Mean time-to-first-token in rounds (arrival to first sampled
+        token); 0.0 on an empty run."""
+        ttfts = [
+            row["ttft_rounds"]
+            for row in self.requests
+            if row.get("ttft_rounds") is not None
+        ]
+        return float(np.mean(ttfts)) if ttfts else 0.0
+
+    @property
+    def p95_ttft(self):
+        """95th-percentile TTFT in rounds (tail latency; 0.0 when empty)."""
+        ttfts = [
+            row["ttft_rounds"]
+            for row in self.requests
+            if row.get("ttft_rounds") is not None
+        ]
+        return float(np.percentile(ttfts, 95)) if ttfts else 0.0
+
+    @property
+    def deadline_misses(self):
+        """Retired requests that finished after their deadline."""
+        return sum(1 for row in self.requests if row.get("deadline_miss"))
+
+    @property
+    def deadline_miss_rate(self):
+        """Misses over requests that carried a deadline (0.0 if none)."""
+        with_deadline = sum(
+            1 for row in self.requests if row.get("deadline") is not None
+        )
+        return self.deadline_misses / with_deadline if with_deadline else 0.0
+
     def summary(self):
         """Flat dict of the aggregate metrics (for experiment tables)."""
         summary = {
@@ -161,9 +229,14 @@ class ServingReport:
             "tokens/s": self.tokens_per_second,
             "mean_latency_rounds": self.mean_latency,
             "mean_wait_rounds": self.mean_wait,
+            "mean_ttft_rounds": self.mean_ttft,
             "peak_batch": self.peak_concurrency,
             "peak_kv_slots": self.peak_kv_slots,
         }
+        if any(row.get("deadline") is not None for row in self.requests):
+            summary["deadline_miss_rate"] = self.deadline_miss_rate
+        if self.rejections:
+            summary["rejected"] = len(self.rejections)
         if self.paged:
             summary.update(
                 {
@@ -224,6 +297,24 @@ class Scheduler:
         ``None`` keeps every registered block resident.  Bounding it is
         what keeps never-rehit unique-suffix blocks from pinning pool
         memory across the whole trace.
+    prefill_chunk:
+        Per-round prompt-token budget for prefill work, shared by
+        continuing prefills (served first, admission order) and new
+        admissions.  ``None`` (default) prefills whole prompts in one
+        round, the legacy behavior; any positive value caps the prompt
+        rows a round computes, interleaving long prompts with decode
+        (Sarathi-style chunked prefill).  Generated tokens are
+        bit-identical at every chunk budget.
+    admission_policy:
+        Object with a ``key(request, now) -> sortable`` method ordering
+        *arrived* waiting requests for admission (lowest key first; ties
+        broken by submission order).  ``None`` = FIFO by arrival.  See
+        :mod:`repro.serve.engine` for FIFO/EDF/priority-aging policies.
+    auto_fast_forward:
+        Jump the round clock over idle gaps to the next queued arrival
+        (default, right for a pre-submitted trace).  The serving engine
+        disables this to own the clock: with streaming submission a
+        request may still arrive *during* the gap.
     """
 
     def __init__(
@@ -239,6 +330,9 @@ class Scheduler:
         num_blocks=None,
         prefix_caching=True,
         prefix_cache_blocks=None,
+        prefill_chunk=None,
+        admission_policy=None,
+        auto_fast_forward=True,
     ):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -246,6 +340,15 @@ class Scheduler:
             raise ValueError(f"budget must be positive, got {budget}")
         if evictions_per_step is not None and evictions_per_step <= 0:
             raise ValueError("evictions_per_step must be positive")
+        if prefill_chunk is not None and prefill_chunk <= 0:
+            raise ValueError(
+                f"prefill_chunk must be positive, got {prefill_chunk}"
+            )
+        self.prefill_chunk = (
+            None if prefill_chunk is None else int(prefill_chunk)
+        )
+        self.admission_policy = admission_policy
+        self.auto_fast_forward = bool(auto_fast_forward)
         self.model = model
         self.policy_factory = policy_factory or (
             lambda: VotingPolicy(model.config.n_layers)
@@ -282,9 +385,11 @@ class Scheduler:
             self.prefix_cache = None
             self.cache_bank = BatchedKVCache.for_model(model.config)
 
-        self._waiting = []  # SequenceState, FIFO by (arrival, submit order)
+        self._waiting = []  # SequenceState, sorted by (arrival, submit order)
         self._running = []  # SequenceState, admission order
         self._finished = []
+        self._rejected = []  # Rejection records, submission order
+        self._submit_count = 0
         #: Per-round hardware trace (:class:`~repro.serve.trace.RoundTrace`
         #: per non-empty round), consumed by
         #: :class:`~repro.serve.cosim.ServingCoSimulator`.
@@ -301,11 +406,21 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Client API
     # ------------------------------------------------------------------
-    def submit(self, request):
+    def submit(self, request, strict=True):
         """Queue a :class:`Request` for admission.
 
         The request becomes visible to the admission loop at its
-        ``arrival_time``; requests are admitted FIFO by arrival.
+        ``arrival_time``; the admission policy (default: FIFO by
+        arrival) orders arrived requests.  Returns the request's live
+        :class:`SequenceState` on acceptance.  An unsatisfiable paged
+        request (worst-case block demand exceeding the whole fixed pool
+        — it could never be admitted and would stall the queue forever)
+        is recorded as a structured :class:`Rejection` in the report
+        either way; with ``strict=False`` the rejection is *returned*
+        instead of raised, so engine-level admission can retry with a
+        smaller budget or degrade gracefully.  A rejected id is not
+        reserved: resubmission (e.g. after shrinking the request) is
+        allowed.
 
         Raises
         ------
@@ -316,9 +431,8 @@ class Scheduler:
             (results are keyed by request id, so ids are never reused
             within one scheduler).
         ValueError
-            In paged mode with a fixed pool, if the request's worst-case
-            block demand exceeds the whole pool (it could never be
-            admitted and would stall the FIFO queue forever).
+            In strict mode (default), for an unsatisfiable paged
+            request as described above.
         """
         if not isinstance(request, Request):
             raise TypeError(f"expected Request, got {type(request).__name__}")
@@ -331,8 +445,6 @@ class Scheduler:
         if request.request_id in seen or request.request_id in self.cache_bank:
             raise KeyError(f"duplicate request id {request.request_id!r}")
         if self.paged and not self.block_pool.growable:
-            # An unsatisfiable request would stall admission (and the
-            # whole FIFO queue behind it) forever; reject it up front.
             budget = request.budget if request.budget is not None else self.budget
             worst = self._worst_case_blocks(
                 sequence_capacity(
@@ -340,13 +452,30 @@ class Scheduler:
                 )
             )
             if worst > self.block_pool.num_blocks:
-                raise ValueError(
-                    f"request {request.request_id!r} needs up to {worst} "
-                    f"blocks but the pool only has "
-                    f"{self.block_pool.num_blocks}"
+                rejection = Rejection(
+                    request_id=request.request_id,
+                    reason="pool_too_small",
+                    detail=(
+                        f"needs up to {worst} blocks but the pool only "
+                        f"has {self.block_pool.num_blocks}"
+                    ),
+                    needed_blocks=worst,
+                    pool_blocks=self.block_pool.num_blocks,
+                    round_index=self.round_index,
                 )
-        self._waiting.append(SequenceState(request=request))
-        self._waiting.sort(key=lambda s: s.request.arrival_time)
+                self._rejected.append(rejection)
+                if strict:
+                    raise ValueError(
+                        f"request {request.request_id!r} {rejection.detail}"
+                    )
+                return rejection
+        state = SequenceState(request=request, submit_index=self._submit_count)
+        self._submit_count += 1
+        self._waiting.append(state)
+        self._waiting.sort(
+            key=lambda s: (s.request.arrival_time, s.submit_index)
+        )
+        return state
 
     @property
     def num_waiting(self):
@@ -378,33 +507,40 @@ class Scheduler:
         return self._report(wall)
 
     def run_round(self):
-        """One scheduler iteration: admit, sample, batched decode.
+        """One scheduler iteration: continue prefills, admit, sample,
+        batched decode.
 
         Each round appends a :class:`~repro.serve.trace.RoundTrace` to
         :attr:`trace` recording the hardware work performed (prefill row
         counts, per-sequence decode attention lengths), which the
-        serving co-simulator prices after the fact.
+        serving co-simulator prices after the fact.  With
+        ``prefill_chunk`` set, in-flight chunked prefills consume the
+        round's prompt-token budget before new admissions do.
         """
         # Fast-forward through idle time: nothing running and the next
         # arrival is still in the future.
-        if not self._running and self._waiting:
+        if self.auto_fast_forward and not self._running and self._waiting:
             next_arrival = self._waiting[0].request.arrival_time
             if next_arrival > self.round_index:
                 self.round_index = next_arrival
 
         record = RoundTrace(round_index=self.round_index)
-        self._admit(record)
+        chunk_budget = self._continue_prefills(record, self.prefill_chunk)
+        self._admit(record, chunk_budget)
         self._peak_concurrency = max(self._peak_concurrency, len(self._running))
         self._sample_kv_usage()
 
         sampled = self._sample(record)
-        active = [s for s in self._running if s.status != FINISHED]
+        active = [s for s in self._running if s.status == RUNNING]
         if active:
             self._decode(active, record)
-        if sampled:
-            self._busy_rounds += 1
-            self._total_tokens += sampled
+        self._total_tokens += sampled
         if record.prefills or record.decodes or record.dead_steps:
+            # Busy = the hardware did work, whether or not a token came
+            # out: a chunked-prefill-only round costs compute too, and
+            # tokens_per_round must reflect it.  (Unchunked runs are
+            # unchanged: every round with work also samples.)
+            self._busy_rounds += 1
             self.trace.append(record)
         self._retire()
         self.round_index += 1
@@ -412,21 +548,64 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Round stages
     # ------------------------------------------------------------------
-    def _admit(self, record):
+    def _continue_prefills(self, record, chunk_budget):
+        """Advance in-flight chunked prefills (admission order) by up to
+        ``chunk_budget`` prompt tokens total; returns the budget left
+        for new admissions."""
+        for state in self._running:
+            if state.status != PREFILLING:
+                continue
+            if chunk_budget is not None and chunk_budget <= 0:
+                break
+            request = state.request
+            budget = (
+                request.budget if request.budget is not None else self.budget
+            )
+            chunk_budget = self._prefill_state(
+                state, budget, chunk_budget, record
+            )
+        return chunk_budget
+
+    def _next_admission(self):
+        """The arrived waiting request the admission policy ranks first
+        (``None`` when nothing has arrived yet)."""
+        arrived = [
+            s
+            for s in self._waiting
+            if s.request.arrival_time <= self.round_index
+        ]
+        if not arrived:
+            return None
+        if self.admission_policy is None:
+            # _waiting is kept sorted by (arrival, submit order): FIFO.
+            return arrived[0]
+        now = self.round_index
+        return min(
+            arrived,
+            key=lambda s: (
+                self.admission_policy.key(s.request, now),
+                s.submit_index,
+            ),
+        )
+
+    def _admit(self, record, chunk_budget):
         """Admit arrived requests into free batch slots (prefill them).
 
         In paged mode, admission additionally *reserves blocks, not
         slabs*: a fixed-size pool must be able to cover the request's
         worst-case block demand (prefix-cache entries are shed first),
-        otherwise the request — and, FIFO, everyone behind it — keeps
-        waiting until retirements free blocks.
+        otherwise the request — and everyone ranked behind it — keeps
+        waiting until retirements free blocks.  With ``prefill_chunk``
+        set, each admission also needs prompt-token budget left this
+        round; its prefill may complete over later rounds.
         """
-        while (
-            self._waiting
-            and len(self._running) < self.max_batch_size
-            and self._waiting[0].request.arrival_time <= self.round_index
-        ):
-            request = self._waiting[0].request
+        while len(self._running) < self.max_batch_size:
+            if chunk_budget is not None and chunk_budget <= 0:
+                break
+            state = self._next_admission()
+            if state is None:
+                break
+            request = state.request
             budget = request.budget if request.budget is not None else self.budget
             capacity = sequence_capacity(
                 request.prompt.shape[0], request.max_new_tokens, budget
@@ -434,7 +613,7 @@ class Scheduler:
             worst_blocks = self._worst_case_blocks(capacity)
             if self.paged and not self._blocks_available(worst_blocks):
                 break
-            state = self._waiting.pop(0)
+            self._waiting.remove(state)
             state.reserved_blocks = worst_blocks
 
             state.policy = self.policy_factory()
@@ -443,13 +622,39 @@ class Scheduler:
             state.cache = self.cache_bank.add_sequence(
                 request.request_id, capacity
             )
-            state.status = RUNNING
+            state.status = PREFILLING
             state.admitted_at = self.round_index
 
             if self.paged:
-                logits = self._prefill_paged(state, budget)
-            else:
-                logits = self._prefill_dense(state)
+                self._attach_prefix(state)
+            chunk_budget = self._prefill_state(
+                state, budget, chunk_budget, record
+            )
+            self._running.append(state)
+
+    def _prefill_state(self, state, budget, chunk_budget, record):
+        """Prefill the next chunk (or the whole remainder) of ``state``'s
+        prompt, record the trace event, and complete the prefill when the
+        last prompt token lands.  Returns the chunk budget left."""
+        request = state.request
+        total = request.prompt.shape[0]
+        start = state.prefilled
+        end = total if chunk_budget is None else min(total, start + chunk_budget)
+        logits = self._prefill_compute(state, start, end)
+        state.prefilled = end
+        if chunk_budget is not None:
+            chunk_budget -= end - start
+        record.prefills.append(
+            PrefillEvent(
+                request_id=request.request_id,
+                prompt_length=int(total),
+                computed_tokens=int(end - start),
+                prefix_length=int(start),
+                budgeted=budget is not None,
+                final=end == total,
+            )
+        )
+        if end == total:
             enforce_budget(
                 state.policy,
                 state.cache,
@@ -460,19 +665,18 @@ class Scheduler:
             )
             state.cache_lengths.append(state.cache[0].length)
             state.logits = logits
-            state.position = request.prompt.shape[0]
-            record.prefills.append(
-                PrefillEvent(
-                    request_id=request.request_id,
-                    prompt_length=int(request.prompt.shape[0]),
-                    computed_tokens=int(
-                        request.prompt.shape[0] - state.prefix_hit_length
-                    ),
-                    prefix_length=int(state.prefix_hit_length),
-                    budgeted=budget is not None,
-                )
-            )
-            self._running.append(state)
+            state.position = total
+            state.status = RUNNING
+        return chunk_budget
+
+    def _prefill_compute(self, state, start, end):
+        """Run the model over prompt rows ``[start, end)`` against the
+        populated cache; dispatches dense vs paged."""
+        if self.paged:
+            return self._prefill_paged_range(state, start, end)
+        if start == 0 and end == state.request.prompt.shape[0]:
+            return self._prefill_dense(state)
+        return self._prefill_dense_range(state, start, end)
 
     def _worst_case_blocks(self, capacity):
         """Pool blocks a sequence can ever demand (all layers, all owned)."""
@@ -512,20 +716,67 @@ class Scheduler:
             state.policy.observe_block(layer, attn, positions, PREFILL)
         return prefill.logits
 
-    def _prefill_paged(self, state, budget):
-        """Paged prefill with cross-request prefix sharing.
+    def _prefill_dense_range(self, state, start, end):
+        """Dense chunked prefill: rows ``[start, end)`` over the cache
+        populated by earlier chunks.  The model's row-count-invariant
+        continuation plus the policy's chunk-invariant
+        ``observe_continuation`` make the resulting logits and policy
+        state bitwise equal to the one-shot path at any chunking."""
+        prompt = state.request.prompt
+        prefill = self.model.prefill(
+            prompt[start:end], state.cache, start_position=start
+        )
+        positions = np.arange(end)
+        for layer, attn in enumerate(prefill.attention):
+            state.policy.observe_continuation(layer, attn, positions, PREFILL)
+        return prefill.logits
 
-        1. Look up the longest cached chain of full prompt blocks; adopt
-           its blocks copy-on-write and import the policy's snapshotted
-           slot state for the shared span.
-        2. Run the model prefill over the remaining suffix only — the
-           continuation attends to the adopted keys/values, and prefill's
-           row-count-invariant matmuls make the result bitwise equal to a
-           cold prefill.
-        3. Feed the suffix attention rows to the policy in block-sized
+    def _attach_prefix(self, state):
+        """Adopt the longest cached chain of full prompt blocks (paged
+        admission, before the first prefill chunk): attach the blocks
+        copy-on-write, import the policy's snapshotted slot state for
+        the shared span, and remember the chain key so later chunks can
+        keep registering blocks from it."""
+        policy = state.policy
+        if self.prefix_cache is None or not policy.prefix_shareable:
+            return
+        prompt = state.request.prompt
+        n_layers = self.model.config.n_layers
+        entries, parent_key = self.prefix_cache.match(
+            prompt, policy.prefix_state_key()
+        )
+        state.prefix_parent_key = parent_key
+        if not entries:
+            return
+        shared_length = len(entries) * self.block_pool.block_size
+        state.cache.attach_prefix(
+            [
+                [entry.layer_block_ids[layer] for entry in entries]
+                for layer in range(n_layers)
+            ],
+            shared_length,
+        )
+        snapshot = entries[-1].policy_state
+        for layer in range(n_layers):
+            policy.import_prefill_state(layer, snapshot[layer], shared_length)
+        state.prefix_hit_length = shared_length
+        state.prefilled = shared_length
+        self._prefill_tokens_saved += shared_length
+
+    def _prefill_paged_range(self, state, start, end):
+        """Paged prefill of prompt rows ``[start, end)`` with prefix
+        registration (the prefix-cache *match* happened at admission in
+        :meth:`_attach_prefix`; ``start`` already covers adopted blocks
+        and earlier chunks).
+
+        1. Run the model over the range only — the continuation attends
+           to the resident keys/values, and prefill's row-count-invariant
+           matmuls make the result bitwise equal to a cold prefill.
+        2. Feed the new attention rows to the policy in block-sized
            chunks, snapshotting state at every block boundary and
            registering the freshly written full blocks in the prefix
-           cache (before eviction can mutate them).
+           cache (before eviction can mutate them); the chain key is
+           carried in ``state.prefix_parent_key`` across chunks.
         """
         request = state.request
         prompt = request.prompt
@@ -533,57 +784,28 @@ class Scheduler:
         cache = state.cache
         n_layers = self.model.config.n_layers
         block_size = self.block_pool.block_size
-
         shareable = self.prefix_cache is not None and policy.prefix_shareable
-        shared_length = 0
-        parent_key = None
-        if shareable:
-            policy_key = policy.prefix_state_key()
-            entries, parent_key = self.prefix_cache.match(prompt, policy_key)
-            if entries:
-                shared_length = len(entries) * block_size
-                cache.attach_prefix(
-                    [
-                        [entry.layer_block_ids[layer] for entry in entries]
-                        for layer in range(n_layers)
-                    ],
-                    shared_length,
-                )
-                snapshot = entries[-1].policy_state
-                for layer in range(n_layers):
-                    policy.import_prefill_state(
-                        layer, snapshot[layer], shared_length
-                    )
-                state.prefix_hit_length = shared_length
-                self._prefill_tokens_saved += shared_length
 
         prefill = self.model.prefill(
-            prompt[shared_length:], cache, start_position=shared_length
+            prompt[start:end], cache, start_position=start
         )
 
         # Chunked observation: rows [row_start, chunk_end) at a time, so
         # the policy's slot state at every block boundary is a pure
         # function of the tokens before it and can be snapshotted.
         positions = np.arange(prompt.shape[0])
-        total = prompt.shape[0]
-        row_start = shared_length
-        while row_start < total:
-            chunk_end = min(
-                (row_start // block_size + 1) * block_size, total
-            )
+        row_start = start
+        while row_start < end:
+            chunk_end = min((row_start // block_size + 1) * block_size, end)
             for layer, attn in enumerate(prefill.attention):
-                rows = attn[
-                    :,
-                    row_start - shared_length : chunk_end - shared_length,
-                    :chunk_end,
-                ]
+                rows = attn[:, row_start - start : chunk_end - start, :chunk_end]
                 policy.observe_continuation(
                     layer, rows, positions[:chunk_end], PREFILL
                 )
             if shareable and chunk_end % block_size == 0:
                 block_index = chunk_end // block_size - 1
-                parent_key = self.prefix_cache.insert(
-                    parent_key,
+                state.prefix_parent_key = self.prefix_cache.insert(
+                    state.prefix_parent_key,
                     prompt[chunk_end - block_size : chunk_end],
                     [
                         cache[layer].block_ids[block_index]
@@ -608,9 +830,13 @@ class Scheduler:
         """
         sampled = 0
         for state in self._running:
+            if state.status != RUNNING:
+                continue  # chunked prefill still in flight: no logits yet
             request = state.request
             token = self.sampler(state.logits, state.rng)
             state.tokens.append(token)
+            if state.first_token_round is None:
+                state.first_token_round = self.round_index
             sampled += 1
             if request.eos is not None and token == request.eos:
                 self._finish(state, "eos")
@@ -728,15 +954,27 @@ class Scheduler:
                 return list(state.tokens)
         raise KeyError(f"request {request_id!r} has not finished")
 
+    def report(self, wall_seconds=0.0):
+        """Snapshot :class:`ServingReport` over the requests retired (and
+        rejected) so far.  :meth:`run` calls this once at drain; the
+        serving engine calls it at any point of a streaming run."""
+        return self._report(wall_seconds)
+
     def _report(self, wall_seconds):
         rows = [
             {
                 "request_id": s.request_id,
                 "arrival": s.request.arrival_time,
                 "admitted": s.admitted_at,
+                "first_token": s.first_token_round,
                 "finished": s.finished_at,
                 "wait_rounds": s.admitted_at - s.request.arrival_time,
+                "ttft_rounds": s.ttft_rounds,
+                "inter_token_rounds": s.inter_token_rounds,
                 "latency_rounds": s.finished_at - s.request.arrival_time,
+                "deadline": s.request.deadline,
+                "priority": s.request.priority,
+                "deadline_miss": s.deadline_missed,
                 "tokens": s.num_generated,
                 "finish_reason": s.finish_reason,
                 "evictions": len(s.evictions),
@@ -745,6 +983,7 @@ class Scheduler:
         ]
         report = ServingReport(
             requests=rows,
+            rejections=[r.as_row() for r in self._rejected],
             total_rounds=self.round_index,
             busy_rounds=self._busy_rounds,
             total_tokens=self._total_tokens,

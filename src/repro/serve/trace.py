@@ -48,19 +48,26 @@ class PrefillEvent:
     request_id:
         The admitted request.
     prompt_length:
-        Full prompt length (resident context after the prefill).
+        Full prompt length of the request (NOT the rows of this event —
+        under chunked prefill one prompt spans several events).
     computed_tokens:
-        Prompt rows actually computed this round; less than
-        ``prompt_length`` when a prefix-cache hit made the leading
-        ``prefix_length`` rows resident without compute.
+        Prompt rows actually computed this round (this chunk's rows).
     prefix_length:
-        Rows adopted from the prefix cache (``prompt_length -
-        computed_tokens``).
+        Context already resident when this event's rows ran: prompt rows
+        adopted from the prefix cache plus rows computed by earlier
+        chunks.  The co-simulator prices the event as a continuation
+        prefill of ``computed_tokens`` rows over ``prefix_length``
+        resident entries.
     budgeted:
         Whether a KV budget is active for this sequence.  Recorded for
         trace completeness (e.g. future energy accounting); the
         co-simulator charges vote HBM traffic per *decode* step only,
         matching the solo simulator's accounting.
+    final:
+        Whether this event completes the prompt — only then does the
+        round's sampling pass produce the request's first token.  Always
+        true for whole-prompt prefill; under chunked prefill only the
+        last chunk is final.  The co-simulator anchors TTFT on it.
     """
 
     request_id: object
@@ -68,6 +75,7 @@ class PrefillEvent:
     computed_tokens: int
     prefix_length: int = 0
     budgeted: bool = False
+    final: bool = True
 
 
 @dataclass
@@ -124,6 +132,11 @@ class RoundTrace:
 
     @property
     def tokens(self):
-        """Tokens attributable to this round's compute: every prefill
-        and every (real) decode step produces logits that get sampled."""
-        return self.num_prefills + self.num_decodes
+        """Tokens attributable to this round's compute: every *final*
+        prefill and every (real) decode step produces logits that get
+        sampled.  Non-final chunked-prefill events do work but yield no
+        token yet."""
+        return (
+            sum(1 for event in self.prefills if event.final)
+            + self.num_decodes
+        )

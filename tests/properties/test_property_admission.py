@@ -1,0 +1,168 @@
+"""Property-based tests: admission-policy ordering invariants.
+
+The engine's SLA story rests on two order-theoretic guarantees that hold
+for *any* request mix, which is exactly what hypothesis explores here:
+
+- **EDF never inverts deadlines** — among arrived requests, whenever the
+  policy ranks A before B and both carry deadlines, ``A.deadline <=
+  B.deadline``; deadline-less requests never outrank deadlined ones.
+- **Aging bounds starvation** — under priority admission with aging
+  ``a > 0``, a request can be outranked for at most
+  ``(p_max - p_min) / a`` rounds: after waiting that long it beats any
+  fresher request of maximal priority, no matter what keeps arriving.
+
+The selection rule mirrors the scheduler exactly: lowest ``key(request,
+now)`` first, ties broken by submission index (see
+``Scheduler._next_admission``).
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import (
+    EDFAdmission,
+    FIFOAdmission,
+    PriorityAdmission,
+    Request,
+)
+
+
+def make_request(request_id, arrival, deadline=None, priority=0):
+    return Request(
+        request_id=request_id,
+        prompt=np.array([1, 2, 3]),
+        max_new_tokens=2,
+        arrival_time=arrival,
+        deadline=deadline,
+        priority=priority,
+    )
+
+
+def admission_order(policy, requests, now):
+    """The order the scheduler would admit ``requests`` in at round
+    ``now`` if capacity freed one slot at a time (the scheduler's
+    selection rule: lowest key, submit-index tie-break)."""
+    return sorted(
+        range(len(requests)),
+        key=lambda i: (policy.key(requests[i], now), i),
+    )
+
+
+@st.composite
+def arrived_requests(draw):
+    """A batch of requests that have all arrived by ``now``."""
+    count = draw(st.integers(2, 12))
+    now = draw(st.integers(0, 100))
+    requests = []
+    for i in range(count):
+        arrival = draw(st.integers(0, now))
+        has_deadline = draw(st.booleans())
+        deadline = (
+            arrival + draw(st.integers(0, 200)) if has_deadline else None
+        )
+        priority = draw(st.integers(-5, 5))
+        requests.append(make_request(f"r{i}", arrival, deadline, priority))
+    return requests, now
+
+
+class TestEDFInvariants:
+    @given(arrived_requests())
+    @settings(max_examples=200, deadline=None)
+    def test_edf_never_inverts_deadlines(self, batch):
+        requests, now = batch
+        order = admission_order(EDFAdmission(), requests, now)
+        ranked = [requests[i] for i in order]
+        deadlines = [r.deadline for r in ranked if r.deadline is not None]
+        assert deadlines == sorted(deadlines)
+
+    @given(arrived_requests())
+    @settings(max_examples=200, deadline=None)
+    def test_edf_ranks_deadlined_before_deadline_less(self, batch):
+        requests, now = batch
+        order = admission_order(EDFAdmission(), requests, now)
+        ranked = [requests[i] for i in order]
+        seen_deadline_less = False
+        for request in ranked:
+            if request.deadline is None:
+                seen_deadline_less = True
+            else:
+                assert not seen_deadline_less
+        # Among deadline-less requests, EDF degrades to FIFO by arrival.
+        tail = [r for r in ranked if r.deadline is None]
+        assert [r.arrival_time for r in tail] == sorted(
+            r.arrival_time for r in tail
+        )
+
+    @given(arrived_requests())
+    @settings(max_examples=100, deadline=None)
+    def test_fifo_orders_by_arrival(self, batch):
+        requests, now = batch
+        order = admission_order(FIFOAdmission(), requests, now)
+        arrivals = [requests[i].arrival_time for i in order]
+        assert arrivals == sorted(arrivals)
+
+
+class TestAgingBoundsStarvation:
+    @given(
+        p_low=st.integers(-5, 5),
+        p_high=st.integers(-5, 5),
+        aging=st.floats(0.01, 2.0, allow_nan=False),
+        extra_wait=st.integers(1, 50),
+        fresh_arrivals=st.integers(1, 8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_waiting_past_the_bound_always_wins(
+        self, p_low, p_high, aging, extra_wait, fresh_arrivals
+    ):
+        """After waiting strictly longer than (p_high - p_low) / aging
+        rounds, the old low-priority request outranks any number of
+        freshly-arrived requests of the highest priority."""
+        p_low, p_high = min(p_low, p_high), max(p_low, p_high)
+        policy = PriorityAdmission(aging=aging)
+        bound = (p_high - p_low) / aging
+        now = int(math.ceil(bound)) + extra_wait
+        old_request = make_request("old", 0, priority=p_low)
+        requests = [old_request] + [
+            make_request(f"fresh{i}", now, priority=p_high)
+            for i in range(fresh_arrivals)
+        ]
+        order = admission_order(policy, requests, now)
+        assert order[0] == 0  # the starved request goes first
+
+    @given(
+        priorities=st.lists(st.integers(-5, 5), min_size=2, max_size=10),
+        now=st.integers(0, 20),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_zero_aging_is_strict_priority(self, priorities, now):
+        """aging=0 degrades to strict priority order (which *can*
+        starve — the bound above is what aging buys)."""
+        policy = PriorityAdmission(aging=0.0)
+        requests = [
+            make_request(f"r{i}", 0, priority=p)
+            for i, p in enumerate(priorities)
+        ]
+        order = admission_order(policy, requests, now)
+        ranked = [requests[i].priority for i in order]
+        assert ranked == sorted(ranked, reverse=True)
+
+    @given(
+        aging=st.floats(0.01, 2.0, allow_nan=False),
+        waits=st.lists(st.integers(0, 100), min_size=2, max_size=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_equal_priority_ages_to_fifo(self, aging, waits):
+        """With equal priorities, aging preserves FIFO: longer-waiting
+        requests always rank first."""
+        now = max(waits)
+        policy = PriorityAdmission(aging=aging)
+        requests = [
+            make_request(f"r{i}", now - wait, priority=1)
+            for i, wait in enumerate(waits)
+        ]
+        order = admission_order(policy, requests, now)
+        ranked_waits = [now - requests[i].arrival_time for i in order]
+        assert ranked_waits == sorted(ranked_waits, reverse=True)
