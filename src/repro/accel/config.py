@@ -59,6 +59,12 @@ class HardwareConfig:
     # --- memory ----------------------------------------------------------
     hbm_bandwidth_gb_s: float = 256.0
     onchip_buffer_kb: int = 256
+    #: Sustained HBM <-> host-DRAM bandwidth for paging KV blocks out
+    #: under memory pressure (PCIe 4.0 x16-class by default).  Consumed
+    #: by the serving co-simulator to price the scheduler's
+    #: ``preempt="swap"`` transfers; an order of magnitude below HBM, so
+    #: swap traffic is never free.
+    host_link_gb_s: float = 32.0
     #: Effective bandwidth fraction for strided (transpose-pattern) DRAM
     #: access — the row-buffer-miss derate a Ramulator run exhibits for
     #: column-major walks over a row-major layout.
@@ -87,6 +93,8 @@ class HardwareConfig:
             raise ValueError("dram_strided_derate must be in (0, 1]")
         if not 0.0 < self.sram_transposed_derate <= 1.0:
             raise ValueError("sram_transposed_derate must be in (0, 1]")
+        if self.host_link_gb_s <= 0:
+            raise ValueError("host_link_gb_s must be positive")
 
     @property
     def n_pe(self):
@@ -107,6 +115,11 @@ class HardwareConfig:
     def bytes_per_cycle(self):
         """HBM bytes deliverable per clock cycle at peak bandwidth."""
         return self.hbm_bandwidth_gb_s / self.clock_ghz
+
+    @property
+    def host_bytes_per_cycle(self):
+        """Host-link bytes deliverable per clock cycle (KV swap path)."""
+        return self.host_link_gb_s / self.clock_ghz
 
     @property
     def onchip_buffer_bytes(self):

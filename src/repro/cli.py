@@ -12,6 +12,9 @@ Usage::
                                          # paged KV + prefix sharing vs dense
     python -m repro serve-bench --cosim --chunk-prefill 16
                                          # chunked prefill, priced in cycles
+    python -m repro serve-bench --preempt off,recompute,swap --cosim
+                                         # overload burst: two-way scheduling
+                                         # vs one-way, swap traffic priced
     python -m repro serve-engine         # async engine: admission x chunking
     python -m repro serve-engine --admissions fifo,edf --chunk-sizes 0,8 --cosim
 
@@ -222,6 +225,31 @@ def _serve_bench(argv):
         "either way, but chunking caps the per-round prefill work — "
         "with --cosim, watch max_round_cyc drop",
     )
+    parser.add_argument(
+        "--preempt",
+        default=None,
+        metavar="MODES",
+        help="run the preemption benchmark instead: serve the overload "
+        "burst preset against a deliberately-undersized block pool "
+        "under each comma-separated mode (off, recompute, swap); "
+        "the largest --batch-sizes entry is the batch cap; combine "
+        "with --cosim to price recompute's re-prefill compute vs "
+        "swap's HBM<->host traffic",
+    )
+    parser.add_argument(
+        "--pool-fraction",
+        type=float,
+        default=0.4,
+        help="(with --preempt) pool size as a fraction of the burst's "
+        "aggregate worst-case block demand",
+    )
+    parser.add_argument(
+        "--length-scales",
+        default="1",
+        help="(with --preempt --cosim) comma-separated prompt-length "
+        "multipliers; sweeping them exposes the recompute-vs-swap "
+        "crossover as sequences grow",
+    )
     args = parser.parse_args(argv)
     try:
         batch_sizes = tuple(int(b) for b in args.batch_sizes.split(","))
@@ -234,6 +262,64 @@ def _serve_bench(argv):
         parser.error(
             f"--batch-sizes entries must be positive, got {args.batch_sizes!r}"
         )
+    if args.preempt is not None:
+        modes = tuple(m.strip() for m in args.preempt.split(",") if m.strip())
+        unknown = [m for m in modes if m not in ("off", "recompute", "swap")]
+        if unknown or not modes:
+            parser.error(
+                f"--preempt entries must be off/recompute/swap, "
+                f"got {args.preempt!r}"
+            )
+        # The preemption benchmark runs a dedicated workload preset (the
+        # overload burst, always paged, no prefix sharing); reject knobs
+        # it would otherwise silently ignore.
+        ignored = [
+            flag
+            for flag, off_default in (
+                ("--chunk-prefill", args.chunk_prefill == 0),
+                ("--interarrival", args.interarrival == 2.0),
+                ("--paged", not args.paged),
+                ("--shared-prefix", args.shared_prefix == 0),
+                ("--no-prefix-cache", not args.no_prefix_cache),
+            )
+            if not off_default
+        ]
+        if ignored:
+            parser.error(
+                f"{', '.join(ignored)} cannot be combined with --preempt "
+                "(the preemption benchmark serves the overload preset "
+                "paged, whole-prompt, without prefix sharing)"
+            )
+        if not 0.0 < args.pool_fraction <= 1.0:
+            parser.error(
+                f"--pool-fraction must be in (0, 1], got {args.pool_fraction}"
+            )
+        try:
+            scales = tuple(int(s) for s in args.length_scales.split(","))
+        except ValueError:
+            parser.error(
+                f"--length-scales must be comma-separated integers, "
+                f"got {args.length_scales!r}"
+            )
+        if not scales or any(s <= 0 for s in scales):
+            parser.error(
+                f"--length-scales entries must be positive, "
+                f"got {args.length_scales!r}"
+            )
+        result, extra = serving.run_preempt(
+            n_requests=args.requests,
+            modes=modes,
+            max_batch_size=max(batch_sizes),
+            block_size=args.block_size,
+            pool_fraction=args.pool_fraction,
+            length_scales=scales,
+            seed=args.seed,
+            cosim=args.cosim,
+            cosim_shapes=args.cosim_shapes,
+        )
+        result.experiment_id = "serving_preempt_bench"
+        _emit(result, extra=extra)
+        return 0
     common = dict(
         batch_sizes=batch_sizes,
         n_requests=args.requests,

@@ -54,6 +54,20 @@ class EvictionPolicy(ABC):
     #: prefix rows' contributions and change eviction decisions.
     prefix_shareable = True
 
+    #: Whether this policy's *entire* per-sequence state can be rebuilt on
+    #: a fresh instance from the snapshot hooks alone
+    #: (:meth:`export_prefill_state` / :meth:`import_prefill_state` at the
+    #: current cache length).  The KV swap path
+    #: (:class:`repro.serve.resources.KVResourceManager`) uses this to
+    #: decide how a preempted sequence's eviction state is restored:
+    #: ``True`` pages a per-layer snapshot out with the blocks and imports
+    #: it on swap-in (modeling the paper's off-chip vote storage);
+    #: ``False`` keeps the live policy object host-side instead.  Only set
+    #: ``True`` when the slot-aligned vectors are the *only* mutable state
+    #: — a policy with a hidden RNG stream or step counter would silently
+    #: diverge after a swap.  Conservative default: ``False``.
+    swap_restorable = False
+
     def __init__(self, n_layers):
         if n_layers <= 0:
             raise ValueError(f"n_layers must be positive, got {n_layers}")

@@ -18,6 +18,8 @@ class FullCachePolicy(EvictionPolicy):
     """
 
     name = "full"
+    #: Stateless, so a swapped sequence restores onto a fresh instance.
+    swap_restorable = True
 
     def select_victim(self, layer, positions):
         raise RuntimeError(

@@ -32,6 +32,9 @@ class H2OPolicy(EvictionPolicy):
     """Accumulated-attention-score eviction with optional recency window."""
 
     name = "h2o"
+    #: Accumulated scores are the only mutable state (slot-aligned per
+    #: layer), so the snapshot hooks restore a swapped sequence exactly.
+    swap_restorable = True
 
     def __init__(self, n_layers, recent_window=16, head_reduction="mean"):
         super().__init__(n_layers)

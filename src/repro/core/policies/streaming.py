@@ -25,6 +25,9 @@ class StreamingLLMPolicy(EvictionPolicy):
     """
 
     name = "streaming"
+    #: Score-free: a fresh instance is identical to any live one, so a
+    #: swapped sequence restores trivially (the snapshots are empty).
+    swap_restorable = True
 
     def __init__(self, n_layers, n_sinks=4):
         super().__init__(n_layers)

@@ -146,6 +146,10 @@ class VotingPolicy(EvictionPolicy):
     """
 
     name = "voting"
+    #: Vote counters are the only mutable state and live slot-aligned per
+    #: layer, exactly what the snapshot hooks move — a swapped-out
+    #: sequence's votes page out with its blocks and restore bit-exactly.
+    swap_restorable = True
 
     def __init__(
         self,

@@ -24,18 +24,27 @@ import numpy as np
 import math
 
 from repro.config import llama2_7b_shapes, tiny_config
-from repro.core.engine import budget_from_ratio
+from repro.core.engine import budget_from_ratio, sequence_capacity
 from repro.core.policies.voting import VotingPolicy
 from repro.experiments.common import ExperimentResult, format_table
 from repro.models.inference import CachedTransformer
 from repro.models.transformer import TransformerLM
 from repro.serve import Request, Scheduler, ServingEngine, compare_dataflows
 
-__all__ = ["run", "run_cosim", "run_engine", "make_workload"]
+__all__ = [
+    "run",
+    "run_cosim",
+    "run_engine",
+    "run_preempt",
+    "make_workload",
+    "overload_pool_blocks",
+]
 
 #: Supported prompt-length distributions / arrival streams.
 PROMPT_DISTS = ("uniform", "lognormal", "zipf")
 ARRIVALS = ("geometric", "poisson", "bursty")
+#: Named workload presets (bundles of knob overrides).
+PRESETS = ("overload",)
 
 
 def make_workload(
@@ -54,6 +63,7 @@ def make_workload(
     priority_levels=1,
     turns=1,
     turn_gap=8.0,
+    preset=None,
 ):
     """A reproducible multi-tenant request trace.
 
@@ -96,7 +106,32 @@ def make_workload(
         cross-turn sharing workload (generated tokens are not echoed
         into the followup prompt; the conversation head alone carries
         the sharing).
+    preset:
+        Named knob bundle applied on top of the arguments.  ``None``
+        (default) changes nothing, so every pre-existing workload stays
+        bit-compatible.  ``"overload"`` is the preemption stress
+        workload: the entire trace arrives as one burst (``arrival=
+        "bursty"``, ``burst_size=n_requests``) with moderately long
+        prompts, short generations, and tight deadlines (``deadline_
+        slack=1.5`` unless the caller set one), so the aggregate
+        worst-case KV demand of simultaneously-arrived requests exceeds
+        any pool sized below it — pair with
+        :func:`overload_pool_blocks` to pick such a pool.
     """
+    if preset is not None and preset not in PRESETS:
+        raise ValueError(f"preset must be one of {PRESETS}, got {preset!r}")
+    if preset == "overload":
+        arrival = "bursty"
+        burst_size = n_requests
+        prompt_dist = "uniform"
+        # Fill in the stress shape only where the caller kept defaults
+        # (a length sweep passes its own scaled prompt_range).
+        if prompt_range == (12, 48):
+            prompt_range = (24, 64)
+        if max_new_range == (8, 24):
+            max_new_range = (8, 16)
+        if deadline_slack is None:
+            deadline_slack = 1.5
     if prompt_dist not in PROMPT_DISTS:
         raise ValueError(
             f"prompt_dist must be one of {PROMPT_DISTS}, got {prompt_dist!r}"
@@ -171,8 +206,15 @@ def make_workload(
                     max_new_tokens=max_new,
                     arrival_time=turn_arrival,
                     seed=i * turns + t,
-                    budget=budget_from_ratio(
-                        compression_ratio, prompt.shape[0], minimum=8
+                    # compression_ratio=None serves without a KV budget
+                    # (no eviction): the cache then *grows* every decode
+                    # step — the overload regime eviction cannot absorb.
+                    budget=(
+                        None
+                        if compression_ratio is None
+                        else budget_from_ratio(
+                            compression_ratio, prompt.shape[0], minimum=8
+                        )
                     ),
                     deadline=deadline,
                     priority=priority,
@@ -634,3 +676,195 @@ def run_engine(
         rows=rows,
         notes=notes,
     )
+
+
+def overload_pool_blocks(requests, block_size, n_layers, fraction=0.4):
+    """A fixed pool size that overloads ``requests`` without rejecting.
+
+    Returns the number of pool blocks covering the single largest
+    worst-case demand (so every request is individually admissible in
+    every preempt mode) but only ``fraction`` of the *aggregate*
+    worst case — simultaneously-arrived requests then exceed the pool,
+    which is exactly the regime preemption exists for.
+    """
+    if not requests:
+        raise ValueError("need at least one request")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    worsts = []
+    for request in requests:
+        capacity = sequence_capacity(
+            request.prompt.shape[0], request.max_new_tokens, request.budget
+        )
+        worsts.append(-(-capacity // block_size) * n_layers)
+    return max(max(worsts), int(fraction * sum(worsts)))
+
+
+def run_preempt(
+    n_requests=8,
+    modes=("off", "recompute", "swap"),
+    max_batch_size=8,
+    block_size=4,
+    pool_fraction=0.4,
+    length_scales=(1,),
+    compression_ratio=None,
+    reserved_length=4,
+    admission="edf",
+    model=None,
+    seed=0,
+    cosim=False,
+    cosim_shapes="7b",
+    hw=None,
+    stall_horizon_factor=1.0,
+):
+    """Serve the overload preset under every preemption mode.
+
+    The same burst workload (``make_workload(preset="overload")``,
+    served *unbudgeted* by default — ``compression_ratio=None`` — so
+    caches grow every decode step, the overload regime eviction cannot
+    absorb) against the same deliberately-undersized pool
+    (:func:`overload_pool_blocks`) is streamed through the engine once
+    per mode.  ``off`` is run with a bounded round horizon
+    (``stall_horizon_factor`` x the slowest preempting mode's rounds):
+    one-way scheduling admits on worst-case reservations, so under
+    overload it either rejects or leaves requests unserved at the
+    horizon — while both two-way modes retire 100%.  With
+    ``length_scales`` beyond ``(1,)``, prompts and pool are scaled
+    together and each scale is served under every mode; with ``cosim``
+    each trace is also priced on the accelerator, exposing the
+    recompute-vs-swap crossover: swap pays host-link bytes linear in
+    resident KV, recompute pays re-prefill compute that grows
+    superlinearly with sequence length.
+
+    Returns ``(ExperimentResult, extra_text)`` like :func:`run_cosim`.
+    """
+    for mode in modes:
+        if mode not in ("off", "recompute", "swap"):
+            raise ValueError(f"unknown preempt mode {mode!r}")
+    if model is None:
+        model = CachedTransformer.from_module(
+            TransformerLM(tiny_config(), seed=0)
+        )
+    if cosim_shapes not in ("7b", "served"):
+        raise ValueError(
+            f"cosim_shapes must be '7b' or 'served', got {cosim_shapes!r}"
+        )
+    hw_model = llama2_7b_shapes() if cosim_shapes == "7b" else model.config
+    n_layers = model.config.n_layers
+
+    def serve(mode, workload, num_blocks, max_rounds=None):
+        engine = ServingEngine(
+            model,
+            admission=admission,
+            policy_factory=lambda: VotingPolicy(
+                n_layers, reserved_length=reserved_length
+            ),
+            max_batch_size=max_batch_size,
+            paged=True,
+            block_size=block_size,
+            num_blocks=num_blocks,
+            # Prefix sharing is orthogonal to the overload story, and its
+            # registrations pin pool blocks (CoW on every budgeted
+            # shrink), muddying the pool-pressure signal being measured.
+            prefix_caching=False,
+            preempt=mode,
+        )
+        engine.play(workload, drain=False)
+        while not engine.drained:
+            if max_rounds is not None and engine.now >= max_rounds:
+                break
+            engine.step()
+        return engine
+
+    rows = []
+    extra_blocks = []
+    for scale in length_scales:
+        # Scaled prompts must stay inside the served model's RoPE table
+        # (prompt + max_new <= max positions); the base range is sized
+        # so the default tiny model survives a 4x sweep.
+        workload = make_workload(
+            n_requests=n_requests,
+            preset="overload",
+            prompt_range=(16 * scale, 24 * scale),
+            compression_ratio=compression_ratio,
+            vocab=model.config.vocab_size,
+            seed=seed,
+        )
+        num_blocks = overload_pool_blocks(
+            workload, block_size, n_layers, fraction=pool_fraction
+        )
+        engines = {}
+        preempting_rounds = []
+        ordered = [m for m in modes if m != "off"] + (
+            ["off"] if "off" in modes else []
+        )
+        for mode in ordered:
+            horizon = None
+            if mode == "off" and preempting_rounds:
+                horizon = int(
+                    math.ceil(stall_horizon_factor * max(preempting_rounds))
+                )
+            engines[mode] = serve(mode, workload, num_blocks, horizon)
+            if mode != "off":
+                preempting_rounds.append(engines[mode].now)
+        hw_reports = {}
+        for mode in modes:
+            engine = engines[mode]
+            report = engine.report()
+            row = {
+                "scale": scale,
+                "preempt": mode,
+                "pool_blocks": num_blocks,
+                "retired": f"{len(report.requests)}/{n_requests}",
+                "rounds": report.total_rounds,
+                "tokens": report.total_tokens,
+                "mean_ttft": report.mean_ttft,
+                "miss_rate": report.deadline_miss_rate,
+                "preemptions": report.preemptions,
+                "swap_blocks": report.swap_out_blocks + report.swap_in_blocks,
+            }
+            if cosim:
+                hw_report = engine.cosim(hw=hw, hw_model=hw_model)
+                hw_reports[mode] = hw_report
+                row.update(
+                    {
+                        "cycles": hw_report.total_cycles,
+                        "prefill_cyc": hw_report.prefill_cycles,
+                        "swap_cyc": hw_report.swap_cycles,
+                        "swap_mb": hw_report.swap_bytes / 1e6,
+                    }
+                )
+            rows.append(row)
+        if cosim and scale == max(length_scales) and "swap" in hw_reports:
+            extra_blocks.append(
+                format_table(
+                    [
+                        r
+                        for r in hw_reports["swap"].rounds
+                        if r.get("swaps")
+                    ],
+                    title=f"Swap-traffic rounds at scale {scale} "
+                    f"(preempt=swap)",
+                )
+            )
+
+    notes = (
+        "One overload burst (aggregate worst-case KV demand "
+        f"{1 / pool_fraction:.1f}x the pool) served per preemption mode. "
+        "'off' admits on worst-case reservations and is cut off at the "
+        "preempting modes' round horizon — requests it has not retired "
+        "by then are the stall; 'recompute' and 'swap' admit "
+        "optimistically and preempt the lowest-ranked victim under "
+        "pressure, retiring everything. With --cosim, recompute's "
+        "overhead is re-prefill compute (prefill_cyc) and swap's is "
+        "host-link traffic (swap_cyc): transfer bytes grow linearly "
+        "with sequence length, re-prefill compute superlinearly — the "
+        "crossover the length sweep exposes."
+    )
+    result = ExperimentResult(
+        "serving_preempt",
+        f"Preemption under KV overload ({n_requests}-request burst)",
+        rows=rows,
+        notes=notes,
+    )
+    return result, "\n\n".join(extra_blocks)

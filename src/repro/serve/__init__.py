@@ -1,10 +1,12 @@
 """Batched serving subsystem: requests, sequence state, the
-continuous-batching scheduler (with Sarathi-style chunked prefill), the
-async serving engine (streaming submission, per-request handles,
-SLA-aware admission), the paged KV memory layer (block pool, paged
-caches, cross-request prefix cache), and the serving-scale hardware
-co-simulator (per-round trace replay with phase-aware dataflow
-selection and TTFT-in-cycles accounting)."""
+continuous-batching scheduler (with Sarathi-style chunked prefill and
+two-way preemption/swap scheduling), the unified resource manager
+(batch slots, pool blocks, prefix reservations, the modeled host swap
+pool), the async serving engine (streaming submission, per-request
+handles, SLA-aware admission), the paged KV memory layer (block pool,
+paged caches, cross-request prefix cache), and the serving-scale
+hardware co-simulator (per-round trace replay with phase-aware dataflow
+selection, TTFT-in-cycles accounting, and host-link swap pricing)."""
 
 from repro.serve.cosim import (
     ServingCoSimReport,
@@ -31,15 +33,23 @@ from repro.serve.paging import (
 from repro.serve.prefix_cache import PrefixCache, PrefixEntry
 from repro.serve.request import (
     FINISHED,
+    PREEMPTED,
     PREFILLING,
     QUEUED,
     RUNNING,
+    SWAPPED,
     Rejection,
     Request,
     SequenceState,
 )
+from repro.serve.resources import PREEMPT_MODES, KVResourceManager, SwapImage
 from repro.serve.scheduler import Scheduler, ServingReport
-from repro.serve.trace import DecodeEvent, PrefillEvent, RoundTrace
+from repro.serve.trace import (
+    DecodeEvent,
+    PrefillEvent,
+    RoundTrace,
+    SwapEvent,
+)
 
 __all__ = [
     "AdmissionPolicy",
@@ -68,8 +78,14 @@ __all__ = [
     "DecodeEvent",
     "PrefillEvent",
     "RoundTrace",
+    "SwapEvent",
+    "KVResourceManager",
+    "SwapImage",
+    "PREEMPT_MODES",
     "QUEUED",
     "PREFILLING",
     "RUNNING",
     "FINISHED",
+    "PREEMPTED",
+    "SWAPPED",
 ]

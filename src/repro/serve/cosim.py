@@ -25,6 +25,17 @@ token) — and ``max_round_cycles`` exposes the worst single round, the
 head-of-line prefill spike that chunked prefill
 (``Scheduler(prefill_chunk=...)``) exists to cap.
 
+Preemption accounting: a ``preempt="swap"`` scheduler records
+:class:`~repro.serve.trace.SwapEvent` rows, which are priced here as
+HBM<->host transfers over the hardware configuration's
+:attr:`~repro.accel.config.HardwareConfig.host_link_gb_s` link
+(``swap_cycles`` / ``swap_bytes``, serialized into ``total_cycles``).  A
+``preempt="recompute"`` scheduler instead re-prefills preempted
+sequences, so its overhead shows up as extra prefill rows and compute
+cycles — replaying both modes on the same overload trace exposes the
+recompute-vs-swap crossover as sequence length grows (transfer bytes
+scale linearly with resident KV, re-prefill compute superlinearly).
+
 Equivalence anchor: at batch size 1 (and ``count_dead_steps=True``) the
 replay is cycle-identical to the solo co-simulator — same per-step
 attention cycles, same total decode cycles —
@@ -94,6 +105,15 @@ class ServingCoSimReport:
     dead_steps: int = 0
     macs: float = 0.0
     hbm_bytes: float = 0.0
+    #: KV swap transfers priced (``preempt="swap"`` traces only; always
+    #: zero for ``off`` and ``recompute`` runs).
+    swap_events: int = 0
+    #: HBM <-> host bytes moved by KV swapping (keys + values of every
+    #: swapped slot, at the priced model's shapes).
+    swap_bytes: float = 0.0
+    #: Cycles the host link spends on those transfers, serialized into
+    #: ``total_cycles`` (swap traffic is never free).
+    swap_cycles: float = 0.0
     #: request_id -> all-layer attention cycles per priced decode step,
     #: in step order (includes the dead step when priced) — directly
     #: comparable to ``CoSimResult.attention_cycles_per_step``.
@@ -159,7 +179,7 @@ class ServingCoSimReport:
 
     def summary(self):
         """Flat dict of the aggregate metrics (for experiment tables)."""
-        return {
+        summary = {
             "dataflow": self.dataflow,
             "rounds": len(self.rounds),
             "cycles": self.total_cycles,
@@ -172,6 +192,11 @@ class ServingCoSimReport:
             "mean_ttft_cycles": self.mean_ttft_cycles,
             "hbm_gb": self.hbm_bytes / 1e9,
         }
+        if self.swap_events:
+            summary["swap_events"] = self.swap_events
+            summary["swap_cycles"] = self.swap_cycles
+            summary["swap_mb"] = self.swap_bytes / 1e6
+        return summary
 
 
 class ServingCoSimulator:
@@ -260,6 +285,13 @@ class ServingCoSimulator:
             n_pe=self.hw.n_pe,
         )
         n_layers = self.hw_model.n_layers
+        # Swap transfers move a slot's keys and values for every layer
+        # over the host link (preempt="swap"); positions/metadata are
+        # negligible next to the KV floats and are not charged.
+        swap_bytes_per_slot = (
+            2 * self.hw_model.d_model * self.hw.bytes_per_element * n_layers
+        )
+        has_swaps = any(record.swaps for record in trace)
         # A request's clock starts at the cycles accumulated before the
         # first priced round at or past its arrival round; trace rounds
         # are in order, so one pointer over arrival-sorted requests
@@ -278,14 +310,17 @@ class ServingCoSimulator:
             decode_events = list(record.decodes)
             if self.count_dead_steps:
                 decode_events.extend(record.dead_steps)
-            if not record.prefills and not decode_events:
+            if not record.prefills and not decode_events and not record.swaps:
                 continue
-            stats = self.simulator.mixed_round(
-                prefill_lengths=[e.computed_tokens for e in record.prefills],
-                decode_lengths=[e.attention_length for e in decode_events],
-                dataflow=self.dataflow,
-                prefix_lengths=[e.prefix_length for e in record.prefills],
-            )
+            if record.prefills or decode_events:
+                stats = self.simulator.mixed_round(
+                    prefill_lengths=[e.computed_tokens for e in record.prefills],
+                    decode_lengths=[e.attention_length for e in decode_events],
+                    dataflow=self.dataflow,
+                    prefix_lengths=[e.prefix_length for e in record.prefills],
+                )
+            else:
+                stats = None  # swap-only round: host-link traffic alone
             # Voting-engine vote counts live off-chip (paper Sec. V):
             # UINT16 per position, read + write per step per layer, for
             # every budget-managed sequence.
@@ -294,42 +329,62 @@ class ServingCoSimulator:
                 for event in decode_events
                 if event.budgeted
             )
-            report.total_cycles += stats.cycles
-            report.prefill_cycles += stats.prefill_cycles
-            report.decode_cycles += stats.decode_cycles
-            report.macs += stats.macs
-            report.hbm_bytes += stats.hbm_bytes + vote_bytes
+            round_swap_cycles = 0.0
+            if record.swaps:
+                round_swap_bytes = (
+                    record.swapped_kv_slots * swap_bytes_per_slot
+                )
+                round_swap_cycles = (
+                    round_swap_bytes / self.hw.host_bytes_per_cycle
+                )
+                report.swap_events += record.num_swaps
+                report.swap_bytes += round_swap_bytes
+                report.swap_cycles += round_swap_cycles
+            if stats is not None:
+                report.total_cycles += stats.cycles
+                report.prefill_cycles += stats.prefill_cycles
+                report.decode_cycles += stats.decode_cycles
+                report.macs += stats.macs
+                report.hbm_bytes += stats.hbm_bytes + vote_bytes
+            report.total_cycles += round_swap_cycles
             report.total_tokens += record.tokens
             report.prefill_tokens += record.computed_prefill_tokens
             report.decode_steps += record.num_decodes
             report.dead_steps += len(decode_events) - record.num_decodes
-            for event, attention in zip(
-                decode_events, stats.per_sequence_attention
-            ):
-                report.per_request_attention.setdefault(
-                    event.request_id, []
-                ).append(attention)
-                report.decode_attention_per_step.append(attention)
+            if stats is not None:
+                for event, attention in zip(
+                    decode_events, stats.per_sequence_attention
+                ):
+                    report.per_request_attention.setdefault(
+                        event.request_id, []
+                    ).append(attention)
+                    report.decode_attention_per_step.append(attention)
             for event in record.prefills:
                 if event.final:
                     # First token sampled from this round's logits: TTFT
-                    # spans arrival to the end of this round.
-                    report.ttft_cycles[event.request_id] = (
+                    # spans arrival to the end of this round.  A
+                    # recompute resume replays a final prefill for the
+                    # same request later; the first one is the TTFT.
+                    report.ttft_cycles.setdefault(
+                        event.request_id,
                         report.total_cycles
-                        - arrival_cycles.get(event.request_id, 0.0)
+                        - arrival_cycles.get(event.request_id, 0.0),
                     )
-            report.rounds.append(
-                {
-                    "round": record.round_index,
-                    "prefills": record.num_prefills,
-                    "prefill_rows": record.computed_prefill_tokens,
-                    "decodes": len(decode_events),
-                    "cycles": stats.cycles,
-                    "attn_cycles": stats.attention_cycles,
-                    "linear_cycles": stats.linear_cycles,
-                    "tokens": record.tokens,
-                }
-            )
+            row = {
+                "round": record.round_index,
+                "prefills": record.num_prefills,
+                "prefill_rows": record.computed_prefill_tokens,
+                "decodes": len(decode_events),
+                "cycles": (stats.cycles if stats is not None else 0.0)
+                + round_swap_cycles,
+                "attn_cycles": stats.attention_cycles if stats is not None else 0.0,
+                "linear_cycles": stats.linear_cycles if stats is not None else 0.0,
+                "tokens": record.tokens,
+            }
+            if has_swaps:
+                row["swaps"] = record.num_swaps
+                row["swap_cycles"] = round_swap_cycles
+            report.rounds.append(row)
         return report
 
 

@@ -202,7 +202,10 @@ class RequestHandle:
     @property
     def status(self):
         """``queued`` / ``prefilling`` / ``running`` / ``finished`` /
-        ``rejected``."""
+        ``rejected`` — plus, under two-way scheduling
+        (``preempt="recompute"|"swap"``), the transient ``preempted`` /
+        ``swapped`` states of a sequence evicted from the batch and
+        awaiting re-admission."""
         if self.rejection is not None:
             return "rejected"
         return self._state.status
@@ -299,8 +302,13 @@ class ServingEngine:
         whole-prompt admission, the scheduler's legacy behavior.
     scheduler_kwargs:
         Everything else (``max_batch_size``, ``budget``, ``paged``,
-        ``block_size``, ``num_blocks``, ``prefix_caching``, ...) is
-        forwarded to the :class:`Scheduler`.
+        ``block_size``, ``num_blocks``, ``prefix_caching``,
+        ``preempt``, ...) is forwarded to the :class:`Scheduler`.  With
+        ``preempt="recompute"`` or ``"swap"``, an arrived request that
+        strictly outranks a running sequence under this engine's
+        admission policy (earlier deadline under EDF, higher effective
+        priority under priority-with-aging) preempts it when no slot or
+        blocks are free — deadline pressure becomes two-way scheduling.
 
     The engine owns the simulated clock: one :meth:`step` = one
     scheduler round, and the scheduler's idle fast-forward is disabled

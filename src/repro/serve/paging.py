@@ -255,6 +255,15 @@ class PagedLayerKVCache:
         """Table blocks allocated by this cache (not adopted shares)."""
         return sum(self._owned)
 
+    @property
+    def shared_blocks(self):
+        """Table blocks other holders also reference (pool refcount > 1):
+        adopted prefix blocks *and* own blocks registered in a prefix
+        cache.  Each is one potential copy-on-write allocation — the
+        exact per-step CoW bound resource accounting needs (``owned``
+        alone misses registered-after-write sharing)."""
+        return sum(1 for block_id in self._table if self.pool.refcount(block_id) > 1)
+
     def _gather(self, storage, start=0):
         """Copies of slots [start, length), dense-layout, (H, n, d)."""
         first = start // self.block_size
@@ -501,6 +510,11 @@ class PagedKVCache:
     def owned_blocks(self):
         """Blocks this sequence allocated itself, over all layers."""
         return sum(layer.owned_blocks for layer in self.layers)
+
+    @property
+    def shared_blocks(self):
+        """Blocks with pool refcount > 1 (CoW candidates), all layers."""
+        return sum(layer.shared_blocks for layer in self.layers)
 
     def attach_prefix(self, layer_block_ids, length):
         """Adopt a shared prefix: ``layer_block_ids[l]`` are the block ids

@@ -15,6 +15,15 @@ sampled); the per-phase timestamps it records (arrival, admission, first
 token, completion) are what the scheduler's latency statistics — TTFT,
 per-token latency, deadline misses — are computed from.
 
+Two-way scheduling (``Scheduler(preempt=...)``) adds the preempted
+states: ``PREEMPTED`` (device state dropped; the sequence re-admits by
+re-prefilling its prompt plus the tokens generated so far) and
+``SWAPPED`` (device state paged to the modeled host pool; the sequence
+re-admits by swapping the saved blocks back in).  Both return to
+``PREFILLING``/``RUNNING`` through the ordinary admission queue; see
+:class:`repro.serve.resources.KVResourceManager` for the resource side
+of the lifecycle.
+
 A request the scheduler cannot serve (e.g. its worst-case block demand
 exceeds a fixed paged pool) is turned into a structured
 :class:`Rejection` instead of silently dropping, so engine-level
@@ -48,6 +57,8 @@ __all__ = [
     "PREFILLING",
     "RUNNING",
     "FINISHED",
+    "PREEMPTED",
+    "SWAPPED",
 ]
 
 #: Sequence lifecycle states.
@@ -57,6 +68,15 @@ QUEUED = "queued"
 PREFILLING = "prefilling"
 RUNNING = "running"
 FINISHED = "finished"
+#: Preempted with ``preempt="recompute"``: all device state dropped; the
+#: sequence waits for re-admission, at which point its prompt *plus the
+#: tokens generated so far* are re-prefilled.
+PREEMPTED = "preempted"
+#: Preempted with ``preempt="swap"``: KV state paged out to the modeled
+#: host pool; the sequence waits for re-admission, at which point the
+#: saved blocks are paged back in and decoding resumes exactly where it
+#: stopped.
+SWAPPED = "swapped"
 
 
 @dataclass
@@ -181,6 +201,17 @@ class SequenceState:
     #: Prompt tokens resident in the cache so far (prefix-cache hits plus
     #: prefilled chunks); equals the prompt length once prefill is done.
     prefilled: int = 0
+    #: Tokens this admission actually prefills: the request prompt for a
+    #: fresh admission, the prompt *plus the tokens generated so far* for
+    #: a ``PREEMPTED`` sequence being re-admitted (recompute preemption).
+    #: Set by the scheduler at admission; ``None`` while queued.
+    prompt_tokens: np.ndarray | None = None
+    #: Times this sequence was preempted (either mode).
+    preemptions: int = 0
+    #: KV slots (per layer, summed over preemptions) this sequence paged
+    #: out to / back from the modeled host pool (``preempt="swap"``).
+    swapped_out_slots: int = 0
+    swapped_in_slots: int = 0
     #: Prefix-cache chain key of the last full prompt block this sequence
     #: registered/adopted (chunked paged prefill resumes insertion here).
     prefix_parent_key: object = None

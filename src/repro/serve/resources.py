@@ -1,0 +1,534 @@
+"""Unified serving resource manager: batch slots, KV blocks, and swap.
+
+Before this module, the scheduler's dense and paged branches each did
+their own slot/block bookkeeping inline in the admit/release paths.
+:class:`KVResourceManager` centralizes every device resource a sequence
+can hold — its batch slot, its :class:`~repro.serve.paging.BlockPool`
+blocks, and the prefix-cache reservations that pin pool blocks across
+requests — behind one ``can_admit / admit / preempt-side (release /
+swap_out) / resume (swap_in) / retire`` surface, for all four serving
+modes (dense/paged x scheduler/engine).
+
+Two admission regimes live here:
+
+- ``preempt="off"`` (the default) keeps the one-way contract: admission
+  *reserves worst case*.  A fixed pool must cover the newcomer's
+  worst-case block demand plus every running sequence's outstanding
+  reservation, so an admitted sequence can never fail an allocation —
+  and a request whose worst case exceeds the whole pool is rejected.
+- ``preempt="recompute"`` / ``preempt="swap"`` switch to *optimistic
+  admission* (vLLM-style): a sequence admits as soon as the pool covers
+  its immediate prefill need, far below the worst case when eviction
+  budgets shrink sequences after prefill.  Soundness comes from two-way
+  scheduling: when the pool (or the batch) runs dry, a victim is
+  preempted instead of the allocator crashing.
+
+Preemption itself has two flavors, priced very differently by the
+co-simulator:
+
+- **recompute** (:meth:`KVResourceManager.release`): drop all device
+  state.  Re-admission re-prefills the prompt *plus the tokens generated
+  so far* — pure compute, no transfer traffic.  Bit-exact for sequences
+  without a KV budget (prefill and decode produce bitwise-identical KV
+  entries and logits); under an eviction budget the rebuilt eviction
+  state is derived from a fresh prefill of the extended prompt, which is
+  deterministic but may diverge from the uninterrupted schedule.
+- **swap** (:meth:`swap_out` / :meth:`swap_in`): page the sequence's KV
+  slots to a modeled host pool and restore them bit-exactly later.
+  Eviction state travels too: a policy whose entire per-sequence state is
+  its slot-aligned vectors (``swap_restorable = True``, e.g. voting
+  votes or H2O sums — the state the paper stores off-chip anyway) is
+  snapshotted through the ``export_prefill_state`` /
+  ``import_prefill_state`` hooks and re-imported onto a fresh instance at
+  swap-in; any other policy keeps its live object host-side.  Either
+  way the continuation is bit-identical to never having been preempted.
+
+The host pool is *modeled*: images are plain numpy copies, and the
+scheduler records a :class:`~repro.serve.trace.SwapEvent` per transfer so
+:class:`~repro.serve.cosim.ServingCoSimulator` can charge the bytes to
+the hardware configuration's host link
+(:attr:`~repro.accel.config.HardwareConfig.host_link_gb_s`).
+
+Worked example — admit, swap out, swap in, retire against a fixed pool::
+
+    >>> import numpy as np
+    >>> from repro.config import tiny_config
+    >>> from repro.serve.request import Request, SequenceState, RUNNING
+    >>> from repro.serve.resources import KVResourceManager
+    >>> config = tiny_config()
+    >>> manager = KVResourceManager(config, max_batch_size=2, paged=True,
+    ...                             block_size=4, num_blocks=32,
+    ...                             preempt="swap")
+    >>> state = SequenceState(Request("r0", np.arange(6), max_new_tokens=4))
+    >>> state.cache = manager.admit("r0", capacity=12)
+    >>> for position in range(6):            # prefill writes 6 slots/layer
+    ...     for layer in state.cache:
+    ...         layer.append(np.ones((config.n_heads, config.head_dim)),
+    ...                      np.ones((config.n_heads, config.head_dim)),
+    ...                      position)
+    >>> state.status = RUNNING
+    >>> used_before = manager.block_pool.num_used
+    >>> image = manager.swap_out(state)       # blocks freed, bytes saved
+    >>> manager.block_pool.num_used, manager.slots_used, image.kv_slots
+    (0, 0, 6)
+    >>> _ = manager.swap_in(state)            # bit-exact restore
+    >>> manager.block_pool.num_used == used_before, state.cache[0].length
+    (True, 6)
+    >>> manager.retire("r0"); manager.block_pool.num_free
+    32
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import sequence_capacity
+from repro.core.kv_cache import BatchedKVCache
+from repro.serve.paging import BlockPool, PagedKVCache
+from repro.serve.prefix_cache import PrefixCache
+
+__all__ = ["KVResourceManager", "SwapImage", "PREEMPT_MODES"]
+
+#: Valid ``preempt`` settings for the scheduler and the manager.
+PREEMPT_MODES = ("off", "recompute", "swap")
+
+
+class SwapImage:
+    """Host-side copy of one swapped-out sequence's device state.
+
+    Holds gathered (dense-layout) copies of every layer's keys, values
+    and positions, plus the eviction-policy state — either per-layer
+    snapshots from ``export_prefill_state`` (``policy_state``) or the
+    retained live object (``policy``) when the policy is not
+    ``swap_restorable``.  Copies are independent of the pool: blocks
+    freed at swap-out may be handed to other sequences without
+    corrupting the image.
+    """
+
+    __slots__ = (
+        "status",
+        "capacity",
+        "lengths",
+        "keys",
+        "values",
+        "positions",
+        "policy",
+        "policy_state",
+        "kv_slots",
+        "blocks_out",
+        "blocks_in",
+    )
+
+    def __init__(self, status, capacity, lengths, keys, values, positions):
+        #: Sequence status at swap-out (``RUNNING`` or ``PREFILLING``),
+        #: restored verbatim at swap-in.
+        self.status = status
+        self.capacity = capacity
+        #: Per-layer cache lengths at swap-out.
+        self.lengths = lengths
+        self.keys = keys
+        self.values = values
+        self.positions = positions
+        self.policy = None
+        self.policy_state = None
+        #: Per-layer KV slots moved (max over layers) — the trace unit.
+        self.kv_slots = max(lengths) if lengths else 0
+        #: Pool blocks the sequence dropped references to at swap-out.
+        self.blocks_out = 0
+        #: Pool blocks allocated at swap-in (set by ``swap_in``).
+        self.blocks_in = 0
+
+    @property
+    def total_slots(self):
+        """KV slots held host-side, summed over layers."""
+        return sum(self.lengths)
+
+
+class KVResourceManager:
+    """Owns every device resource the serving loop hands to sequences.
+
+    Parameters
+    ----------
+    config:
+        The served model's config (layer/head/dim shapes size the pool
+        and the per-sequence caches).
+    max_batch_size:
+        Batch slots — the admission cap on concurrently resident
+        sequences.
+    paged, block_size, num_blocks, prefix_caching, prefix_cache_blocks:
+        The paged-memory knobs, exactly as on
+        :class:`~repro.serve.scheduler.Scheduler` (which forwards them
+        here).
+    preempt:
+        ``"off"`` (one-way scheduling, worst-case reservations),
+        ``"recompute"`` or ``"swap"`` (two-way scheduling, optimistic
+        admission).
+    policy_factory:
+        Zero-argument callable producing a fresh eviction-policy
+        instance; needed at swap-in to rebuild a ``swap_restorable``
+        policy from its snapshot.
+    """
+
+    def __init__(
+        self,
+        config,
+        max_batch_size,
+        paged=False,
+        block_size=16,
+        num_blocks=None,
+        prefix_caching=True,
+        prefix_cache_blocks=None,
+        preempt="off",
+        policy_factory=None,
+    ):
+        if preempt not in PREEMPT_MODES:
+            raise ValueError(
+                f"preempt must be one of {PREEMPT_MODES}, got {preempt!r}"
+            )
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        self.config = config
+        self.max_batch_size = int(max_batch_size)
+        self.preempt = preempt
+        self.paged = bool(paged)
+        self.policy_factory = policy_factory
+
+        if self.paged:
+            self.block_pool = BlockPool(
+                config.n_heads, config.head_dim, block_size, num_blocks=num_blocks
+            )
+            self.prefix_cache = (
+                PrefixCache(block_size, max_blocks=prefix_cache_blocks)
+                if prefix_caching
+                else None
+            )
+            if self.prefix_cache is not None:
+                pool = self.block_pool
+                self.block_pool.reclaimer = (
+                    lambda needed: self.prefix_cache.reclaim(pool, needed)
+                )
+            self.cache_bank = BatchedKVCache.for_model(
+                config,
+                cache_factory=lambda capacity: PagedKVCache(
+                    self.block_pool, config.n_layers, capacity
+                ),
+            )
+        else:
+            self.block_pool = None
+            self.prefix_cache = None
+            self.cache_bank = BatchedKVCache.for_model(config)
+
+        self._admitted = {}  # request_id -> cache (device-resident)
+        self._reservations = {}  # request_id -> worst-case pool blocks
+        self._swapped = {}  # request_id -> SwapImage (host pool)
+
+        # ---- swap-traffic counters (feed ServingReport) ----
+        self.swap_outs = 0
+        self.swap_ins = 0
+        self.swap_out_blocks = 0
+        self.swap_in_blocks = 0
+        self.swap_out_slots = 0  # per-layer convention, like SwapEvent
+        self.swap_in_slots = 0
+        #: Host-pool occupancy in KV slots (all layers) and its peak.
+        self.host_kv_slots = 0
+        self.host_peak_kv_slots = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def preemptible(self):
+        """Two-way scheduling active (``preempt`` != ``"off"``)."""
+        return self.preempt != "off"
+
+    @property
+    def slots_used(self):
+        return len(self._admitted)
+
+    @property
+    def slots_free(self):
+        return self.max_batch_size - len(self._admitted)
+
+    @property
+    def num_swapped(self):
+        return len(self._swapped)
+
+    @property
+    def swapped_request_ids(self):
+        return list(self._swapped)
+
+    def cache_for(self, request_id):
+        """The device cache of an admitted sequence."""
+        return self._admitted[request_id]
+
+    # ------------------------------------------------------------------
+    # Demand arithmetic
+    # ------------------------------------------------------------------
+    def worst_case_blocks(self, capacity):
+        """Pool blocks a sequence's cache *table* can ever span (all
+        layers, all owned) — the prefill-transient/steady-state peak."""
+        if not self.paged:
+            return 0
+        per_layer = -(-capacity // self.block_pool.block_size)  # ceil
+        return per_layer * self.config.n_layers
+
+    def sequence_worst_blocks(self, prompt_length, max_new_tokens, budget):
+        """Worst-case pool demand of one sequence over its whole life.
+
+        The table peak (:meth:`worst_case_blocks` of the sequence
+        capacity), plus — for a *budgeted* sequence while prefix caching
+        is active — one copy-on-write block per full prompt block: the
+        prefill registers its freshly written blocks in the prefix
+        cache, so the very eviction that shrinks the sequence to budget
+        must copy them first while the cache pins the originals.  (The
+        seed's reservation missed this term, so a pool sized exactly to
+        the table peak could die of ``BlockPoolExhausted`` inside the
+        shrink; admission and rejection now both price it.)
+        """
+        worst = self.worst_case_blocks(
+            sequence_capacity(prompt_length, max_new_tokens, budget)
+        )
+        if self.paged and self.prefix_cache is not None and budget is not None:
+            worst += (
+                prompt_length // self.block_pool.block_size
+            ) * self.config.n_layers
+        return worst
+
+    def blocks_for_rows(self, rows):
+        """Pool blocks needed to append ``rows`` fresh slots in every
+        layer of an empty cache (a prefill's immediate demand)."""
+        if not self.paged or rows <= 0:
+            return 0
+        return -(-rows // self.block_pool.block_size) * self.config.n_layers
+
+    def decode_block_demand(self, cache, budgeted):
+        """Upper bound on pool blocks one decode step may claim for
+        ``cache``: a fresh block per layer whose tail block is full,
+        plus — when eviction may run — one copy-on-write block per
+        shared table block (adopted prefix blocks and own blocks pinned
+        by the prefix cache alike)."""
+        if not self.paged:
+            return 0
+        block_size = self.block_pool.block_size
+        demand = sum(1 for layer in cache if layer.length % block_size == 0)
+        if budgeted:
+            demand += cache.shared_blocks
+        return demand
+
+    def prefill_block_demand(self, cache, rows, budgeted, final):
+        """Upper bound on pool blocks a prefill chunk of ``rows`` prompt
+        tokens may claim for ``cache``: fresh tail blocks, CoW of every
+        currently shared table block, and — for the *final* chunk of a
+        budgeted prompt — CoW of the blocks this very chunk writes and
+        registers before the shrink-to-budget eviction runs."""
+        if not self.paged or rows <= 0:
+            return 0
+        block_size = self.block_pool.block_size
+        fresh = (rows // block_size + 1) * self.config.n_layers
+        demand = fresh + cache.shared_blocks
+        if budgeted and final:
+            demand += fresh
+        return demand
+
+    def swap_in_blocks_needed(self, request_id):
+        """Pool blocks required to page ``request_id``'s image back in."""
+        if not self.paged:
+            return 0
+        image = self._swapped[request_id]
+        block_size = self.block_pool.block_size
+        return sum(-(-length // block_size) for length in image.lengths if length)
+
+    def swap_resume_demand(self, request_id):
+        """Pool blocks a swap-in admission may claim this round: the
+        image itself plus the resumed sequence's own first decode append
+        in every layer whose restored tail block lands full."""
+        if not self.paged:
+            return 0
+        image = self._swapped[request_id]
+        block_size = self.block_pool.block_size
+        return self.swap_in_blocks_needed(request_id) + sum(
+            1 for length in image.lengths if length % block_size == 0
+        )
+
+    # ------------------------------------------------------------------
+    # Admission checks
+    # ------------------------------------------------------------------
+    def has_blocks(self, needed):
+        """Can the pool cover ``needed`` blocks right now?  The prefix
+        cache is asked to shed idle entries first; a growable pool (and
+        dense mode) always says yes."""
+        if not self.paged or self.block_pool.growable:
+            return True
+        pool = self.block_pool
+        if pool.num_free < needed and self.prefix_cache is not None:
+            self.prefix_cache.reclaim(pool, needed - pool.num_free)
+        return pool.num_free >= needed
+
+    def outstanding_reservation(self):
+        """Blocks held back for running sequences under one-way
+        scheduling: each admitted sequence's worst case minus the blocks
+        it already owns (growth and copy-on-write can claim the
+        difference at any decode step)."""
+        return sum(
+            max(0, self._reservations[rid] - cache.owned_blocks)
+            for rid, cache in self._admitted.items()
+        )
+
+    def can_admit(self, worst_blocks, immediate_blocks):
+        """Room for one more sequence?
+
+        Needs a free batch slot in every mode.  Block-wise, one-way
+        scheduling (``preempt="off"``) demands the worst case on top of
+        every running sequence's outstanding reservation — an admitted
+        sequence can then never fail an allocation; two-way scheduling
+        demands only the immediate prefill need, because a mid-run
+        shortfall preempts a victim instead of crashing.
+        """
+        if self.slots_free <= 0:
+            return False
+        if not self.paged or self.block_pool.growable:
+            return True
+        if self.preemptible:
+            return self.has_blocks(immediate_blocks)
+        return self.has_blocks(worst_blocks + self.outstanding_reservation())
+
+    # ------------------------------------------------------------------
+    # Lifecycle: admit / retire / preempt / resume
+    # ------------------------------------------------------------------
+    def admit(self, request_id, capacity, reserved_blocks=None):
+        """Claim a batch slot and allocate a fresh cache; returns it.
+
+        ``reserved_blocks`` is the worst-case demand held back from later
+        one-way admissions (default: the capacity's table peak; the
+        scheduler passes :meth:`sequence_worst_blocks` to include the
+        prefix-registration CoW term)."""
+        if self.slots_free <= 0:
+            raise RuntimeError("admit with no free batch slot")
+        cache = self.cache_bank.add_sequence(request_id, capacity)
+        self._admitted[request_id] = cache
+        self._reservations[request_id] = (
+            self.worst_case_blocks(capacity)
+            if reserved_blocks is None
+            else reserved_blocks
+        )
+        return cache
+
+    def retire(self, request_id):
+        """Free a retired sequence's slot and cache (blocks return to the
+        pool in paged mode)."""
+        self.cache_bank.remove_sequence(request_id)
+        del self._admitted[request_id]
+        self._reservations.pop(request_id, None)
+
+    def release(self, request_id):
+        """Recompute-preemption: drop all device state.  Identical
+        resource effect to :meth:`retire`; spelled separately because the
+        sequence is *not* done — it re-admits later and re-prefills."""
+        self.retire(request_id)
+
+    def swap_out(self, state):
+        """Page ``state``'s KV cache (and eviction state) to the host
+        pool, freeing its slot and blocks; returns the :class:`SwapImage`.
+
+        The image holds gathered copies, so the freed blocks can be
+        reused by other sequences immediately.  Policy state goes with
+        it: per-layer ``export_prefill_state`` snapshots when the policy
+        is ``swap_restorable`` (the off-chip-vote-storage model), the
+        live object otherwise.  ``state.policy`` is cleared either way —
+        a swapped sequence holds no schedulable state.
+        """
+        request_id = state.request_id
+        cache = self._admitted[request_id]
+        lengths = [layer.length for layer in cache]
+        image = SwapImage(
+            status=state.status,
+            capacity=cache[0].capacity,
+            lengths=lengths,
+            keys=[np.array(layer.keys, copy=True) for layer in cache],
+            values=[np.array(layer.values, copy=True) for layer in cache],
+            positions=[np.array(layer.positions, copy=True) for layer in cache],
+        )
+        if self.paged:
+            image.blocks_out = cache.num_blocks
+        policy = state.policy
+        if policy is not None:
+            if policy.swap_restorable:
+                image.policy_state = [
+                    policy.export_prefill_state(layer, lengths[layer])
+                    for layer in range(len(lengths))
+                ]
+            else:
+                image.policy = policy
+        state.policy = None
+        state.cache = None
+
+        self.cache_bank.remove_sequence(request_id)
+        del self._admitted[request_id]
+        self._reservations.pop(request_id, None)
+        self._swapped[request_id] = image
+
+        self.swap_outs += 1
+        self.swap_out_blocks += image.blocks_out
+        self.swap_out_slots += image.kv_slots
+        self.host_kv_slots += image.total_slots
+        self.host_peak_kv_slots = max(self.host_peak_kv_slots, self.host_kv_slots)
+        return image
+
+    def swap_in(self, state):
+        """Page a swapped sequence back onto the device: allocate a fresh
+        cache, replay the saved slots, restore the eviction policy, and
+        hand the slot back.  Returns the consumed :class:`SwapImage`
+        (``blocks_in`` filled in)."""
+        request_id = state.request_id
+        image = self._swapped.pop(request_id)
+        if self.slots_free <= 0:
+            self._swapped[request_id] = image
+            raise RuntimeError("swap_in with no free batch slot")
+        cache = self.cache_bank.add_sequence(request_id, image.capacity)
+        for layer, length in enumerate(image.lengths):
+            if length:
+                cache[layer].append_block(
+                    image.keys[layer], image.values[layer], image.positions[layer]
+                )
+        if image.policy is not None:
+            state.policy = image.policy
+        elif image.policy_state is not None:
+            if self.policy_factory is None:
+                raise RuntimeError(
+                    "swap_in needs a policy_factory to rebuild a "
+                    "swap_restorable policy from its snapshot"
+                )
+            policy = self.policy_factory()
+            policy.reset()
+            for layer, snapshot in enumerate(image.policy_state):
+                policy.import_prefill_state(layer, snapshot, image.lengths[layer])
+            state.policy = policy
+
+        state.cache = cache
+        state.status = image.status
+        self._admitted[request_id] = cache
+        self._reservations[request_id] = self.worst_case_blocks(image.capacity)
+        if self.paged:
+            image.blocks_in = cache.num_blocks
+
+        self.swap_ins += 1
+        self.swap_in_blocks += image.blocks_in
+        self.swap_in_slots += image.kv_slots
+        self.host_kv_slots -= image.total_slots
+        return image
+
+    # ------------------------------------------------------------------
+    # Prefix-cache teardown
+    # ------------------------------------------------------------------
+    def clear_prefix_cache(self):
+        """Drop every prefix-cache entry, returning its blocks to the
+        pool (end-of-trace teardown)."""
+        if self.prefix_cache is not None:
+            self.prefix_cache.clear(self.block_pool)
+
+    def __repr__(self):
+        return (
+            f"KVResourceManager(slots={self.slots_used}/{self.max_batch_size}, "
+            f"paged={self.paged}, preempt={self.preempt!r}, "
+            f"swapped={self.num_swapped})"
+        )

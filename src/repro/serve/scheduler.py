@@ -57,6 +57,28 @@ fields.  Unsatisfiable paged requests become structured
 :class:`~repro.serve.request.Rejection` records (surfaced in
 ``ServingReport.rejections``) instead of only raising.
 
+Every resource a sequence holds — its batch slot, its pool blocks, the
+prefix-cache reservations — is owned by a single
+:class:`~repro.serve.resources.KVResourceManager`.  With
+``preempt="off"`` (default) scheduling is one-way: admission reserves
+worst case and a sequence keeps its resources to retirement.
+``preempt="recompute"`` / ``preempt="swap"`` enable two-way scheduling:
+admission turns optimistic (immediate prefill need instead of worst
+case — much higher pool utilization under eviction budgets), and
+pressure preempts a victim (lowest priority, then latest deadline, then
+fewest generated tokens) instead of stalling.  Pressure comes from two
+places: the pool running dry mid-run (any admission policy), and an
+arrived request that strictly outranks a running sequence under the
+admission policy — deadline pressure under EDF, priority pressure under
+priority-with-aging — finding no free slot or blocks.  A recompute
+victim re-prefills its prompt plus generated tokens on re-admission
+(bit-exact without a KV budget); a swap victim pages its blocks and
+eviction-state snapshot to the modeled host pool and resumes
+bit-exactly.  Swap traffic is recorded as
+:class:`~repro.serve.trace.SwapEvent` rows in the round trace and priced
+as HBM<->host transfers by the serving co-simulator.  With capacity to
+spare, no preemption triggers and all three modes are bit-identical.
+
 Every round is also recorded in :attr:`Scheduler.trace` (prefill row
 counts, per-sequence decode attention lengths), which
 :class:`~repro.serve.cosim.ServingCoSimulator` prices on the
@@ -91,21 +113,28 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.engine import enforce_budget, sequence_capacity
-from repro.core.kv_cache import BatchedKVCache
 from repro.core.policies.base import GENERATION, PREFILL
-from repro.core.policies.voting import VotingPolicy
 from repro.core.sampling import greedy
-from repro.serve.paging import BlockPool, PagedKVCache
-from repro.serve.prefix_cache import PrefixCache
+from repro.core.policies.voting import VotingPolicy
 from repro.serve.request import (
     FINISHED,
+    PREEMPTED,
     PREFILLING,
     RUNNING,
+    SWAPPED,
     Rejection,
     Request,
     SequenceState,
 )
-from repro.serve.trace import DecodeEvent, PrefillEvent, RoundTrace
+from repro.serve.resources import PREEMPT_MODES, KVResourceManager
+from repro.serve.trace import (
+    SWAP_IN,
+    SWAP_OUT,
+    DecodeEvent,
+    PrefillEvent,
+    RoundTrace,
+    SwapEvent,
+)
 
 __all__ = ["Scheduler", "ServingReport"]
 
@@ -157,6 +186,19 @@ class ServingReport:
     #: Prompt tokens whose prefill was skipped via a prefix-cache hit.
     prefill_tokens_saved: int = 0
     cow_copies: int = 0
+    # ---- preemption extras (defaults when preempt="off") ----
+    #: The scheduler's preemption mode (``off``/``recompute``/``swap``).
+    preempt: str = "off"
+    #: Preemption events over the run (both modes).
+    preemptions: int = 0
+    swap_outs: int = 0
+    swap_ins: int = 0
+    #: Pool blocks paged out to / back from the modeled host pool.
+    swap_out_blocks: int = 0
+    swap_in_blocks: int = 0
+    #: Peak KV slots (all layers) resident in the host pool — the memory
+    #: the swap path displaces off the device.
+    host_peak_kv_slots: int = 0
 
     @property
     def prefix_hit_rate(self):
@@ -237,6 +279,13 @@ class ServingReport:
             summary["deadline_miss_rate"] = self.deadline_miss_rate
         if self.rejections:
             summary["rejected"] = len(self.rejections)
+        if self.preempt != "off":
+            summary["preempt"] = self.preempt
+            summary["preemptions"] = self.preemptions
+            if self.preempt == "swap":
+                summary["swap_out_blocks"] = self.swap_out_blocks
+                summary["swap_in_blocks"] = self.swap_in_blocks
+                summary["host_peak_kv"] = self.host_peak_kv_slots
         if self.paged:
             summary.update(
                 {
@@ -310,6 +359,19 @@ class Scheduler:
         *arrived* waiting requests for admission (lowest key first; ties
         broken by submission order).  ``None`` = FIFO by arrival.  See
         :mod:`repro.serve.engine` for FIFO/EDF/priority-aging policies.
+    preempt:
+        ``"off"`` (default): one-way scheduling — admission reserves
+        worst case and an admitted sequence holds its slot and blocks to
+        retirement.  ``"recompute"`` / ``"swap"``: two-way scheduling —
+        admission turns optimistic (immediate prefill need only) and
+        slot/pool pressure preempts the victim ranked lowest by
+        (priority, latest deadline, fewest generated tokens).  A
+        recompute victim is re-admitted by re-prefilling its prompt plus
+        the tokens generated so far; a swap victim pages its KV blocks
+        and eviction-state snapshot to a modeled host pool and resumes
+        bit-exactly.  Whenever capacity suffices, no preemption fires
+        and all three settings produce bit-identical tokens, eviction
+        logs, and traces.
     auto_fast_forward:
         Jump the round clock over idle gaps to the next queued arrival
         (default, right for a pre-submitted trace).  The serving engine
@@ -333,9 +395,14 @@ class Scheduler:
         prefill_chunk=None,
         admission_policy=None,
         auto_fast_forward=True,
+        preempt="off",
     ):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
+        if preempt not in PREEMPT_MODES:
+            raise ValueError(
+                f"preempt must be one of {PREEMPT_MODES}, got {preempt!r}"
+            )
         if budget is not None and budget <= 0:
             raise ValueError(f"budget must be positive, got {budget}")
         if evictions_per_step is not None and evictions_per_step <= 0:
@@ -357,33 +424,23 @@ class Scheduler:
         self.budget = budget
         self.evictions_per_step = evictions_per_step
         self.sampler = sampler
+        self.preempt = preempt
 
         self.paged = bool(paged)
-        if self.paged:
-            config = model.config
-            self.block_pool = BlockPool(
-                config.n_heads, config.head_dim, block_size, num_blocks=num_blocks
-            )
-            self.prefix_cache = (
-                PrefixCache(block_size, max_blocks=prefix_cache_blocks)
-                if prefix_caching
-                else None
-            )
-            if self.prefix_cache is not None:
-                pool = self.block_pool
-                self.block_pool.reclaimer = (
-                    lambda needed: self.prefix_cache.reclaim(pool, needed)
-                )
-            self.cache_bank = BatchedKVCache.for_model(
-                config,
-                cache_factory=lambda capacity: PagedKVCache(
-                    self.block_pool, config.n_layers, capacity
-                ),
-            )
-        else:
-            self.block_pool = None
-            self.prefix_cache = None
-            self.cache_bank = BatchedKVCache.for_model(model.config)
+        #: The one owner of every device resource a sequence can hold:
+        #: batch slots, pool blocks, prefix-cache reservations, and the
+        #: modeled host swap pool.
+        self.manager = KVResourceManager(
+            model.config,
+            max_batch_size=self.max_batch_size,
+            paged=self.paged,
+            block_size=block_size,
+            num_blocks=num_blocks,
+            prefix_caching=prefix_caching,
+            prefix_cache_blocks=prefix_cache_blocks,
+            preempt=preempt,
+            policy_factory=self.policy_factory,
+        )
 
         self._waiting = []  # SequenceState, sorted by (arrival, submit order)
         self._running = []  # SequenceState, admission order
@@ -402,6 +459,22 @@ class Scheduler:
         self._peak_kv_slots = 0
         self._utilization_sum = 0.0
         self._utilization_rounds = 0
+        self._preemption_count = 0
+
+    # ------------------------------------------------------------------
+    # Resource views (owned by the manager)
+    # ------------------------------------------------------------------
+    @property
+    def block_pool(self):
+        return self.manager.block_pool
+
+    @property
+    def prefix_cache(self):
+        return self.manager.prefix_cache
+
+    @property
+    def cache_bank(self):
+        return self.manager.cache_bank
 
     # ------------------------------------------------------------------
     # Client API
@@ -446,10 +519,13 @@ class Scheduler:
             raise KeyError(f"duplicate request id {request.request_id!r}")
         if self.paged and not self.block_pool.growable:
             budget = request.budget if request.budget is not None else self.budget
-            worst = self._worst_case_blocks(
-                sequence_capacity(
-                    request.prompt.shape[0], request.max_new_tokens, budget
-                )
+            # The worst case is also the request's *actual* peak demand
+            # (prefill transient or budget steady state, plus the
+            # prefix-registration CoW a budgeted shrink performs), so a
+            # request beyond the whole pool is unservable in every
+            # preempt mode.
+            worst = self.manager.sequence_worst_blocks(
+                request.prompt.shape[0], request.max_new_tokens, budget
             )
             if worst > self.block_pool.num_blocks:
                 rejection = Rejection(
@@ -492,17 +568,26 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Scheduling loop
     # ------------------------------------------------------------------
-    def run(self):
+    def run(self, max_rounds=None):
         """Serve until every submitted request has retired.
 
         Returns a :class:`ServingReport` aggregating throughput, latency
         and memory statistics over the whole run; per-request tokens
         stay retrievable through :meth:`tokens_for` and the per-round
-        hardware trace through :attr:`trace`.
+        hardware trace through :attr:`trace`.  ``max_rounds`` bounds the
+        scheduler iterations executed by *this call* (``None`` = drain
+        completely) — the horizon valve overload experiments use to show
+        one-way scheduling stalling where two-way scheduling retires.
         """
+        if max_rounds is not None and max_rounds <= 0:
+            raise ValueError(f"max_rounds must be positive, got {max_rounds}")
         start = time.perf_counter()
+        executed = 0
         while not self.done:
+            if max_rounds is not None and executed >= max_rounds:
+                break
             self.run_round()
+            executed += 1
         wall = time.perf_counter() - start
         return self._report(wall)
 
@@ -525,6 +610,7 @@ class Scheduler:
                 self.round_index = next_arrival
 
         record = RoundTrace(round_index=self.round_index)
+        self._ensure_headroom(record)
         chunk_budget = self._continue_prefills(record, self.prefill_chunk)
         self._admit(record, chunk_budget)
         self._peak_concurrency = max(self._peak_concurrency, len(self._running))
@@ -535,7 +621,7 @@ class Scheduler:
         if active:
             self._decode(active, record)
         self._total_tokens += sampled
-        if record.prefills or record.decodes or record.dead_steps:
+        if record.prefills or record.decodes or record.dead_steps or record.swaps:
             # Busy = the hardware did work, whether or not a token came
             # out: a chunked-prefill-only round costs compute too, and
             # tokens_per_round must reflect it.  (Unchunked runs are
@@ -592,38 +678,70 @@ class Scheduler:
         """Admit arrived requests into free batch slots (prefill them).
 
         In paged mode, admission additionally *reserves blocks, not
-        slabs*: a fixed-size pool must be able to cover the request's
-        worst-case block demand (prefix-cache entries are shed first),
-        otherwise the request — and everyone ranked behind it — keeps
-        waiting until retirements free blocks.  With ``prefill_chunk``
-        set, each admission also needs prompt-token budget left this
-        round; its prefill may complete over later rounds.
+        slabs*: under one-way scheduling (``preempt="off"``) a fixed
+        pool must cover the request's worst-case block demand
+        (prefix-cache entries are shed first), otherwise the request —
+        and everyone ranked behind it — keeps waiting until retirements
+        free blocks.  Under two-way scheduling only the immediate
+        prefill need is required, and an arrived request that strictly
+        outranks a running victim (under the admission policy) may
+        preempt it to take its slot or blocks.  A ``SWAPPED`` sequence
+        re-admits by paging its saved blocks back in; a ``PREEMPTED``
+        one re-prefills its prompt plus generated tokens.  With
+        ``prefill_chunk`` set, each (re-)prefilling admission also needs
+        prompt-token budget left this round.
         """
-        while len(self._running) < self.max_batch_size:
+        while True:
             if chunk_budget is not None and chunk_budget <= 0:
                 break
             state = self._next_admission()
             if state is None:
                 break
-            request = state.request
-            budget = request.budget if request.budget is not None else self.budget
-            capacity = sequence_capacity(
-                request.prompt.shape[0], request.max_new_tokens, budget
-            )
-            worst_blocks = self._worst_case_blocks(capacity)
-            if self.paged and not self._blocks_available(worst_blocks):
+            if not self._make_room(state, chunk_budget, record):
                 break
             self._waiting.remove(state)
-            state.reserved_blocks = worst_blocks
+
+            if state.status == SWAPPED:
+                image = self.manager.swap_in(state)
+                state.swapped_in_slots += image.kv_slots
+                record.swaps.append(
+                    SwapEvent(
+                        state.request_id,
+                        SWAP_IN,
+                        kv_slots=image.kv_slots,
+                        blocks=image.blocks_in,
+                    )
+                )
+                self._running.append(state)
+                continue  # no prefill rows: chunk budget untouched
+
+            request = state.request
+            resumed = state.status == PREEMPTED
+            budget = request.budget if request.budget is not None else self.budget
+            state.prompt_tokens = self._effective_prompt(state)
+            capacity = sequence_capacity(
+                state.prompt_tokens.shape[0],
+                request.max_new_tokens - state.num_generated,
+                budget,
+            )
+            state.reserved_blocks = self.manager.sequence_worst_blocks(
+                state.prompt_tokens.shape[0],
+                request.max_new_tokens - state.num_generated,
+                budget,
+            )
 
             state.policy = self.policy_factory()
             state.policy.reset()
-            state.rng = np.random.default_rng(request.seed)
-            state.cache = self.cache_bank.add_sequence(
-                request.request_id, capacity
+            if not resumed:
+                # A recompute resume keeps its RNG: tokens already
+                # sampled never consume the stream twice.
+                state.rng = np.random.default_rng(request.seed)
+            state.cache = self.manager.admit(
+                request.request_id, capacity, state.reserved_blocks
             )
             state.status = PREFILLING
-            state.admitted_at = self.round_index
+            if state.admitted_at is None:
+                state.admitted_at = self.round_index
 
             if self.paged:
                 self._attach_prefix(state)
@@ -632,12 +750,221 @@ class Scheduler:
             )
             self._running.append(state)
 
+    def _effective_prompt(self, state):
+        """The tokens this admission must prefill: the request prompt,
+        extended with the already-generated tokens for a recompute
+        resume (their KV entries are rebuilt by prefilling them — exact
+        when no eviction budget reshaped the cache)."""
+        prompt = state.request.prompt
+        if not state.tokens:
+            return prompt
+        generated = np.asarray(state.tokens, dtype=prompt.dtype)
+        return np.concatenate([prompt, generated])
+
+    # ------------------------------------------------------------------
+    # Two-way scheduling (preemption)
+    # ------------------------------------------------------------------
+    def _make_room(self, state, chunk_budget, record):
+        """Secure a batch slot and the block demand for admitting (or
+        resuming) ``state``; under two-way scheduling this may preempt
+        running victims the candidate strictly outranks.  Returns False
+        when the candidate must keep waiting."""
+        manager = self.manager
+        if state.status == SWAPPED:
+            worst = own_need = manager.swap_resume_demand(state.request_id)
+        else:
+            request = state.request
+            budget = request.budget if request.budget is not None else self.budget
+            prompt_length = request.prompt.shape[0] + state.num_generated
+            worst = manager.sequence_worst_blocks(
+                prompt_length,
+                request.max_new_tokens - state.num_generated,
+                budget,
+            )
+            rows_now = (
+                prompt_length
+                if chunk_budget is None
+                else min(chunk_budget, prompt_length)
+            )
+            own_need = manager.blocks_for_rows(rows_now)
+            if self.paged:
+                n_layers = self.model.config.n_layers
+                block_size = self.block_pool.block_size
+                if budget is not None and self.prefix_cache is not None:
+                    # The shrink-to-budget eviction CoWs the *full*
+                    # blocks this prefill registers in the prefix cache.
+                    own_need += (rows_now // block_size) * n_layers
+                elif budget is None and rows_now % block_size == 0:
+                    # No eviction will free slack, and the first decode
+                    # append lands exactly on a block boundary.
+                    own_need += n_layers
+        def immediate():
+            # Optimistic admission must not eat the blocks the resident
+            # batch still needs this round (its decode appends and CoW)
+            # — otherwise a mid-round allocation would fail where
+            # round-start headroom had been assured.  Recomputed per
+            # check: preempting a victim below removes its share of the
+            # round demand along with its blocks.
+            if manager.preemptible and self.paged:
+                return own_need + self._round_block_demand()
+            return own_need
+
+        while not manager.can_admit(worst, immediate()):
+            if not manager.preemptible:
+                return False
+            victim = self._select_victim()
+            if victim is None or not self._outranks(state, victim):
+                return False
+            self._preempt(victim, record)
+        return True
+
+    def _victim_rank(self, state):
+        """Preemption order: lowest priority first, then latest deadline
+        (no deadline = the most slack), then fewest generated tokens
+        (least progress lost), then most recent submission."""
+        request = state.request
+        deadline_rank = (
+            -request.deadline if request.deadline is not None else float("-inf")
+        )
+        return (
+            request.priority,
+            deadline_rank,
+            state.num_generated,
+            -state.submit_index,
+        )
+
+    def _select_victim(self):
+        """The running sequence two-way scheduling would evict next."""
+        candidates = [
+            s for s in self._running if s.status in (RUNNING, PREFILLING)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=self._victim_rank)
+
+    def _admission_key(self, request):
+        if self.admission_policy is None:
+            return (request.arrival_time,)
+        return self.admission_policy.key(request, self.round_index)
+
+    def _outranks(self, candidate, victim):
+        """Whether ``candidate`` strictly outranks ``victim`` under the
+        admission policy — the gate on admission-pressure preemption
+        (deadline pressure under EDF, priority pressure under
+        priority-with-aging; under FIFO only an older arrival — e.g. a
+        previously preempted sequence — outranks).  Strictness prevents
+        two equally-ranked requests from trading the same slot forever.
+        """
+        return self._admission_key(candidate.request) < self._admission_key(
+            victim.request
+        )
+
+    def _preempt(self, state, record):
+        """Evict ``state`` from the batch back into the waiting queue.
+
+        ``preempt="swap"`` pages its cache and eviction state to the
+        host pool (resume is bit-exact); ``"recompute"`` drops
+        everything and re-derives it from a re-prefill at re-admission.
+        Either way the freed slot and blocks are immediately available.
+        """
+        state.preemptions += 1
+        self._preemption_count += 1
+        self._running.remove(state)
+        if self.preempt == "swap":
+            image = self.manager.swap_out(state)
+            state.status = SWAPPED
+            state.swapped_out_slots += image.kv_slots
+            record.swaps.append(
+                SwapEvent(
+                    state.request_id,
+                    SWAP_OUT,
+                    kv_slots=image.kv_slots,
+                    blocks=image.blocks_out,
+                )
+            )
+        else:
+            self.manager.release(state.request_id)
+            state.status = PREEMPTED
+            state.cache = None
+            state.policy = None
+            state.logits = None
+            state.position = 0
+            state.prefilled = 0
+            state.prompt_tokens = None
+            state.prefix_parent_key = None
+            state.prefix_hit_length = 0
+        self._waiting.append(state)
+        self._waiting.sort(
+            key=lambda s: (s.request.arrival_time, s.submit_index)
+        )
+
+    def _ensure_headroom(self, record):
+        """Guarantee this round's block demand before any compute runs.
+
+        Optimistic admission means the pool can run dry mid-run; rather
+        than unwinding a partially-executed model call, the worst-case
+        demand of every resident sequence's next step (fresh tail
+        blocks, copy-on-write of adopted blocks) is secured up front,
+        preempting victims until it fits.  A single sequence always
+        fits: its round demand is bounded by its worst case, which
+        admission verified against the whole pool.
+        """
+        manager = self.manager
+        if (
+            not manager.preemptible
+            or not self.paged
+            or self.block_pool.growable
+        ):
+            return
+        while True:
+            demand = self._round_block_demand()
+            if demand == 0 or manager.has_blocks(demand):
+                return
+            candidates = [
+                s for s in self._running if s.status in (RUNNING, PREFILLING)
+            ]
+            if len(candidates) <= 1:
+                # A lone sequence always fits: its true round demand is
+                # bounded by its worst case, which submission verified
+                # against the whole pool (the demand estimate above is
+                # deliberately conservative — never thrash on it).
+                return
+            self._preempt(min(candidates, key=self._victim_rank), record)
+
+    def _round_block_demand(self):
+        """Upper bound on pool blocks this round's prefill chunks and
+        decode steps may claim for the sequences already resident."""
+        manager = self.manager
+        chunk_budget = self.prefill_chunk
+        demand = 0
+        for state in self._running:
+            budgeted = (
+                state.request.budget is not None or self.budget is not None
+            )
+            if state.status == PREFILLING:
+                remaining = state.prompt_tokens.shape[0] - state.prefilled
+                rows = (
+                    remaining
+                    if chunk_budget is None
+                    else min(chunk_budget, remaining)
+                )
+                if chunk_budget is not None:
+                    chunk_budget = max(0, chunk_budget - rows)
+                demand += manager.prefill_block_demand(
+                    state.cache, rows, budgeted, final=rows >= remaining
+                )
+            elif state.status == RUNNING:
+                demand += manager.decode_block_demand(state.cache, budgeted)
+        return demand
+
     def _prefill_state(self, state, budget, chunk_budget, record):
         """Prefill the next chunk (or the whole remainder) of ``state``'s
-        prompt, record the trace event, and complete the prefill when the
-        last prompt token lands.  Returns the chunk budget left."""
+        effective prompt (the request prompt, plus generated tokens on a
+        recompute resume), record the trace event, and complete the
+        prefill when the last token lands.  Returns the chunk budget
+        left."""
         request = state.request
-        total = request.prompt.shape[0]
+        total = state.prompt_tokens.shape[0]
         start = state.prefilled
         end = total if chunk_budget is None else min(total, start + chunk_budget)
         logits = self._prefill_compute(state, start, end)
@@ -674,42 +1001,13 @@ class Scheduler:
         populated cache; dispatches dense vs paged."""
         if self.paged:
             return self._prefill_paged_range(state, start, end)
-        if start == 0 and end == state.request.prompt.shape[0]:
+        if start == 0 and end == state.prompt_tokens.shape[0]:
             return self._prefill_dense(state)
         return self._prefill_dense_range(state, start, end)
 
-    def _worst_case_blocks(self, capacity):
-        """Pool blocks a sequence can ever demand (all layers, all owned)."""
-        if not self.paged:
-            return 0
-        per_layer = -(-capacity // self.block_pool.block_size)  # ceil
-        return per_layer * self.model.config.n_layers
-
-    def _blocks_available(self, worst_blocks):
-        """Can the pool cover one more sequence's worst-case block need?
-
-        Admission reserves blocks, not slabs: besides the newcomer's
-        worst case, the free list must keep covering every running
-        sequence's *remaining* demand (``reserved_blocks`` minus the
-        blocks it already owns — growth and copy-on-write can claim the
-        difference at any decode step).  The prefix cache is asked to
-        shed idle entries first.
-        """
-        pool = self.block_pool
-        if pool.growable:
-            return True
-        outstanding = sum(
-            max(0, state.reserved_blocks - state.cache.owned_blocks)
-            for state in self._running
-        )
-        needed = worst_blocks + outstanding
-        if pool.num_free < needed and self.prefix_cache is not None:
-            self.prefix_cache.reclaim(pool, needed - pool.num_free)
-        return pool.num_free >= needed
-
     def _prefill_dense(self, state):
         """The seed path: one-shot prefill, one observe_block per layer."""
-        prompt = state.request.prompt
+        prompt = state.prompt_tokens
         prefill = self.model.prefill(prompt, state.cache)
         positions = np.arange(prompt.shape[0])
         for layer, attn in enumerate(prefill.attention):
@@ -722,7 +1020,7 @@ class Scheduler:
         continuation plus the policy's chunk-invariant
         ``observe_continuation`` make the resulting logits and policy
         state bitwise equal to the one-shot path at any chunking."""
-        prompt = state.request.prompt
+        prompt = state.prompt_tokens
         prefill = self.model.prefill(
             prompt[start:end], state.cache, start_position=start
         )
@@ -740,7 +1038,7 @@ class Scheduler:
         policy = state.policy
         if self.prefix_cache is None or not policy.prefix_shareable:
             return
-        prompt = state.request.prompt
+        prompt = state.prompt_tokens
         n_layers = self.model.config.n_layers
         entries, parent_key = self.prefix_cache.match(
             prompt, policy.prefix_state_key()
@@ -778,8 +1076,7 @@ class Scheduler:
            cache (before eviction can mutate them); the chain key is
            carried in ``state.prefix_parent_key`` across chunks.
         """
-        request = state.request
-        prompt = request.prompt
+        prompt = state.prompt_tokens
         policy = state.policy
         cache = state.cache
         n_layers = self.model.config.n_layers
@@ -924,15 +1221,14 @@ class Scheduler:
             self._peak_kv_slots = max(self._peak_kv_slots, allocated)
 
     def _finish(self, state, reason):
-        self.cache_bank.remove_sequence(state.request_id)
+        self.manager.retire(state.request_id)
         state.finish(self.round_index, reason)
 
     def release_prefix_cache(self):
         """Drop every prefix-cache entry, returning its blocks to the
         pool (end-of-trace teardown; afterwards an idle fixed pool is
         fully free again)."""
-        if self.prefix_cache is not None:
-            self.prefix_cache.clear(self.block_pool)
+        self.manager.clear_prefix_cache()
 
     def _retire(self):
         finished = [s for s in self._running if s.status == FINISHED]
@@ -978,9 +1274,11 @@ class Scheduler:
                 "tokens": s.num_generated,
                 "finish_reason": s.finish_reason,
                 "evictions": len(s.evictions),
+                "preemptions": s.preemptions,
             }
             for s in self._finished
         ]
+        manager = self.manager
         report = ServingReport(
             requests=rows,
             rejections=[r.as_row() for r in self._rejected],
@@ -990,6 +1288,13 @@ class Scheduler:
             peak_concurrency=self._peak_concurrency,
             wall_seconds=wall_seconds,
             peak_kv_slots=self._peak_kv_slots,
+            preempt=self.preempt,
+            preemptions=self._preemption_count,
+            swap_outs=manager.swap_outs,
+            swap_ins=manager.swap_ins,
+            swap_out_blocks=manager.swap_out_blocks,
+            swap_in_blocks=manager.swap_in_blocks,
+            host_peak_kv_slots=manager.host_peak_kv_slots,
         )
         if self.paged:
             report.paged = True

@@ -36,7 +36,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["DecodeEvent", "PrefillEvent", "RoundTrace"]
+__all__ = ["DecodeEvent", "PrefillEvent", "RoundTrace", "SwapEvent", "SWAP_OUT", "SWAP_IN"]
+
+#: :attr:`SwapEvent.direction` values.
+SWAP_OUT = "out"
+SWAP_IN = "in"
 
 
 @dataclass
@@ -105,6 +109,38 @@ class DecodeEvent:
 
 
 @dataclass
+class SwapEvent:
+    """One sequence's KV transfer between HBM and the host pool.
+
+    Recorded when the scheduler preempts with ``preempt="swap"`` (swap
+    out) and when a swapped sequence is re-admitted (swap in).  The
+    co-simulator prices each event as an HBM<->host transfer over the
+    hardware configuration's host link
+    (:attr:`repro.accel.config.HardwareConfig.host_link_gb_s`).
+
+    Attributes
+    ----------
+    request_id:
+        The preempted / resumed request.
+    direction:
+        ``"out"`` (HBM -> host) or ``"in"`` (host -> HBM).
+    kv_slots:
+        KV slots moved *per layer* (the same per-layer convention as
+        :attr:`DecodeEvent.attention_length`); the co-simulator scales by
+        the priced model's ``n_layers`` and ``d_model`` to get bytes.
+    blocks:
+        Pool blocks the sequence released (out) or allocated (in), over
+        all layers; 0 when served dense (dense swap moves the same bytes
+        but holds no pool blocks).
+    """
+
+    request_id: object
+    direction: str
+    kv_slots: int
+    blocks: int = 0
+
+
+@dataclass
 class RoundTrace:
     """Everything the hardware executed in one scheduler round."""
 
@@ -116,6 +152,8 @@ class RoundTrace:
     #: Dead steps of requests that retired by ``max_new_tokens`` this
     #: round — work the solo engine performs but the scheduler skips.
     dead_steps: list = field(default_factory=list)
+    #: KV swap transfers performed this round (``preempt="swap"`` only).
+    swaps: list = field(default_factory=list)
 
     @property
     def num_prefills(self):
@@ -124,6 +162,15 @@ class RoundTrace:
     @property
     def num_decodes(self):
         return len(self.decodes)
+
+    @property
+    def num_swaps(self):
+        return len(self.swaps)
+
+    @property
+    def swapped_kv_slots(self):
+        """Per-layer KV slots moved over the host link this round."""
+        return sum(event.kv_slots for event in self.swaps)
 
     @property
     def computed_prefill_tokens(self):

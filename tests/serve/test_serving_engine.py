@@ -175,8 +175,12 @@ class TestRejectionPath:
         with pytest.raises(RuntimeError, match="rejected"):
             handle.result()
 
-        retry = Request("big", np.arange(1, 9), max_new_tokens=4, budget=8,
-                        seed=0)
+        # Unbudgeted so the whole trajectory (7 prompt + 4 decode + 1)
+        # fits the 6-block pool exactly; a *budgeted* retry would now be
+        # honestly rejected, since the shrink-to-budget eviction can
+        # copy-on-write the prefix-registered prompt blocks on top of
+        # the table peak (the accounting the resource manager added).
+        retry = Request("big", np.arange(1, 8), max_new_tokens=4, seed=0)
         retry_handle = engine.submit(retry)
         assert retry_handle.status != "rejected"
         engine.run_until_drained()
