@@ -15,6 +15,15 @@ Usage::
     python -m repro serve-bench --preempt off,recompute,swap --cosim
                                          # overload burst: two-way scheduling
                                          # vs one-way, swap traffic priced
+    python -m repro serve-bench --spec-decode
+                                         # speculative decoding: distilled-
+                                         # draft / small-target zoo pair,
+                                         # k sweep, modeled hw speedup
+    python -m repro serve-bench --spec-decode --target tiny --draft self --spec-k 2
+                                         # fast smoke: no zoo training,
+                                         # accept rate 1.0 by construction
+    python -m repro serve-bench --json out.json
+                                         # any mode: machine-readable rows
     python -m repro serve-engine         # async engine: admission x chunking
     python -m repro serve-engine --admissions fifo,edf --chunk-sizes 0,8 --cosim
 
@@ -24,6 +33,7 @@ Results are also written to ``.artifacts/results/`` as text tables.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -250,6 +260,56 @@ def _serve_bench(argv):
         "multipliers; sweeping them exposes the recompute-vs-swap "
         "crossover as sequences grow",
     )
+    parser.add_argument(
+        "--spec-decode",
+        action="store_true",
+        help="run the speculative-decoding benchmark instead: a draft "
+        "model proposes k tokens per sequence per round and the target "
+        "verifies them in one multi-token pass; per-request tokens are "
+        "asserted bit-identical to the non-speculative baseline (greedy "
+        "verification is exact), and every row reports accept rate, "
+        "tokens per target pass, and modeled hardware tokens/s vs the "
+        "baseline",
+    )
+    parser.add_argument(
+        "--target",
+        default=None,
+        help="(with --spec-decode) target model: a zoo checkpoint name "
+        "('small', 'micro', 'draft'; trained and cached on first use) or "
+        "'tiny' for an untrained tiny model (fast smoke) (default: small)",
+    )
+    parser.add_argument(
+        "--draft",
+        default=None,
+        help="(with --spec-decode) draft model: a zoo checkpoint name or "
+        "'self' to use the target as its own draft — accept rate 1.0 by "
+        "construction (default: 'draft', distilled from the small "
+        "target's greedy continuations)",
+    )
+    parser.add_argument(
+        "--spec-k",
+        default=None,
+        metavar="KS",
+        help="(with --spec-decode) comma-separated draft window sizes "
+        "to sweep (default: 1,2,4)",
+    )
+    parser.add_argument(
+        "--hbm-gb-s",
+        type=float,
+        default=None,
+        help="(with --spec-decode) HBM bandwidth of the priced hardware "
+        "in GB/s (default: 32 — a bandwidth-starved operating point; at "
+        "the paper's 256 GB/s the array is exactly compute/memory "
+        "balanced for decode linears, so weight-fetch amortization has "
+        "nothing to win)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the result (rows + notes) as machine-readable "
+        "JSON to PATH (any serve-bench mode)",
+    )
     args = parser.parse_args(argv)
     try:
         batch_sizes = tuple(int(b) for b in args.batch_sizes.split(","))
@@ -262,6 +322,79 @@ def _serve_bench(argv):
         parser.error(
             f"--batch-sizes entries must be positive, got {args.batch_sizes!r}"
         )
+    spec_only = [
+        flag
+        for flag, unset in (
+            ("--target", args.target is None),
+            ("--draft", args.draft is None),
+            ("--spec-k", args.spec_k is None),
+            ("--hbm-gb-s", args.hbm_gb_s is None),
+        )
+        if not unset
+    ]
+    if spec_only and not args.spec_decode:
+        parser.error(
+            f"{', '.join(spec_only)} requires --spec-decode"
+        )
+    if args.spec_decode:
+        if args.preempt is not None:
+            parser.error("--spec-decode cannot be combined with --preempt")
+        # The spec benchmark serves whole prompts without prefix sharing
+        # (provisional tokens never enter the prefix cache anyway);
+        # reject knobs it would otherwise silently ignore.
+        ignored = [
+            flag
+            for flag, off_default in (
+                ("--chunk-prefill", args.chunk_prefill == 0),
+                ("--shared-prefix", args.shared_prefix == 0),
+                ("--no-prefix-cache", not args.no_prefix_cache),
+                ("--cosim", not args.cosim),
+            )
+            if not off_default
+        ]
+        if ignored:
+            parser.error(
+                f"{', '.join(ignored)} cannot be combined with "
+                "--spec-decode (the speculative benchmark serves whole "
+                "prompts without prefix sharing and always prices the "
+                "trace on the cycle model)"
+            )
+        try:
+            spec_ks = tuple(
+                int(k) for k in (args.spec_k or "1,2,4").split(",")
+            )
+        except ValueError:
+            parser.error(
+                f"--spec-k must be comma-separated integers, "
+                f"got {args.spec_k!r}"
+            )
+        if not spec_ks or any(k <= 0 for k in spec_ks):
+            parser.error(
+                f"--spec-k entries must be positive, got {args.spec_k!r}"
+            )
+        # The spec benchmark serves one batch-size cap, not a sweep; an
+        # untouched --batch-sizes keeps run_spec's own default (4).
+        spec_batch = (
+            max(batch_sizes)
+            if args.batch_sizes != parser.get_default("batch_sizes")
+            else 4
+        )
+        result, extra = serving.run_spec(
+            spec_ks=spec_ks,
+            n_requests=args.requests,
+            mean_interarrival=args.interarrival,
+            max_batch_size=spec_batch,
+            target=args.target or "small",
+            draft=args.draft or "draft",
+            paged=args.paged,
+            block_size=args.block_size,
+            seed=args.seed,
+            cosim_shapes=args.cosim_shapes,
+            hbm_gb_s=args.hbm_gb_s if args.hbm_gb_s is not None else 32.0,
+        )
+        result.experiment_id = "serving_spec_bench"
+        _emit(result, extra=extra, json_path=args.json)
+        return 0
     if args.preempt is not None:
         modes = tuple(m.strip() for m in args.preempt.split(",") if m.strip())
         unknown = [m for m in modes if m not in ("off", "recompute", "swap")]
@@ -318,7 +451,7 @@ def _serve_bench(argv):
             cosim_shapes=args.cosim_shapes,
         )
         result.experiment_id = "serving_preempt_bench"
-        _emit(result, extra=extra)
+        _emit(result, extra=extra, json_path=args.json)
         return 0
     common = dict(
         batch_sizes=batch_sizes,
@@ -342,7 +475,7 @@ def _serve_bench(argv):
         # Ad-hoc sweeps must not clobber the canonical `serving` artifact
         # that `python -m repro all` regenerates.
         result.experiment_id = "serving_bench"
-    _emit(result, extra=extra)
+    _emit(result, extra=extra, json_path=args.json)
     return 0
 
 
@@ -486,7 +619,15 @@ def _serve_engine(argv):
     return 0
 
 
-def _emit(result, extra):
+def _json_default(value):
+    """JSON fallback for numpy scalars and other non-native row values."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+def _emit(result, extra, json_path=None):
     """Print a result table and persist it under the results dir."""
     print(result.to_table())
     if result.notes:
@@ -498,6 +639,20 @@ def _emit(result, extra):
     out = _RESULTS_DIR / f"{result.experiment_id}.txt"
     out.write_text(result.to_table() + "\n")
     print(f"[saved to {out}]\n")
+    if json_path:
+        payload = {
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "rows": result.rows,
+            "notes": result.notes,
+        }
+        path = Path(json_path)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, default=_json_default) + "\n"
+        )
+        print(f"[json saved to {path}]\n")
 
 
 def main(argv=None):

@@ -118,6 +118,23 @@ class LayerKVCache:
         self._positions[self.length] = -1
         return evicted_position
 
+    def truncate(self, length):
+        """Roll the cache back to its first ``length`` slots.
+
+        The speculative-decoding rollback primitive: a verify pass
+        appends provisional kv entries for every proposed token, and the
+        rejected suffix is discarded wholesale.  Truncation only ever
+        drops a *tail* (provisional entries are always the newest slots),
+        so surviving entries keep their slot order and the result is
+        indistinguishable from never having appended the suffix.
+        """
+        if not 0 <= length <= self.length:
+            raise ValueError(
+                f"truncate length {length} out of range [0, {self.length}]"
+            )
+        self._positions[length : self.length] = -1
+        self.length = length
+
     def __len__(self):
         return self.length
 
@@ -143,6 +160,11 @@ class KVCache:
     @property
     def lengths(self):
         return [layer.length for layer in self.layers]
+
+    def truncate(self, length):
+        """Roll every layer back to ``length`` slots (spec-decode rollback)."""
+        for layer in self.layers:
+            layer.truncate(length)
 
     def __getitem__(self, layer_index):
         return self.layers[layer_index]

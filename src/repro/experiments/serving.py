@@ -23,21 +23,29 @@ import numpy as np
 
 import math
 
-from repro.config import llama2_7b_shapes, tiny_config
+from repro.config import ModelConfig, llama2_7b_shapes, tiny_config
 from repro.core.engine import budget_from_ratio, sequence_capacity
 from repro.core.policies.voting import VotingPolicy
 from repro.experiments.common import ExperimentResult, format_table
 from repro.models.inference import CachedTransformer
 from repro.models.transformer import TransformerLM
-from repro.serve import Request, Scheduler, ServingEngine, compare_dataflows
+from repro.serve import (
+    Request,
+    Scheduler,
+    ServingCoSimulator,
+    ServingEngine,
+    compare_dataflows,
+)
 
 __all__ = [
     "run",
     "run_cosim",
     "run_engine",
     "run_preempt",
+    "run_spec",
     "make_workload",
     "overload_pool_blocks",
+    "spec_draft_7b_shapes",
 ]
 
 #: Supported prompt-length distributions / arrival streams.
@@ -676,6 +684,298 @@ def run_engine(
         rows=rows,
         notes=notes,
     )
+
+
+def spec_draft_7b_shapes():
+    """A 160M-class draft stand-in for the Llama-2 7B target shapes.
+
+    Roughly 1/30 of the target's per-token compute — the same ratio the
+    served zoo pair exhibits (``micro`` vs ``small``) and the standard
+    operating point for speculative decoding against a 7B model.  Like
+    :func:`repro.config.llama2_7b_shapes`, shape-only: weights are never
+    materialized.
+    """
+    return ModelConfig(
+        vocab_size=32000,
+        d_model=1024,
+        n_heads=8,
+        n_layers=12,
+        d_ff=2752,
+        max_seq_len=4096,
+    )
+
+
+def run_spec(
+    spec_ks=(1, 2, 4),
+    n_requests=8,
+    mean_interarrival=2.0,
+    max_batch_size=4,
+    target="small",
+    draft="draft",
+    model=None,
+    draft_model=None,
+    prompt_range=(12, 48),
+    max_new_range=(32, 96),
+    compression_ratio=None,
+    reserved_length=4,
+    paged=False,
+    block_size=8,
+    seed=0,
+    cosim=True,
+    cosim_shapes="7b",
+    hw=None,
+    hbm_gb_s=32.0,
+    prompts=None,
+):
+    """Serve one trace without and with speculative decoding; sweep ``k``.
+
+    The same workload is served by the plain scheduler (the baseline
+    row, ``spec_k = 0``) and once per ``k`` in ``spec_ks`` with the
+    draft model proposing ``k`` tokens per sequence per round.  Greedy
+    verification is exact-match, so every spec row's per-request tokens
+    are **asserted bit-identical** to the baseline — speculation changes
+    how fast tokens are produced, never which tokens.
+
+    ``target`` / ``draft`` name zoo checkpoints (:mod:`repro.zoo`;
+    trained and cached on first use), with two escape hatches:
+    ``target="tiny"`` uses an untrained tiny model (fast smoke runs, no
+    zoo training) and ``draft="self"`` uses the target as its own draft
+    (accept rate 1.0 by construction — the upper bound of the sweep).
+    The default draft is the zoo's *distilled* draft — trained on the
+    target's own greedy continuations, because two independently
+    corpus-trained models agree on greedy picks only ~60% of the time
+    (the corpus has ~1.1 nats of real entropy) while a distilled draft
+    tracks the target's argmax directly.  Explicit ``model`` /
+    ``draft_model`` instances override the names.
+
+    The default workload is generation-heavy (``max_new_range=(32,
+    96)``): speculative decoding accelerates the decode phase only, so
+    a prefill-dominated trace would measure prompt processing, not
+    speculation.  Prefill rounds are still present and priced — they
+    dilute the end-to-end speedup below the pure-decode bound.
+
+    ``prompts`` picks the prompt contents: ``"corpus"`` slices windows
+    from the zoo evaluation corpus (in-distribution text — the regime a
+    draft/target pair actually agrees in), ``"random"`` keeps
+    :func:`make_workload`'s uniform-random tokens.  Default (``None``)
+    is ``"corpus"`` for zoo targets and ``"random"`` otherwise: accept
+    rate measures draft/target *agreement*, and on random token soup
+    two independently trained models agree near chance, which measures
+    the workload, not the models.  Prompt lengths, arrivals, and
+    generation caps are identical either way.
+
+    The workload defaults to ``compression_ratio=None`` (no KV budget):
+    a budgeted sequence speculates only while the provisional window
+    fits under its budget and falls back to plain decode afterwards, so
+    a tightly budgeted workload measures the fallback path, not
+    speculation.
+
+    With ``cosim=True`` every trace is priced on the accelerator cycle
+    model and each spec row reports the modeled speedup in hardware
+    tokens/s over the baseline as a function of the *measured* accept
+    rate.  The default operating point is deliberately
+    bandwidth-starved (``hbm_gb_s=32``): at the paper's 256 GB/s the
+    VEDA array is exactly compute/memory balanced for decode linears
+    (``bytes_per_element * tree_width = bytes_per_cycle``), so a decode
+    round can never be weight-fetch-bound and speculation — whose win
+    is amortizing the weight fetch over ``k + 1`` verify rows — has
+    nothing to amortize.  Serving-class bandwidth pressure is the
+    regime speculative decoding exists for; pass ``hw=`` to price any
+    other configuration.
+
+    Returns ``(ExperimentResult, extra_text)`` like :func:`run_cosim`.
+    """
+    if cosim_shapes not in ("7b", "served"):
+        raise ValueError(
+            f"cosim_shapes must be '7b' or 'served', got {cosim_shapes!r}"
+        )
+    if prompts not in (None, "corpus", "random"):
+        raise ValueError(
+            f"prompts must be 'corpus' or 'random', got {prompts!r}"
+        )
+    zoo_target = model is None and target != "tiny"
+    if model is None:
+        if target == "tiny":
+            model = CachedTransformer.from_module(
+                TransformerLM(tiny_config(), seed=0)
+            )
+        else:
+            from repro.zoo import get_pretrained
+
+            model, _, _ = get_pretrained(target)
+    if draft_model is None:
+        if draft == "self":
+            draft_model = model
+        else:
+            from repro.zoo import get_pretrained
+
+            draft_model, _, _ = get_pretrained(draft)
+    if prompts is None:
+        prompts = "corpus" if zoo_target else "random"
+    n_layers = model.config.n_layers
+    workload_kwargs = dict(
+        n_requests=n_requests,
+        mean_interarrival=mean_interarrival,
+        prompt_range=prompt_range,
+        max_new_range=max_new_range,
+        compression_ratio=compression_ratio,
+        vocab=model.config.vocab_size,
+        seed=seed,
+    )
+    corpus_stream = None
+    if prompts == "corpus":
+        from repro.zoo import default_corpus
+
+        tokenizer, documents = default_corpus("eval")
+        corpus_stream = np.concatenate(
+            [tokenizer.encode(doc) for doc in documents]
+        )
+        if int(corpus_stream.max()) >= model.config.vocab_size:
+            raise ValueError(
+                "corpus prompts need a target trained on the zoo "
+                f"tokenizer (vocab {tokenizer.vocab_size}), got model "
+                f"vocab {model.config.vocab_size}; use prompts='random'"
+            )
+
+    def build_workload():
+        requests = make_workload(**workload_kwargs)
+        if corpus_stream is not None:
+            # Same lengths, arrivals, caps, and budgets as the random
+            # workload — only the prompt *contents* become corpus text.
+            offset_rng = np.random.default_rng(seed + 1)
+            for request in requests:
+                length = request.prompt.shape[0]
+                start = int(
+                    offset_rng.integers(0, corpus_stream.shape[0] - length)
+                )
+                request.prompt = corpus_stream[start : start + length].copy()
+        return requests
+
+    def serve(k):
+        scheduler = Scheduler(
+            model,
+            policy_factory=lambda: VotingPolicy(
+                n_layers, reserved_length=reserved_length
+            ),
+            max_batch_size=max_batch_size,
+            paged=paged,
+            block_size=block_size,
+            draft_model=draft_model if k else None,
+            spec_k=k or 4,
+        )
+        for request in build_workload():
+            scheduler.submit(request)
+        report = scheduler.run()
+        return scheduler, report
+
+    if cosim:
+        effective_hw = hw or _spec_default_hw(hbm_gb_s)
+        hw_model = (
+            llama2_7b_shapes() if cosim_shapes == "7b" else model.config
+        )
+        hw_draft_model = (
+            spec_draft_7b_shapes()
+            if cosim_shapes == "7b"
+            else draft_model.config
+        )
+
+    rows = []
+    extra_blocks = []
+    baseline_scheduler, baseline_report = serve(0)
+    baseline_tokens = {
+        f"req-{i}": baseline_scheduler.tokens_for(f"req-{i}")
+        for i in range(n_requests)
+    }
+    baseline_hw = None
+    if cosim:
+        baseline_hw = ServingCoSimulator(
+            scheduler=baseline_scheduler, hw=effective_hw, hw_model=hw_model
+        ).replay()
+
+    for k in (0, *spec_ks):
+        if k == 0:
+            scheduler, report = baseline_scheduler, baseline_report
+        else:
+            scheduler, report = serve(k)
+            for request_id, tokens in baseline_tokens.items():
+                if scheduler.tokens_for(request_id) != tokens:
+                    raise AssertionError(
+                        f"speculative tokens diverged from baseline for "
+                        f"{request_id} at spec_k={k}: greedy verification "
+                        "must be exact"
+                    )
+        row = {
+            "spec_k": k if k else "off",
+            "rounds": report.total_rounds,
+            "tokens": report.total_tokens,
+            "verify_passes": report.verify_passes,
+            "accept_rate": report.accept_rate,
+            "tok/pass": report.tokens_per_target_pass,
+            "tokens/s": report.tokens_per_second,
+        }
+        if cosim:
+            if k == 0:
+                hw_report = baseline_hw
+            else:
+                hw_report = ServingCoSimulator(
+                    scheduler=scheduler,
+                    hw=effective_hw,
+                    hw_model=hw_model,
+                    hw_draft_model=hw_draft_model,
+                ).replay()
+            row.update(
+                {
+                    "cycles": hw_report.total_cycles,
+                    "draft_cyc": hw_report.draft_cycles,
+                    "hw_tokens/s": hw_report.tokens_per_second,
+                    "speedup": hw_report.tokens_per_second
+                    / baseline_hw.tokens_per_second,
+                }
+            )
+            if k and k == max(spec_ks):
+                extra_blocks.append(
+                    format_table(
+                        hw_report.rounds,
+                        title=f"Per-round cycles at spec_k={k} "
+                        f"(dataflow=auto)",
+                    )
+                )
+        rows.append(row)
+
+    notes = (
+        "One workload served without (spec_k=off) and with speculative "
+        "decoding; per-request tokens are asserted bit-identical across "
+        "every row (greedy verification is exact-match), so all "
+        "differences are pure scheduling/compute. accept_rate is the "
+        "fraction of draft proposals the target accepted; tok/pass is "
+        "tokens committed per target forward pass (1.0 without "
+        "speculation, up to k+1 at full acceptance)."
+    )
+    if cosim:
+        notes += (
+            " Hardware rows price the trace at "
+            f"{'Llama-2 7B + 160M-draft' if cosim_shapes == '7b' else 'served-model'} "
+            "shapes on a bandwidth-starved operating point "
+            f"({effective_hw.hbm_bandwidth_gb_s:g} GB/s HBM): decode is "
+            "weight-fetch-bound there, so the verify pass's k+1-row "
+            "amortization is the win; rejected rows are priced but "
+            "yield no tokens, which is why speedup tracks accept_rate."
+        )
+    result = ExperimentResult(
+        "serving_spec",
+        f"Speculative decoding: draft-propose / target-verify "
+        f"({n_requests} requests)",
+        rows=rows,
+        notes=notes,
+    )
+    return result, "\n\n".join(extra_blocks)
+
+
+def _spec_default_hw(hbm_gb_s):
+    """The spec experiment's bandwidth-starved pricing point."""
+    from repro.accel.config import veda_config
+
+    return veda_config(hbm_bandwidth_gb_s=float(hbm_gb_s))
 
 
 def overload_pool_blocks(requests, block_size, n_layers, fraction=0.4):

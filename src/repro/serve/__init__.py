@@ -49,6 +49,7 @@ from repro.serve.trace import (
     PrefillEvent,
     RoundTrace,
     SwapEvent,
+    VerifyEvent,
 )
 
 __all__ = [
@@ -79,6 +80,7 @@ __all__ = [
     "PrefillEvent",
     "RoundTrace",
     "SwapEvent",
+    "VerifyEvent",
     "KVResourceManager",
     "SwapImage",
     "PREEMPT_MODES",

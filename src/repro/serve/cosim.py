@@ -36,10 +36,29 @@ cycles — replaying both modes on the same overload trace exposes the
 recompute-vs-swap crossover as sequence length grows (transfer bytes
 scale linearly with resident KV, re-prefill compute superlinearly).
 
+Speculative-decoding accounting: a ``draft_model`` scheduler records
+:class:`~repro.serve.trace.VerifyEvent` rows.  The target's multi-token
+verify pass joins the round's ``mixed_round`` as extra *batched decode*
+entries at each verify row's exact causal width — the round's one
+linear weight fetch is amortized over every decode step *and* every
+verify row, while attention stays per-row (exactly how
+``CachedTransformer.verify`` computes).  That amortization is the
+speculative win: a memory-bound target commits up to ``k + 1`` tokens
+per weight fetch instead of one per batch slot.  The draft model's
+catch-up prefill and propose steps are priced on a second simulator
+built from the draft model's shapes (``hw_draft_model``) and serialized
+into ``total_cycles`` (propose must finish before verify can start).
+Rejected rows are priced in full but yield no tokens, so
+``tokens_per_second`` reflects the *modeled* speedup as a function of
+the measured accept rate.
+
 Equivalence anchor: at batch size 1 (and ``count_dead_steps=True``) the
 replay is cycle-identical to the solo co-simulator — same per-step
 attention cycles, same total decode cycles —
-``tests/serve/test_serving_cosim.py`` locks this in.
+``tests/serve/test_serving_cosim.py`` locks this in.  Dead steps are
+validated by their explicit ``dead`` flag (a misfiled event raises) and
+are priced as compute only: the replay asserts they contribute zero
+tokens.
 
 Worked example — price a hand-written two-round trace on Llama-2 7B
 shapes and show flexibility beating both fixed mappings::
@@ -103,6 +122,19 @@ class ServingCoSimReport:
     decode_steps: int = 0
     #: Engine-compatibility dead steps priced (0 when disabled).
     dead_steps: int = 0
+    #: Speculative verify passes priced (0 when not speculating).
+    verify_passes: int = 0
+    #: Target rows computed by verify passes (accepted or not — rejected
+    #: rows are priced as wasted work).
+    verify_rows: int = 0
+    #: Draft tokens proposed / accepted across the trace.
+    spec_proposed: int = 0
+    spec_accepted: int = 0
+    #: Tokens credited to verify passes (their ``tokens`` fields summed).
+    spec_tokens: int = 0
+    #: Draft-model cycles (catch-up prefills + propose steps), priced on
+    #: the draft shapes and serialized into ``total_cycles``.
+    draft_cycles: float = 0.0
     macs: float = 0.0
     hbm_bytes: float = 0.0
     #: KV swap transfers priced (``preempt="swap"`` traces only; always
@@ -173,6 +205,22 @@ class ServingCoSimReport:
         """Achieved MAC-lane occupancy (achieved / peak throughput)."""
         return self.macs / (self.total_cycles * self.n_pe) if self.total_cycles else 0.0
 
+    @property
+    def accept_rate(self):
+        """Fraction of proposed draft tokens the target accepted (0.0
+        without speculation)."""
+        return self.spec_accepted / self.spec_proposed if self.spec_proposed else 0.0
+
+    @property
+    def tokens_per_target_pass(self):
+        """Mean tokens committed per target decode-phase forward pass
+        (verify passes and plain decode steps); 1.0 without speculation,
+        up to ``spec_k + 1`` at full acceptance."""
+        passes = self.verify_passes + self.decode_steps
+        if not passes:
+            return 0.0
+        return (self.spec_tokens + self.decode_steps) / passes
+
     def request_decode_attention(self, request_id):
         """Per-step attention cycle trace of one request."""
         return list(self.per_request_attention[request_id])
@@ -196,6 +244,11 @@ class ServingCoSimReport:
             summary["swap_events"] = self.swap_events
             summary["swap_cycles"] = self.swap_cycles
             summary["swap_mb"] = self.swap_bytes / 1e6
+        if self.verify_passes:
+            summary["verify_passes"] = self.verify_passes
+            summary["accept_rate"] = self.accept_rate
+            summary["tokens/pass"] = self.tokens_per_target_pass
+            summary["draft_cycles"] = self.draft_cycles
         return summary
 
 
@@ -226,6 +279,13 @@ class ServingCoSimulator:
         it).  Leave on for cycle-exact comparison against
         :class:`repro.cosim.CoSimulator`; turn off to price only work
         the serving loop actually performs.
+    hw_draft_model:
+        Model config whose shapes price the *draft* model's work when
+        the trace contains speculative verify events; defaults to the
+        attached scheduler's ``draft_model`` config.  Replaying a
+        speculative trace without draft shapes raises — draft compute is
+        the cost side of the speculation trade and must never be
+        silently dropped.
     """
 
     def __init__(
@@ -235,6 +295,7 @@ class ServingCoSimulator:
         hw_model=None,
         dataflow="auto",
         count_dead_steps=True,
+        hw_draft_model=None,
     ):
         if dataflow not in DATAFLOWS:
             raise ValueError(
@@ -248,6 +309,16 @@ class ServingCoSimulator:
         self.dataflow = dataflow
         self.count_dead_steps = bool(count_dead_steps)
         self.simulator = AcceleratorSimulator(self.hw, self.hw_model)
+        if hw_draft_model is None and scheduler is not None:
+            draft = getattr(scheduler, "draft_model", None)
+            if draft is not None:
+                hw_draft_model = draft.config
+        self.hw_draft_model = hw_draft_model
+        self.draft_simulator = (
+            AcceleratorSimulator(self.hw, hw_draft_model)
+            if hw_draft_model is not None
+            else None
+        )
 
     def _scheduler_arrivals(self):
         """``request_id -> arrival round`` of every request the attached
@@ -292,6 +363,13 @@ class ServingCoSimulator:
             2 * self.hw_model.d_model * self.hw.bytes_per_element * n_layers
         )
         has_swaps = any(record.swaps for record in trace)
+        has_verifies = any(record.verifies for record in trace)
+        if has_verifies and self.draft_simulator is None:
+            raise ValueError(
+                "trace contains speculative verify events but no draft-model "
+                "shapes are available; pass hw_draft_model= or attach the "
+                "speculating scheduler"
+            )
         # A request's clock starts at the cycles accumulated before the
         # first priced round at or past its arrival round; trace rounds
         # are in order, so one pointer over arrival-sorted requests
@@ -307,15 +385,49 @@ class ServingCoSimulator:
                 request_id = pending_arrivals[next_arrival][0]
                 arrival_cycles[request_id] = report.total_cycles
                 next_arrival += 1
+            # Dead steps are recognized by their explicit flag, never by
+            # which list they sit in; a misfiled event is a trace bug.
+            for event in record.decodes:
+                if event.dead:
+                    raise ValueError(
+                        f"round {record.round_index}: dead decode event for "
+                        f"{event.request_id!r} misfiled under "
+                        "RoundTrace.decodes"
+                    )
+            for event in record.dead_steps:
+                if not event.dead:
+                    raise ValueError(
+                        f"round {record.round_index}: live decode event for "
+                        f"{event.request_id!r} misfiled under "
+                        "RoundTrace.dead_steps"
+                    )
             decode_events = list(record.decodes)
             if self.count_dead_steps:
                 decode_events.extend(record.dead_steps)
-            if not record.prefills and not decode_events and not record.swaps:
+            if (
+                not record.prefills
+                and not decode_events
+                and not record.verifies
+                and not record.swaps
+            ):
                 continue
-            if record.prefills or decode_events:
+            if record.prefills or decode_events or record.verifies:
+                # Verify rows join the round's batched decode pass at
+                # their exact causal widths: the round's one linear
+                # weight fetch is amortized over every decode step and
+                # every verify row (the speculative win), while
+                # attention is per-row — exactly how
+                # `CachedTransformer.verify` computes.  Verify entries
+                # ride along after the real decode events so the
+                # per-sequence attention zip below stays aligned.
                 stats = self.simulator.mixed_round(
                     prefill_lengths=[e.computed_tokens for e in record.prefills],
-                    decode_lengths=[e.attention_length for e in decode_events],
+                    decode_lengths=[e.attention_length for e in decode_events]
+                    + [
+                        v.prior + i + 1
+                        for v in record.verifies
+                        for i in range(v.rows)
+                    ],
                     dataflow=self.dataflow,
                     prefix_lengths=[e.prefix_length for e in record.prefills],
                 )
@@ -323,12 +435,54 @@ class ServingCoSimulator:
                 stats = None  # swap-only round: host-link traffic alone
             # Voting-engine vote counts live off-chip (paper Sec. V):
             # UINT16 per position, read + write per step per layer, for
-            # every budget-managed sequence.
+            # every budget-managed sequence.  Each verify row of a
+            # budgeted sequence observes at its own causal width.
             vote_bytes = sum(
                 2 * 2 * event.attention_length * n_layers
                 for event in decode_events
                 if event.budgeted
+            ) + sum(
+                2 * 2 * (v.prior + i + 1) * n_layers
+                for v in record.verifies
+                if v.budgeted
+                for i in range(v.rows)
             )
+            # Draft-model work (catch-up prefill + propose steps) is
+            # priced at the draft's shapes and serialized into the
+            # round: propose must finish before verify can start.
+            round_draft_cycles = 0.0
+            if record.verifies:
+                draft_prefills = [
+                    v.draft_prefill_rows
+                    for v in record.verifies
+                    if v.draft_prefill_rows
+                ]
+                draft_prefix = [
+                    v.draft_prefill_prior
+                    for v in record.verifies
+                    if v.draft_prefill_rows
+                ]
+                draft_decodes = [
+                    length
+                    for v in record.verifies
+                    for length in v.draft_decode_lengths
+                ]
+                if draft_prefills or draft_decodes:
+                    draft_stats = self.draft_simulator.mixed_round(
+                        prefill_lengths=draft_prefills,
+                        decode_lengths=draft_decodes,
+                        dataflow=self.dataflow,
+                        prefix_lengths=draft_prefix,
+                    )
+                    round_draft_cycles = draft_stats.cycles
+                    report.draft_cycles += draft_stats.cycles
+                    report.macs += draft_stats.macs
+                    report.hbm_bytes += draft_stats.hbm_bytes
+                report.verify_passes += record.num_verifies
+                report.verify_rows += sum(v.rows for v in record.verifies)
+                report.spec_proposed += sum(v.proposed for v in record.verifies)
+                report.spec_accepted += sum(v.accepted for v in record.verifies)
+                report.spec_tokens += sum(v.tokens for v in record.verifies)
             round_swap_cycles = 0.0
             if record.swaps:
                 round_swap_bytes = (
@@ -346,11 +500,24 @@ class ServingCoSimulator:
                 report.decode_cycles += stats.decode_cycles
                 report.macs += stats.macs
                 report.hbm_bytes += stats.hbm_bytes + vote_bytes
-            report.total_cycles += round_swap_cycles
-            report.total_tokens += record.tokens
+            report.total_cycles += round_swap_cycles + round_draft_cycles
+            # Tokens are recomputed here from the per-event flags so the
+            # pricing loop itself guarantees dead rows yield zero tokens
+            # (a `record.tokens` regression would trip this, not pass
+            # through silently).
+            live_tokens = (
+                sum(1 for e in record.prefills if e.final)
+                + sum(1 for e in record.decodes if not e.dead)
+                + sum(v.tokens for v in record.verifies)
+            )
+            assert live_tokens == record.tokens, (
+                f"round {record.round_index}: dead steps priced as tokens "
+                f"({record.tokens} recorded vs {live_tokens} live)"
+            )
+            report.total_tokens += live_tokens
             report.prefill_tokens += record.computed_prefill_tokens
-            report.decode_steps += record.num_decodes
-            report.dead_steps += len(decode_events) - record.num_decodes
+            report.decode_steps += sum(1 for e in decode_events if not e.dead)
+            report.dead_steps += sum(1 for e in decode_events if e.dead)
             if stats is not None:
                 for event, attention in zip(
                     decode_events, stats.per_sequence_attention
@@ -376,7 +543,8 @@ class ServingCoSimulator:
                 "prefill_rows": record.computed_prefill_tokens,
                 "decodes": len(decode_events),
                 "cycles": (stats.cycles if stats is not None else 0.0)
-                + round_swap_cycles,
+                + round_swap_cycles
+                + round_draft_cycles,
                 "attn_cycles": stats.attention_cycles if stats is not None else 0.0,
                 "linear_cycles": stats.linear_cycles if stats is not None else 0.0,
                 "tokens": record.tokens,
@@ -384,6 +552,10 @@ class ServingCoSimulator:
             if has_swaps:
                 row["swaps"] = record.num_swaps
                 row["swap_cycles"] = round_swap_cycles
+            if has_verifies:
+                row["verifies"] = record.num_verifies
+                row["verify_rows"] = sum(v.rows for v in record.verifies)
+                row["draft_cycles"] = round_draft_cycles
             report.rounds.append(row)
         return report
 
@@ -394,6 +566,7 @@ def compare_dataflows(
     hw: HardwareConfig = None,
     hw_model=None,
     count_dead_steps=True,
+    hw_draft_model=None,
 ):
     """Replay one trace under every dataflow selection.
 
@@ -419,6 +592,7 @@ def compare_dataflows(
             hw_model=hw_model,
             dataflow=dataflow,
             count_dead_steps=count_dead_steps,
+            hw_draft_model=hw_draft_model,
         )
         reports[dataflow] = cosim.replay(trace)
     return reports

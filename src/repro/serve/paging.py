@@ -436,6 +436,27 @@ class PagedLayerKVCache:
             self.pool.release(self._table.pop())
             self._owned.pop()
 
+    def truncate(self, length):
+        """Roll the cache back to its first ``length`` slots.
+
+        The speculative-decoding rollback primitive, mirroring
+        ``LayerKVCache.truncate``: the rejected provisional suffix is
+        dropped and any tail block it emptied returns to the pool
+        immediately (no leak — pool accounting after a rollback is
+        identical to never having appended the suffix).  Safe against
+        shared blocks because appends always copy-on-write a shared
+        block before writing, so provisional slots only ever live in
+        blocks this cache exclusively owns; stale data left in a
+        surviving block past ``length`` is never read (views truncate to
+        ``length``) and is overwritten slot-by-slot on re-append.
+        """
+        if not 0 <= length <= self.length:
+            raise ValueError(
+                f"truncate length {length} out of range [0, {self.length}]"
+            )
+        self.length = length
+        self._trim()
+
     # ------------------------------------------------------------------
     # Prefix sharing
     # ------------------------------------------------------------------
@@ -525,6 +546,11 @@ class PagedKVCache:
             )
         for layer, block_ids in zip(self.layers, layer_block_ids):
             layer.attach_blocks(block_ids, length)
+
+    def truncate(self, length):
+        """Roll every layer back to ``length`` slots (spec-decode rollback)."""
+        for layer in self.layers:
+            layer.truncate(length)
 
     def release(self):
         """Release every layer's blocks back to the pool."""

@@ -225,6 +225,18 @@ class SequenceState:
     #: Prompt tokens adopted from the prefix cache at admission (their
     #: prefill compute was skipped); 0 when served dense or on a miss.
     prefix_hit_length: int = 0
+    #: Draft-model KV cache (speculative decoding).  Modeled as
+    #: host-resident: it holds no device pool blocks, survives a swap
+    #: (its contents are committed tokens, still valid at resume), and is
+    #: dropped with the rest of the derived state on recompute
+    #: preemption.  ``None`` until the sequence's first speculative
+    #: round, or when speculation is off.
+    draft_cache: object = None
+    #: Speculative rounds (propose + verify passes) this sequence took.
+    spec_rounds: int = 0
+    #: Draft tokens proposed for / accepted by this sequence.
+    spec_proposed: int = 0
+    spec_accepted: int = 0
 
     @property
     def request_id(self):
@@ -274,3 +286,4 @@ class SequenceState:
         self.cache = None
         self.policy = None
         self.logits = None
+        self.draft_cache = None

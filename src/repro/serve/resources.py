@@ -301,16 +301,25 @@ class KVResourceManager:
             return 0
         return -(-rows // self.block_pool.block_size) * self.config.n_layers
 
-    def decode_block_demand(self, cache, budgeted):
-        """Upper bound on pool blocks one decode step may claim for
-        ``cache``: a fresh block per layer whose tail block is full,
-        plus — when eviction may run — one copy-on-write block per
-        shared table block (adopted prefix blocks and own blocks pinned
-        by the prefix cache alike)."""
-        if not self.paged:
+    def decode_block_demand(self, cache, budgeted, tokens=1):
+        """Upper bound on pool blocks one decode round may claim for
+        ``cache``: the fresh tail blocks that appending ``tokens`` slots
+        per layer crosses into, plus — when eviction may run — one
+        copy-on-write block per shared table block (adopted prefix
+        blocks and own blocks pinned by the prefix cache alike).
+
+        ``tokens`` is 1 for a plain decode step; a speculative round
+        passes ``spec_k + 1`` to cover the full provisional verify
+        window (the pending token plus every proposal) before any
+        rollback frees the rejected suffix."""
+        if not self.paged or tokens <= 0:
             return 0
         block_size = self.block_pool.block_size
-        demand = sum(1 for layer in cache if layer.length % block_size == 0)
+        demand = sum(
+            -(-(layer.length + tokens) // block_size)
+            - (-(-layer.length // block_size))
+            for layer in cache
+        )
         if budgeted:
             demand += cache.shared_blocks
         return demand
@@ -338,16 +347,23 @@ class KVResourceManager:
         block_size = self.block_pool.block_size
         return sum(-(-length // block_size) for length in image.lengths if length)
 
-    def swap_resume_demand(self, request_id):
+    def swap_resume_demand(self, request_id, step_tokens=1):
         """Pool blocks a swap-in admission may claim this round: the
-        image itself plus the resumed sequence's own first decode append
-        in every layer whose restored tail block lands full."""
+        image itself plus the fresh tail blocks the resumed sequence's
+        own first decode append crosses into, in every layer.
+
+        ``step_tokens`` is 1 for a plain decode step; a speculating
+        scheduler passes ``spec_k + 1`` because the resumed sequence may
+        take a full provisional verify window in its re-admission
+        round."""
         if not self.paged:
             return 0
         image = self._swapped[request_id]
         block_size = self.block_pool.block_size
         return self.swap_in_blocks_needed(request_id) + sum(
-            1 for length in image.lengths if length % block_size == 0
+            -(-(length + step_tokens) // block_size)
+            - (-(-length // block_size))
+            for length in image.lengths
         )
 
     # ------------------------------------------------------------------

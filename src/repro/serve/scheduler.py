@@ -79,10 +79,30 @@ bit-exactly.  Swap traffic is recorded as
 as HBM<->host transfers by the serving co-simulator.  With capacity to
 spare, no preemption triggers and all three modes are bit-identical.
 
+Speculative decoding (``draft_model=...``) replaces a speculating
+sequence's one-token decode step with a propose/verify round: a cheap
+draft model proposes ``spec_k`` tokens, the target scores them (plus the
+pending token) in one multi-token :meth:`CachedTransformer.verify` pass,
+and the longest prefix whose greedy argmax matches the proposals is
+accepted — the verify pass's per-row logits are bitwise identical to
+sequential decode, so with the (required) greedy sampler acceptance is
+exact and the generated tokens, eviction logs, and cache-length traces
+are bit-identical to the non-speculative scheduler.  Rejected
+provisional KV entries are rolled back with ``cache.truncate`` (paged
+mode returns the freed tail blocks to the pool immediately, and
+provisional tokens never enter the prefix cache — registration only
+ever covers full *prompt* blocks).  A sequence whose eviction budget
+could fire inside the verify window (``cache length + k + 1 > budget``)
+transparently falls back to the plain decode step that round, keeping
+the eviction schedule exact; EOS/length caps landing mid-window clip
+the window.  The draft model's KV cache is modeled host-resident: it
+consumes no pool blocks, survives a swap, and is dropped with the rest
+of the device state on a recompute preemption.
+
 Every round is also recorded in :attr:`Scheduler.trace` (prefill row
-counts, per-sequence decode attention lengths), which
-:class:`~repro.serve.cosim.ServingCoSimulator` prices on the
-accelerator cycle model after the run.
+counts, per-sequence decode attention lengths, speculative verify
+windows), which :class:`~repro.serve.cosim.ServingCoSimulator` prices on
+the accelerator cycle model after the run.
 
 Worked example — serve three requests at batch cap 2::
 
@@ -134,6 +154,7 @@ from repro.serve.trace import (
     PrefillEvent,
     RoundTrace,
     SwapEvent,
+    VerifyEvent,
 )
 
 __all__ = ["Scheduler", "ServingReport"]
@@ -199,6 +220,33 @@ class ServingReport:
     #: Peak KV slots (all layers) resident in the host pool — the memory
     #: the swap path displaces off the device.
     host_peak_kv_slots: int = 0
+    # ---- speculative-decoding extras (defaults when no draft model) ----
+    spec_decode: bool = False
+    spec_k: int = 0
+    #: Multi-token target verify passes executed.
+    verify_passes: int = 0
+    #: Draft tokens proposed / accepted over the run.
+    spec_proposed: int = 0
+    spec_accepted: int = 0
+    #: Tokens credited to verify passes (accepted drafts plus the bonus
+    #: token each continuing pass leaves pending) — the numerator of
+    #: :attr:`tokens_per_target_pass`.
+    spec_tokens: int = 0
+
+    @property
+    def accept_rate(self):
+        """Fraction of draft proposals the target accepted (0.0 when
+        not speculating)."""
+        return (
+            self.spec_accepted / self.spec_proposed if self.spec_proposed else 0.0
+        )
+
+    @property
+    def tokens_per_target_pass(self):
+        """Mean tokens produced per multi-token verify pass — the
+        speculative amortization (1.0 would match plain decode; 0.0 when
+        not speculating)."""
+        return self.spec_tokens / self.verify_passes if self.verify_passes else 0.0
 
     @property
     def prefix_hit_rate(self):
@@ -279,6 +327,11 @@ class ServingReport:
             summary["deadline_miss_rate"] = self.deadline_miss_rate
         if self.rejections:
             summary["rejected"] = len(self.rejections)
+        if self.spec_decode:
+            summary["spec_k"] = self.spec_k
+            summary["verify_passes"] = self.verify_passes
+            summary["accept_rate"] = self.accept_rate
+            summary["tokens/pass"] = self.tokens_per_target_pass
         if self.preempt != "off":
             summary["preempt"] = self.preempt
             summary["preemptions"] = self.preemptions
@@ -377,6 +430,18 @@ class Scheduler:
         (default, right for a pre-submitted trace).  The serving engine
         disables this to own the clock: with streaming submission a
         request may still arrive *during* the gap.
+    draft_model:
+        Optional cheap :class:`~repro.models.inference.CachedTransformer`
+        (same vocabulary as ``model``) enabling speculative decoding:
+        each round it proposes up to ``spec_k`` tokens per running
+        sequence, which the target verifies in one multi-token pass.
+        Requires the greedy sampler (acceptance is exact argmax match);
+        generated tokens and eviction logs stay bit-identical to
+        ``draft_model=None``.
+    spec_k:
+        Draft tokens proposed per sequence per speculative round
+        (clipped to the sequence's remaining token budget and to what
+        its KV budget allows without mid-window eviction).
     """
 
     def __init__(
@@ -396,6 +461,8 @@ class Scheduler:
         admission_policy=None,
         auto_fast_forward=True,
         preempt="off",
+        draft_model=None,
+        spec_k=4,
     ):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -403,6 +470,21 @@ class Scheduler:
             raise ValueError(
                 f"preempt must be one of {PREEMPT_MODES}, got {preempt!r}"
             )
+        if spec_k <= 0:
+            raise ValueError(f"spec_k must be positive, got {spec_k}")
+        if draft_model is not None:
+            if sampler is not greedy:
+                raise ValueError(
+                    "speculative decoding requires the greedy sampler: "
+                    "acceptance is exact-match against the target's argmax, "
+                    "which is only deterministic under greedy sampling"
+                )
+            if draft_model.config.vocab_size != model.config.vocab_size:
+                raise ValueError(
+                    f"draft vocab {draft_model.config.vocab_size} != "
+                    f"target vocab {model.config.vocab_size}: speculative "
+                    "proposals must share the target's token space"
+                )
         if budget is not None and budget <= 0:
             raise ValueError(f"budget must be positive, got {budget}")
         if evictions_per_step is not None and evictions_per_step <= 0:
@@ -425,6 +507,8 @@ class Scheduler:
         self.evictions_per_step = evictions_per_step
         self.sampler = sampler
         self.preempt = preempt
+        self.draft_model = draft_model
+        self.spec_k = int(spec_k)
 
         self.paged = bool(paged)
         #: The one owner of every device resource a sequence can hold:
@@ -460,6 +544,10 @@ class Scheduler:
         self._utilization_sum = 0.0
         self._utilization_rounds = 0
         self._preemption_count = 0
+        self._verify_passes = 0
+        self._spec_proposed = 0
+        self._spec_accepted = 0
+        self._spec_tokens = 0
 
     # ------------------------------------------------------------------
     # Resource views (owned by the manager)
@@ -618,10 +706,26 @@ class Scheduler:
 
         sampled = self._sample(record)
         active = [s for s in self._running if s.status == RUNNING]
-        if active:
+        if active and self.draft_model is not None:
+            plain = []
+            for state in active:
+                k_eff = self._can_speculate(state)
+                if k_eff:
+                    sampled += self._spec_decode(state, k_eff, record)
+                else:
+                    plain.append(state)
+            if plain:
+                self._decode(plain, record)
+        elif active:
             self._decode(active, record)
         self._total_tokens += sampled
-        if record.prefills or record.decodes or record.dead_steps or record.swaps:
+        if (
+            record.prefills
+            or record.decodes
+            or record.dead_steps
+            or record.verifies
+            or record.swaps
+        ):
             # Busy = the hardware did work, whether or not a token came
             # out: a chunked-prefill-only round costs compute too, and
             # tokens_per_round must reflect it.  (Unchunked runs are
@@ -770,8 +874,14 @@ class Scheduler:
         running victims the candidate strictly outranks.  Returns False
         when the candidate must keep waiting."""
         manager = self.manager
+        # A candidate admitted (or resumed) this round takes its first
+        # decode step in the same round — a full provisional verify
+        # window when speculating, a single append otherwise.
+        step_tokens = 1 if self.draft_model is None else self.spec_k + 1
         if state.status == SWAPPED:
-            worst = own_need = manager.swap_resume_demand(state.request_id)
+            worst = own_need = manager.swap_resume_demand(
+                state.request_id, step_tokens
+            )
         else:
             request = state.request
             budget = request.budget if request.budget is not None else self.budget
@@ -794,10 +904,13 @@ class Scheduler:
                     # The shrink-to-budget eviction CoWs the *full*
                     # blocks this prefill registers in the prefix cache.
                     own_need += (rows_now // block_size) * n_layers
-                elif budget is None and rows_now % block_size == 0:
-                    # No eviction will free slack, and the first decode
-                    # append lands exactly on a block boundary.
-                    own_need += n_layers
+                elif budget is None:
+                    # No eviction will free slack: count the fresh tail
+                    # blocks the same-round first step crosses into.
+                    fresh = -(-(rows_now + step_tokens) // block_size) - (
+                        -(-rows_now // block_size)
+                    )
+                    own_need += fresh * n_layers
         def immediate():
             # Optimistic admission must not eat the blocks the resident
             # batch still needs this round (its decode appends and CoW)
@@ -893,6 +1006,10 @@ class Scheduler:
             state.prompt_tokens = None
             state.prefix_parent_key = None
             state.prefix_hit_length = 0
+            # Recompute drops *all* derived state, the (host-resident)
+            # draft cache included; a swap victim keeps its draft cache —
+            # its contents are committed tokens, still valid at resume.
+            state.draft_cache = None
         self._waiting.append(state)
         self._waiting.sort(
             key=lambda s: (s.request.arrival_time, s.submit_index)
@@ -954,7 +1071,13 @@ class Scheduler:
                     state.cache, rows, budgeted, final=rows >= remaining
                 )
             elif state.status == RUNNING:
-                demand += manager.decode_block_demand(state.cache, budgeted)
+                # A speculative round appends up to spec_k + 1 provisional
+                # tokens before any rollback; cover the worst case even
+                # for sequences that may fall back to a one-token step.
+                tokens = 1 if self.draft_model is None else self.spec_k + 1
+                demand += manager.decode_block_demand(
+                    state.cache, budgeted, tokens=tokens
+                )
         return demand
 
     def _prefill_state(self, state, budget, chunk_budget, record):
@@ -1196,6 +1319,196 @@ class Scheduler:
             state.logits = result.logits[b]
             state.position += 1
 
+    # ------------------------------------------------------------------
+    # Speculative decoding (draft-propose / target-verify)
+    # ------------------------------------------------------------------
+    def _can_speculate(self, state):
+        """Window size for ``state`` this round, or 0 to fall back to the
+        plain decode step.
+
+        Speculation is skipped (never *wrong*, just unprofitable or
+        unsafe) when: the remaining token budget clips the window to
+        nothing; the sequence's KV eviction budget could fire *inside*
+        the verify window (the window must see zero evictions for the
+        eviction schedule to stay bit-identical, so speculation requires
+        ``prior + k + 1 <= budget``); or either model's RoPE table /
+        cache capacity cannot cover the provisional window.
+        """
+        request = state.request
+        k_eff = min(self.spec_k, request.max_new_tokens - state.num_generated)
+        if k_eff < 1:
+            return 0
+        budget = request.budget if request.budget is not None else self.budget
+        prior = state.cache[0].length
+        if budget is not None and prior + k_eff + 1 > budget:
+            return 0
+        if prior + k_eff + 1 > state.cache[0].capacity:
+            return 0
+        if state.position + k_eff >= self.model.config.max_seq_len:
+            return 0
+        context_length = request.prompt.shape[0] + state.num_generated
+        if context_length + k_eff > self.draft_model.config.max_seq_len:
+            return 0
+        return k_eff
+
+    def _draft_propose(self, state, k_eff):
+        """Run the draft model ahead of the target by ``k_eff`` tokens.
+
+        The draft keeps its own (host-resident, unbudgeted) KV cache on
+        the sequence state.  Each round it first catches up on the
+        tokens committed since it last ran — usually just the token the
+        sampling pass appended this round — as a continuation prefill,
+        then decodes ``k_eff - 1`` more tokens greedily.  Returns the
+        proposals plus the work quantities the trace needs for pricing.
+        """
+        draft = self.draft_model
+        request = state.request
+        context = np.concatenate(
+            [
+                np.asarray(request.prompt, dtype=np.int64),
+                np.asarray(state.tokens, dtype=np.int64),
+            ]
+        )
+        if state.draft_cache is None:
+            capacity = min(
+                context.shape[0]
+                + (request.max_new_tokens - state.num_generated)
+                + self.spec_k,
+                draft.config.max_seq_len,
+            )
+            state.draft_cache = draft.new_cache(capacity)
+        draft_cache = state.draft_cache
+        prior = int(draft_cache[0].length)
+        rows = context[prior:]
+        result = draft.prefill(rows, draft_cache, start_position=prior)
+        proposals = [int(np.argmax(result.logits))]
+        decode_lengths = []
+        position = context.shape[0]
+        for _ in range(k_eff - 1):
+            step = draft.step(proposals[-1], position, draft_cache)
+            decode_lengths.append(int(draft_cache[0].length))
+            proposals.append(int(np.argmax(step.logits)))
+            position += 1
+        return proposals, int(rows.shape[0]), prior, tuple(decode_lengths)
+
+    def _spec_decode(self, state, k_eff, record):
+        """One speculative round for ``state``: propose, verify, accept
+        the longest exact-match prefix, roll back the rest.
+
+        The verify pass feeds the pending token plus the ``k_eff``
+        proposals through :meth:`CachedTransformer.verify`, whose row
+        ``i`` logits (and attention rows) are bitwise identical to the
+        sequential decode of the same tokens.  Row ``m`` is therefore
+        bookkept exactly as :meth:`_decode` would have — scalar policy
+        observe over the row's causal width, budget enforcement,
+        cache-length log — and ``self.sampler(logits[m])`` *is* the
+        token the non-speculative scheduler would sample next; a
+        proposal mismatch just means rows past ``m`` are garbage.  On
+        mismatch the correction token is deliberately **not** appended:
+        the pending logits are set to row ``m`` and the next round's
+        sampling pass re-derives the identical token (greedy is
+        deterministic), preserving the invariant that the last appended
+        token has always been stepped.  Returns the number of extra
+        (accepted) tokens appended this round.
+        """
+        request = state.request
+        budget = request.budget if request.budget is not None else self.budget
+        proposals, draft_rows, draft_prior, draft_lengths = self._draft_propose(
+            state, k_eff
+        )
+        prior = int(state.cache[0].length)
+        inputs = np.concatenate(
+            [[state.tokens[-1]], np.asarray(proposals, dtype=np.int64)]
+        )
+        result = self.model.verify(
+            inputs, state.cache, start_position=state.position
+        )
+
+        def bookkeep(row):
+            # Identical per-step epilogue to _decode: the verify pass
+            # appended all rows up front, so the cache views are sliced
+            # back to the width this row's sequential step would have
+            # seen (row attention already has exactly that width).
+            width = prior + row + 1
+            for layer in range(self.model.config.n_layers):
+                state.policy.observe(
+                    layer,
+                    result.attention[layer][row],
+                    state.cache[layer].positions[:width],
+                    GENERATION,
+                )
+            enforce_budget(
+                state.policy,
+                state.cache,
+                budget,
+                step=state.num_generated,
+                log=state.evictions,
+                evictions_per_step=self.evictions_per_step,
+            )
+            state.cache_lengths.append(width)
+
+        accepted = 0
+        finished = False
+        pending = None
+        for m in range(k_eff):
+            bookkeep(m)
+            true_token = self.sampler(result.logits[m], state.rng)
+            if true_token != proposals[m]:
+                pending = m
+                break
+            state.tokens.append(true_token)
+            accepted += 1
+            if request.eos is not None and true_token == request.eos:
+                self._finish(state, "eos")
+                finished = True
+                break
+            if state.num_generated >= request.max_new_tokens:
+                # No dead-step record here: the verify pass already
+                # computed (and the co-simulator prices) the rows past
+                # the final token — a separate dead step would
+                # double-charge that work (see trace module docstring).
+                self._finish(state, "length")
+                finished = True
+                break
+        else:
+            # Every proposal accepted: the bonus row — the step of the
+            # last appended token — is valid too; its logits become the
+            # pending logits the next round samples from.
+            bookkeep(k_eff)
+            pending = k_eff
+
+        if not finished:
+            state.cache.truncate(prior + pending + 1)
+            state.logits = result.logits[pending]
+            state.position += pending + 1
+            committed = request.prompt.shape[0] + state.num_generated
+            if state.draft_cache[0].length > committed:
+                state.draft_cache.truncate(committed)
+
+        tokens_credit = accepted + (0 if finished else 1)
+        record.verifies.append(
+            VerifyEvent(
+                request_id=request.request_id,
+                rows=k_eff + 1,
+                prior=prior,
+                proposed=k_eff,
+                accepted=accepted,
+                tokens=tokens_credit,
+                budgeted=budget is not None,
+                draft_prefill_rows=draft_rows,
+                draft_prefill_prior=draft_prior,
+                draft_decode_lengths=draft_lengths,
+            )
+        )
+        state.spec_rounds += 1
+        state.spec_proposed += k_eff
+        state.spec_accepted += accepted
+        self._verify_passes += 1
+        self._spec_proposed += k_eff
+        self._spec_accepted += accepted
+        self._spec_tokens += tokens_credit
+        return accepted
+
     def _sample_kv_usage(self):
         """Track peak KV memory (and, paged, block utilization).
 
@@ -1278,6 +1591,14 @@ class Scheduler:
             }
             for s in self._finished
         ]
+        if self.draft_model is not None:
+            for row, s in zip(rows, self._finished):
+                row["spec_rounds"] = s.spec_rounds
+                row["spec_proposed"] = s.spec_proposed
+                row["spec_accepted"] = s.spec_accepted
+                row["accept_rate"] = (
+                    s.spec_accepted / s.spec_proposed if s.spec_proposed else 0.0
+                )
         manager = self.manager
         report = ServingReport(
             requests=rows,
@@ -1295,6 +1616,12 @@ class Scheduler:
             swap_out_blocks=manager.swap_out_blocks,
             swap_in_blocks=manager.swap_in_blocks,
             host_peak_kv_slots=manager.host_peak_kv_slots,
+            spec_decode=self.draft_model is not None,
+            spec_k=self.spec_k if self.draft_model is not None else 0,
+            verify_passes=self._verify_passes,
+            spec_proposed=self._spec_proposed,
+            spec_accepted=self._spec_accepted,
+            spec_tokens=self._spec_tokens,
         )
         if self.paged:
             report.paged = True

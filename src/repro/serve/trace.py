@@ -15,7 +15,17 @@ engine/scheduler divergence — the dead decode step the solo
 a length-capped request, which the scheduler's loop skips — is recorded
 separately in ``dead_steps`` so the co-simulator can either price it
 (for cycle-exact comparison against the solo co-simulator) or ignore it
-(for pure serving throughput).
+(for pure serving throughput).  One caveat under speculative decoding: a
+request whose length cap lands *inside* a verify window records no dead
+step — the verify pass already computed (and the co-simulator already
+prices) the rows past the final token, so a separate dead step would
+double-charge that work.
+
+Speculative decoding rounds are recorded as :class:`VerifyEvent` rows —
+one per speculating sequence per round — carrying both the draft model's
+propose work and the target's multi-token verify pass, with the
+accept/reject outcome the co-simulator needs to relate modeled speedup
+to measured accept rate.
 
 Worked example — a one-round trace priced by hand::
 
@@ -36,7 +46,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["DecodeEvent", "PrefillEvent", "RoundTrace", "SwapEvent", "SWAP_OUT", "SWAP_IN"]
+__all__ = [
+    "DecodeEvent",
+    "PrefillEvent",
+    "RoundTrace",
+    "SwapEvent",
+    "VerifyEvent",
+    "SWAP_OUT",
+    "SWAP_IN",
+]
 
 #: :attr:`SwapEvent.direction` values.
 SWAP_OUT = "out"
@@ -109,6 +127,70 @@ class DecodeEvent:
 
 
 @dataclass
+class VerifyEvent:
+    """One sequence's speculative-decoding round within a scheduler round.
+
+    Covers both halves of the round: the draft model's propose work and
+    the target model's multi-token verify pass.  The co-simulator prices
+    the verify pass on the *target* simulator as ``rows`` extra entries
+    in the round's batched decode pass at their exact causal widths
+    (``prior + 1 .. prior + rows``): linear weights are fetched once for
+    the whole round and amortized over every row — the speculative win —
+    while attention stays per-row, exactly how
+    :meth:`repro.models.inference.CachedTransformer.verify` computes.
+    Draft work is priced on a second simulator built from the draft
+    model's shapes.  Rejected rows are wasted work: they are priced in
+    full but contribute no tokens.
+
+    Attributes
+    ----------
+    request_id:
+        The speculating request.
+    rows:
+        Target verify rows computed: the pending committed token plus
+        every draft proposal (``proposed + 1``).
+    prior:
+        Cache entries resident before the verify pass (its attention
+        prefix).
+    proposed:
+        Draft tokens proposed this round (``k_eff``).
+    accepted:
+        Draft tokens the target accepted (greedy exact-match prefix).
+    tokens:
+        Tokens this event's compute is credited with: the accepted
+        tokens appended this round, plus one for the pending bonus
+        logits the next round's sampling pass consumes (0 extra if the
+        sequence finished mid-window).  Summed over a request's rounds
+        this telescopes to exactly its generated-token count, keeping
+        :attr:`RoundTrace.tokens` consistent with the non-speculative
+        accounting.
+    budgeted:
+        Whether a KV budget is active for this sequence (prices the vote
+        read/write HBM traffic per accepted row, as decode steps do).
+    draft_prefill_rows:
+        Catch-up rows the draft model prefilled this round (tokens
+        committed since its cache last ran ahead; at least 1 — the
+        pending token).
+    draft_prefill_prior:
+        Draft-cache entries resident before the catch-up prefill.
+    draft_decode_lengths:
+        Post-append draft-cache attention lengths of the ``proposed - 1``
+        single-token draft steps taken after the catch-up prefill.
+    """
+
+    request_id: object
+    rows: int
+    prior: int
+    proposed: int
+    accepted: int
+    tokens: int
+    budgeted: bool = False
+    draft_prefill_rows: int = 0
+    draft_prefill_prior: int = 0
+    draft_decode_lengths: tuple = ()
+
+
+@dataclass
 class SwapEvent:
     """One sequence's KV transfer between HBM and the host pool.
 
@@ -151,7 +233,12 @@ class RoundTrace:
     decodes: list = field(default_factory=list)
     #: Dead steps of requests that retired by ``max_new_tokens`` this
     #: round — work the solo engine performs but the scheduler skips.
+    #: Every event here carries ``dead=True``; the co-simulator validates
+    #: the flag instead of inferring deadness from list membership.
     dead_steps: list = field(default_factory=list)
+    #: Speculative propose/verify rounds taken this round (one per
+    #: speculating sequence; ``draft_model`` mode only).
+    verifies: list = field(default_factory=list)
     #: KV swap transfers performed this round (``preempt="swap"`` only).
     swaps: list = field(default_factory=list)
 
@@ -162,6 +249,10 @@ class RoundTrace:
     @property
     def num_decodes(self):
         return len(self.decodes)
+
+    @property
+    def num_verifies(self):
+        return len(self.verifies)
 
     @property
     def num_swaps(self):
@@ -180,10 +271,12 @@ class RoundTrace:
     @property
     def tokens(self):
         """Tokens attributable to this round's compute: every *final*
-        prefill and every (real) decode step produces logits that get
-        sampled.  Non-final chunked-prefill events do work but yield no
-        token yet."""
+        prefill and every live (``dead=False``) decode step produces
+        logits that get sampled, and every verify pass is credited its
+        accepted-plus-bonus token count.  Non-final chunked-prefill
+        events and dead steps do work but yield no token."""
         return (
             sum(1 for event in self.prefills if event.final)
-            + self.num_decodes
+            + sum(1 for event in self.decodes if not event.dead)
+            + sum(event.tokens for event in self.verifies)
         )

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from pathlib import Path
 
+import numpy as np
+
 from repro.config import ModelConfig, TrainingConfig, small_lm_config, tiny_config
 from repro.data.corpus import BookConfig, generate_corpus
 from repro.data.datasets import book_aligned_windows
@@ -76,19 +78,109 @@ ZOO_SPECS = {
         lambda vocab: tiny_config(vocab_size=vocab, max_seq_len=192),
         TrainingConfig(seq_len=128, batch_size=8, steps=120, lr=5e-3, seed=7),
     ),
+    # Distilled draft for speculative decoding: trained on the *small*
+    # target's own greedy continuations (see _DISTILL_TEACHERS), so its
+    # argmax tracks the target's argmax instead of the corpus
+    # distribution.  Two independently corpus-trained models agree on
+    # greedy picks only ~60% of the time (the corpus has ~1.1 nats of
+    # genuine entropy, so near-ties flip between models); a distilled
+    # draft pushes greedy exact-match acceptance high enough for
+    # speculative decoding to pay off.
+    "draft": (
+        lambda vocab: tiny_config(
+            vocab_size=vocab, d_model=96, d_ff=192, max_seq_len=256
+        ),
+        TrainingConfig(seq_len=192, batch_size=8, steps=900, lr=5e-3, seed=31),
+    ),
 }
+
+#: Distilled zoo entries: name -> teacher name.  ``train_model`` builds
+#: these entries' training windows from the teacher's greedy
+#: continuations of corpus prefixes instead of from the corpus itself.
+_DISTILL_TEACHERS = {"draft": "small"}
+#: Corpus prefix fed to the teacher per stream (fixed length so streams
+#: can be generated in lock-step batches).
+_DISTILL_PREFIX = 32
+#: Total tokens per distilled stream (prefix + greedy continuation).
+_DISTILL_LENGTH = 224
+#: Prefixes sampled per document (random mid-document offsets, matching
+#: the mid-document prompt slices serving workloads draw).
+_DISTILL_SLICES = 4
+#: RNG seed for the prefix offsets.
+_DISTILL_SEED = 417
+
+
+def _greedy_streams(teacher, prefixes):
+    """Greedily extend equal-length prefixes in one lock-step batch."""
+    streams, caches, tokens = [], [], []
+    for prefix in prefixes:
+        cache = teacher.new_cache(capacity=_DISTILL_LENGTH)
+        result = teacher.prefill(prefix, cache)
+        streams.append([int(t) for t in prefix])
+        caches.append(cache)
+        tokens.append(int(np.argmax(result.logits)))
+    for position in range(_DISTILL_PREFIX, _DISTILL_LENGTH):
+        for stream, token in zip(streams, tokens):
+            stream.append(token)
+        if position == _DISTILL_LENGTH - 1:
+            break
+        result = teacher.step_batch(tokens, [position] * len(caches), caches)
+        tokens = [int(np.argmax(row)) for row in result.logits]
+    return streams
+
+
+def _distillation_windows(teacher, tokenizer, documents, seq_len):
+    """Training windows from the teacher's greedy pen.
+
+    Each document contributes ``_DISTILL_SLICES`` prefixes of
+    ``_DISTILL_PREFIX`` tokens at random mid-document offsets; the
+    teacher greedily extends every prefix to ``_DISTILL_LENGTH`` tokens
+    in lock-step batches.  The resulting streams mirror the contexts a
+    speculative-decoding draft sees at serving time — a mid-document
+    corpus slice followed by target-generated text — so a model trained
+    on them learns to predict the *teacher's argmax* in exactly those
+    contexts rather than the corpus distribution.
+    """
+    rng = np.random.default_rng(_DISTILL_SEED)
+    prefixes = []
+    for document in documents:
+        ids = tokenizer.encode(document)
+        if ids.shape[0] < _DISTILL_PREFIX:
+            continue
+        for _ in range(_DISTILL_SLICES):
+            offset = int(rng.integers(0, ids.shape[0] - _DISTILL_PREFIX + 1))
+            prefixes.append(ids[offset : offset + _DISTILL_PREFIX])
+    streams = []
+    # Chunked so the transient KV caches stay small.
+    for start in range(0, len(prefixes), 64):
+        streams.extend(_greedy_streams(teacher, prefixes[start : start + 64]))
+    return np.stack(
+        [np.asarray(stream[:seq_len], dtype=np.int64) for stream in streams]
+    )
 
 
 def train_model(name="small", log_every=0):
-    """Train a zoo model from scratch; returns (module, tokenizer, result)."""
+    """Train a zoo model from scratch; returns (module, tokenizer, result).
+
+    Distilled entries (see ``_DISTILL_TEACHERS``) first load — training
+    if needed — their teacher, then train on the teacher's greedy
+    continuations instead of the corpus.
+    """
     if name not in ZOO_SPECS:
         raise KeyError(f"unknown zoo model {name!r}; available: {sorted(ZOO_SPECS)}")
     config_factory, training_config = ZOO_SPECS[name]
     tokenizer, documents = default_corpus("train")
     config = config_factory(tokenizer.vocab_size)
-    windows = book_aligned_windows(
-        documents, tokenizer, seq_len=training_config.seq_len + 1
-    )
+    teacher_name = _DISTILL_TEACHERS.get(name)
+    if teacher_name is None:
+        windows = book_aligned_windows(
+            documents, tokenizer, seq_len=training_config.seq_len + 1
+        )
+    else:
+        teacher, _, _ = get_pretrained(teacher_name)
+        windows = _distillation_windows(
+            teacher, tokenizer, documents, seq_len=training_config.seq_len + 1
+        )
     model = TransformerLM(config, seed=training_config.seed)
     result = Trainer(model, training_config).fit(windows, log_every=log_every)
     return model, tokenizer, result
@@ -118,6 +210,8 @@ def get_pretrained(name="small", force_retrain=False, log_every=0):
         "initial_loss": result.initial_loss,
         "train_seconds": result.seconds,
     }
+    if name in _DISTILL_TEACHERS:
+        metadata["teacher"] = _DISTILL_TEACHERS[name]
     save_checkpoint(path, module, metadata=metadata)
     return CachedTransformer.from_module(module), tokenizer, metadata
 
