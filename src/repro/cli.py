@@ -10,6 +10,10 @@ Usage::
     python -m repro serve-bench --requests 16 --batch-sizes 1,4,8
     python -m repro serve-bench --paged --shared-prefix 32
                                          # paged KV + prefix sharing vs dense
+    python -m repro serve-bench --prefix-compare --shared-prefix 30 --json out.json
+                                         # block-granular vs token-granular
+                                         # (radix-trie) prefix sharing on a
+                                         # multi-turn misaligned-prefix trace
     python -m repro serve-bench --cosim --chunk-prefill 16
                                          # chunked prefill, priced in cycles
     python -m repro serve-bench --preempt off,recompute,swap --cosim
@@ -211,6 +215,33 @@ def _serve_bench(argv):
         help="disable cross-request prefix sharing in paged mode",
     )
     parser.add_argument(
+        "--prefix-compare",
+        action="store_true",
+        help="run the prefix-sharing comparison instead: one multi-turn "
+        "shared-prefix trace served dense, paged with full-block-only "
+        "matching, and paged with token-granular radix-trie matching "
+        "(partial-block tails adopted copy-on-write); tokens are "
+        "asserted bit-identical across all three and the rows isolate "
+        "the token-weighted hit-rate win",
+    )
+    parser.add_argument(
+        "--turns",
+        type=_positive_int,
+        default=2,
+        help="(with --prefix-compare) turns per conversation; later "
+        "turns re-hit the cache on their own conversation head",
+    )
+    parser.add_argument(
+        "--compression-ratio",
+        default=None,
+        metavar="R",
+        help="per-request KV budget ratio r (budget = Round(r * P)), or "
+        "'none' to serve unbudgeted (no eviction); default: the "
+        "workload's own default (0.5, or unbudgeted for "
+        "--prefix-compare, whose partial-tail sharing only unbudgeted "
+        "sequences may use)",
+    )
+    parser.add_argument(
         "--cosim",
         action="store_true",
         help="replay each serving trace through the accelerator cycle "
@@ -322,6 +353,58 @@ def _serve_bench(argv):
         parser.error(
             f"--batch-sizes entries must be positive, got {args.batch_sizes!r}"
         )
+    compression_ratio = "default"
+    if args.compression_ratio is not None:
+        if args.compression_ratio.lower() == "none":
+            compression_ratio = None
+        else:
+            try:
+                compression_ratio = float(args.compression_ratio)
+            except ValueError:
+                parser.error(
+                    f"--compression-ratio must be a float or 'none', "
+                    f"got {args.compression_ratio!r}"
+                )
+            if not 0.0 < compression_ratio <= 1.0:
+                parser.error(
+                    f"--compression-ratio must be in (0, 1], "
+                    f"got {args.compression_ratio!r}"
+                )
+    if args.prefix_compare:
+        ignored = [
+            flag
+            for flag, off_default in (
+                ("--spec-decode", not args.spec_decode),
+                ("--preempt", args.preempt is None),
+                ("--cosim", not args.cosim),
+                ("--paged", not args.paged),
+                ("--chunk-prefill", args.chunk_prefill == 0),
+                ("--no-prefix-cache", not args.no_prefix_cache),
+            )
+            if not off_default
+        ]
+        if ignored:
+            parser.error(
+                f"{', '.join(ignored)} cannot be combined with "
+                "--prefix-compare (the comparison always serves dense "
+                "plus both paged prefix-match granularities)"
+            )
+        result = serving.run_prefix(
+            n_requests=args.requests,
+            turns=args.turns,
+            shared_prefix=args.shared_prefix or 30,
+            block_size=args.block_size,
+            max_batch_size=max(batch_sizes),
+            mean_interarrival=args.interarrival,
+            compression_ratio=(
+                None if compression_ratio == "default" else compression_ratio
+            ),
+            seed=args.seed,
+        )
+        _emit(result, extra=None, json_path=args.json)
+        return 0
+    if args.turns != parser.get_default("turns"):
+        parser.error("--turns requires --prefix-compare")
     spec_only = [
         flag
         for flag, unset in (
@@ -349,6 +432,7 @@ def _serve_bench(argv):
                 ("--shared-prefix", args.shared_prefix == 0),
                 ("--no-prefix-cache", not args.no_prefix_cache),
                 ("--cosim", not args.cosim),
+                ("--compression-ratio", args.compression_ratio is None),
             )
             if not off_default
         ]
@@ -414,6 +498,7 @@ def _serve_bench(argv):
                 ("--paged", not args.paged),
                 ("--shared-prefix", args.shared_prefix == 0),
                 ("--no-prefix-cache", not args.no_prefix_cache),
+                ("--compression-ratio", args.compression_ratio is None),
             )
             if not off_default
         ]
@@ -464,6 +549,8 @@ def _serve_bench(argv):
         prefix_caching=not args.no_prefix_cache,
         prefill_chunk=args.chunk_prefill or None,
     )
+    if compression_ratio != "default":
+        common["compression_ratio"] = compression_ratio
     if args.cosim:
         result, extra = serving.run_cosim(
             cosim_shapes=args.cosim_shapes, **common

@@ -30,7 +30,7 @@ from repro.serve.paging import (
     PagedKVCache,
     PagedLayerKVCache,
 )
-from repro.serve.prefix_cache import PrefixCache, PrefixEntry
+from repro.serve.prefix_cache import PrefixCache, PrefixMatch, PrefixNode
 from repro.serve.request import (
     FINISHED,
     PREEMPTED,
@@ -62,7 +62,8 @@ __all__ = [
     "PagedKVCache",
     "PagedLayerKVCache",
     "PrefixCache",
-    "PrefixEntry",
+    "PrefixMatch",
+    "PrefixNode",
     "PriorityAdmission",
     "Rejection",
     "Request",

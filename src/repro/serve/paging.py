@@ -463,15 +463,24 @@ class PagedLayerKVCache:
     def attach_blocks(self, block_ids, length):
         """Adopt shared blocks as this cache's prefix (refcounted).
 
-        Only valid on an empty cache; ``length`` must fill the adopted
-        blocks exactly (prefix sharing is full-block granular).
+        Only valid on an empty cache.  ``length`` must land inside the
+        last adopted block: every block but the last is adopted in full,
+        while the last may be covered only partially (a radix-trie
+        partial-tail hit adopts the divergent block too; the first
+        append past ``length`` then lands at a non-zero block offset and
+        copies the block via :meth:`_ensure_owned` — ordinary CoW, so
+        the resident prefix is never clobbered).
         """
         if self.length or self._table:
             raise RuntimeError("attach_blocks on a non-empty cache")
-        if length != len(block_ids) * self.block_size:
+        if not (
+            (len(block_ids) - 1) * self.block_size
+            < length
+            <= len(block_ids) * self.block_size
+        ):
             raise ValueError(
-                f"shared prefix length {length} != "
-                f"{len(block_ids)} blocks x {self.block_size}"
+                f"shared prefix length {length} does not land in the last "
+                f"of {len(block_ids)} blocks x {self.block_size} slots"
             )
         if length > self.capacity:
             raise RuntimeError(

@@ -1,278 +1,501 @@
-"""Cross-request prefix cache over pool blocks.
+"""Cross-request prefix sharing: a token-level radix trie over KV blocks.
 
-Concurrent serving traffic is heavy with shared prompt prefixes (system
-prompts, few-shot preambles).  Because a token's key/value vectors depend
-only on the tokens before it — RoPE is applied at production time, and
-the prefill linear layers are row-count invariant (see
-``repro.models.inference``) — the KV blocks of a shared prefix are
-bitwise identical across requests and can be computed once.
+Serving traffic repeats prompt prefixes constantly — system prompts,
+few-shot preambles, multi-turn conversations resubmitting their whole
+history.  Because a token's key/value vectors depend only on the tokens
+before it (RoPE is applied at production time and the prefill linear
+layers are row-count invariant, see ``repro.models.inference``), the KV
+state of a shared prefix is bitwise identical across requests and can be
+computed once.  The paged allocator (:mod:`repro.serve.paging`) makes
+that state *shareable* (refcounted blocks, copy-on-write); this module
+decides what stays resident and how much of a new prompt it covers.
 
-This cache maps *full* blocks of prompt tokens to the physical pool
-blocks that hold their KV vectors, chained vLLM-style: block ``b``'s key
-derives from block ``b-1``'s key plus ``b``'s tokens, so a lookup walks
-the chain and stops at the first miss.  Two safety properties:
+Design
+------
+The cache is a radix trie keyed by token content:
 
-- **Content-checked.**  Hash keys are verified against the stored token
-  tuple, so a hash collision degrades to a miss, never to wrong KV reuse.
-- **Policy state travels with the blocks.**  Eviction policies accumulate
-  per-slot state from prefill attention rows (VEDA's votes, H2O's
-  sums).  Rows ``< P`` of a causal prefill depend only on tokens ``< P``,
-  so each entry snapshots the policy's slot state at its block boundary
-  (``EvictionPolicy.export_prefill_state``); a hit imports the snapshot
-  instead of recomputing, keeping eviction decisions — and therefore
-  generated tokens — bit-identical to a cold prefill.  The policy
-  configuration is folded into the hash chain root, so requests served
-  under different policy settings never share snapshots.
+- **Nodes are blocks.**  One node per registered KV block; its edge
+  label is the block's ``block_size`` tokens (multi-token labels are the
+  radix compression — the longest-prefix walk does one node hop per
+  block, not per token, so lookup is O(L)).  Children are bucketed by
+  first token and disambiguated by *full content comparison*, so two
+  blocks whose labels merely hash alike can never be confused (the
+  hash-chained predecessor registered new blocks under a
+  content-mismatched resident on hash collision, pinning unreachable
+  pool blocks until teardown).
+- **Longest-prefix walk, token-level tail.**  :meth:`match` walks full
+  blocks and then, for unbudgeted adopters, matches a *partial tail*:
+  when the prompt diverges mid-block from a resident label, the hit
+  still covers the common rows — the adopter attaches the divergent
+  block too, and its first write past the covered rows copies the block
+  via the pool's ordinary CoW path.  A request sharing all but one
+  token of a resident prompt re-prefills exactly one row.
+- **Policy snapshots at block boundaries.**  Each node can carry the
+  eviction policy's exported per-layer slot state at its boundary
+  (:meth:`~repro.core.policies.base.EvictionPolicy.export_prefill_state`
+  — VEDA's votes, H2O's sums; rows ``< P`` of a causal prefill depend
+  only on tokens ``< P``, so the snapshot is a pure function of the
+  prefix).  A *budgeted* adopter needs those votes bit-exact, so its
+  coverage stops at the deepest matched node whose snapshot is present;
+  an *unbudgeted* adopter never consults the votes and takes the full
+  token-level coverage, importing the deepest available snapshot and
+  flagging itself *tainted* — its own later exports are impure and are
+  registered as ``policy_state=None``, and a later pure registrant
+  upgrades such missing snapshots in place.
+- **LRU + TTL dual eviction.**  A lazy min-heap orders nodes by last
+  use.  Under pool pressure :meth:`reclaim` pops the heap once —
+  evictable leaves drop in LRU order, and a parent that loses its last
+  child is re-queued so a single scan can drain a whole idle chain (the
+  predecessor re-sorted the entire entry table per freed leaf).
+  Independently, entries idle longer than ``ttl`` clock ticks are
+  expired during registration housekeeping, even without pressure.
 
-Entries hold one pool reference per block per layer; retirement of the
-originating request therefore leaves the prefix resident.  ``reclaim``
-drops least-recently-used entries whose blocks nobody else references
-(deepest chain links first, so parents outlive children), and is wired as
-the pool's pressure valve by the scheduler.
-
-Worked example — register one full block, then hit and miss it::
+Worked example — full-block hit, then a partial mid-block tail::
 
     >>> from repro.serve.paging import BlockPool
     >>> from repro.serve.prefix_cache import PrefixCache
     >>> pool = BlockPool(n_heads=1, head_dim=2, block_size=4, num_blocks=8)
     >>> cache = PrefixCache(block_size=4)
-    >>> block = pool.allocate()
-    >>> root = PrefixCache.root_key(policy_key=("voting", 1))
-    >>> key = cache.insert(root, (1, 2, 3, 4), [block], [None], pool)
-    >>> entries, _ = cache.match([1, 2, 3, 4, 9, 9], ("voting", 1))
-    >>> len(entries), entries[0].layer_block_ids == (block,)
-    (1, True)
-    >>> cache.match([5, 6, 7, 8, 9], ("voting", 1))[0]   # content miss
-    []
-    >>> pool.refcount(block)   # the cache holds its own reference
-    2
+    >>> root = cache.root(("voting",))
+    >>> n1 = cache.insert(root, (1, 2, 3, 4), [pool.allocate()], None, pool)
+    >>> n2 = cache.insert(n1, (5, 6, 7, 8), [pool.allocate()], None, pool)
+    >>> hit = cache.match([1, 2, 3, 4, 5, 6, 7, 8, 9], ("voting",))
+    >>> (len(hit.nodes), hit.tail_length, hit.shared_length)
+    (2, 0, 8)
+    >>> hit = cache.match([1, 2, 3, 4, 5, 6, 99, 99], ("voting",))
+    >>> (len(hit.nodes), hit.tail_length, hit.shared_length)  # mid-block
+    (1, 2, 6)
+    >>> round(cache.token_hit_rate, 3)  # token-weighted, not per-lookup
+    0.824
     >>> cache.clear(pool)
-    >>> pool.refcount(block)
-    1
+    >>> cache.num_entries, cache.num_blocks_held
+    (0, 0)
 """
 
 from __future__ import annotations
 
-__all__ = ["PrefixCache", "PrefixEntry"]
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["PrefixCache", "PrefixMatch", "PrefixNode"]
 
 
-class PrefixEntry:
-    """One cached full block of a prompt-prefix chain."""
+class PrefixNode:
+    """One registered KV block in the trie.
+
+    The edge label ``tokens`` is the block's ``block_size`` prompt
+    tokens; ``depth`` is the token depth at the *end* of the label.
+    ``layer_block_ids[l]`` is the pool block holding layer ``l``'s KV
+    for those rows (the trie holds one refcount per block).
+    ``policy_state`` is the eviction policy's exported per-layer slot
+    state at this boundary, or ``None`` when no registrant could
+    produce a pure snapshot (see the module docstring on taint).
+    """
 
     __slots__ = (
-        "key",
-        "parent_key",
         "tokens",
-        "depth",
+        "parent",
         "children",
         "layer_block_ids",
         "policy_state",
+        "depth",
         "last_used",
+        "detached",
     )
 
-    def __init__(self, key, parent_key, tokens, depth, layer_block_ids, policy_state):
-        self.key = key
-        #: Chain link to the previous block's entry (root key at depth 1).
-        self.parent_key = parent_key
-        #: The block's token ids (content check against hash collisions).
+    def __init__(self, tokens, parent, layer_block_ids, policy_state):
         self.tokens = tokens
-        #: 1-based chain position: ``depth * block_size`` tokens end here.
-        self.depth = depth
-        #: Resident entries chained directly after this one; an entry
-        #: with children is never reclaimed (dropping a parent would
-        #: orphan them: a lookup walks from the root, so an orphan can
-        #: never match again yet keeps its blocks pinned).
-        self.children = 0
-        #: Pool block id per layer, index = layer.
+        self.parent = parent
+        self.children = {}  # first token -> [PrefixNode] (content-compared)
         self.layer_block_ids = layer_block_ids
-        #: Per-layer policy slot-state snapshot at this block boundary
-        #: (cumulative over slots ``[0, depth * block_size)``).
         self.policy_state = policy_state
+        self.depth = (0 if parent is None else parent.depth) + len(tokens)
         self.last_used = 0
+        self.detached = False
+
+    @property
+    def is_root(self):
+        return self.parent is None
+
+    def __repr__(self):
+        return (
+            f"PrefixNode(depth={self.depth}, tokens={self.tokens}, "
+            f"children={sum(len(b) for b in self.children.values())})"
+        )
+
+
+@dataclass
+class PrefixMatch:
+    """Result of one :meth:`PrefixCache.match` lookup.
+
+    ``nodes`` are the fully-adopted blocks (root-to-leaf order);
+    ``tail_node``/``tail_length`` describe a partial mid-block hit
+    (``None``/``0`` when the divergence is block-aligned, or under
+    budgeted/full-block matching).  ``parent`` is where the adopter's
+    own registrations continue (the deepest adopted node, or the policy
+    root on a miss).  ``policy_state`` is the per-layer snapshot at
+    ``policy_length`` tokens — the deepest pure snapshot within the
+    coverage; coverage beyond it marks the adopter :attr:`tainted`.
+    """
+
+    nodes: list = field(default_factory=list)
+    tail_node: PrefixNode | None = None
+    tail_length: int = 0
+    parent: PrefixNode | None = None
+    shared_length: int = 0
+    policy_state: list | None = None
+    policy_length: int = 0
+
+    @property
+    def tainted(self):
+        """True when the covered rows outrun the imported snapshot: the
+        adopter skipped observing rows it cannot reconstruct, so its own
+        later exports are no longer pure functions of the prefix."""
+        return self.shared_length > self.policy_length
+
+
+def _common_prefix(a, b):
+    n = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        n += 1
+    return n
 
 
 class PrefixCache:
-    """Block-granular prompt-prefix cache with LRU reclaim.
+    """Radix-trie prefix cache over pool blocks (see module docstring).
 
-    ``max_blocks`` bounds the pool references the cache may hold:
-    registrations beyond it shed least-recently-used idle entries first
-    (blocks still referenced by live sequences are never touched), so hot
-    shared prefixes stay resident while never-rehit unique-suffix blocks
-    recycle back to the pool.  ``None`` keeps every registration.
+    Parameters
+    ----------
+    block_size:
+        Cache slots per block — the granularity of registration (edge
+        labels) and of policy snapshots.
+    max_blocks:
+        LRU capacity bound, in pool blocks held by the trie; ``None``
+        keeps every registered block resident.  Best-effort: blocks
+        pinned by live adopters cannot be shed.
+    ttl:
+        Idle lifetime in lookup-clock ticks (each :meth:`match` /
+        :meth:`insert` advances the clock by one).  Entries idle longer
+        are expired during registration housekeeping and under reclaim
+        pressure, even when ``max_blocks`` is not exceeded.  ``None``
+        (default) disables expiry.
+    match_mode:
+        ``"token"`` (default) enables partial-tail hits for unbudgeted
+        adopters; ``"block"`` restricts every match to full-block
+        granularity — the predecessor cache's coverage, kept as the
+        ablation baseline for the hit-rate comparison.
     """
 
-    def __init__(self, block_size, max_blocks=None):
+    def __init__(self, block_size, max_blocks=None, ttl=None, match_mode="token"):
         if block_size <= 0:
             raise ValueError(f"block_size must be positive, got {block_size}")
         if max_blocks is not None and max_blocks <= 0:
             raise ValueError(f"max_blocks must be positive, got {max_blocks}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        if match_mode not in ("token", "block"):
+            raise ValueError(
+                f"match_mode must be 'token' or 'block', got {match_mode!r}"
+            )
         self.block_size = int(block_size)
         self.max_blocks = max_blocks
-        self._entries = {}
+        self.ttl = ttl
+        self.match_mode = match_mode
+        self._roots = {}  # policy_key -> PrefixNode
+        self._heap = []  # (last_used, tiebreak, node), lazy entries
+        self._tiebreak = itertools.count()
         self._clock = 0
-        self.hits = 0
+        self._num_entries = 0
+        self._num_blocks_held = 0
+        # ---- metrics ----
         self.lookups = 0
+        self.hits = 0  # lookups with any coverage (legacy, per-lookup)
+        self.tokens_seen = 0  # prompt tokens presented to match()
+        self.tokens_hit = 0  # prompt tokens covered by adopted KV
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def num_entries(self):
-        return len(self._entries)
+        return self._num_entries
 
     @property
     def num_blocks_held(self):
-        """Pool references currently held by the cache (all layers)."""
-        return sum(
-            len(entry.layer_block_ids) for entry in self._entries.values()
-        )
+        """Pool blocks referenced by the trie, over all layers."""
+        return self._num_blocks_held
 
     @property
     def hit_rate(self):
+        """Fraction of lookups with *any* coverage.  Coarse: a one-block
+        hit on a thousand-token prompt counts the same as a full hit —
+        prefer :attr:`token_hit_rate`."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    @property
+    def token_hit_rate(self):
+        """Token-weighted hit rate: covered prompt tokens over prompt
+        tokens presented (``prefix_tokens_hit / prompt_tokens_seen``)."""
+        return self.tokens_hit / self.tokens_seen if self.tokens_seen else 0.0
+
+    def root(self, policy_key):
+        """The trie root for ``policy_key`` (one trie per eviction-policy
+        state key: snapshots are only meaningful within one policy
+        family/configuration, so differently-configured policies never
+        share)."""
+        node = self._roots.get(policy_key)
+        if node is None:
+            node = PrefixNode((), None, [], None)
+            self._roots[policy_key] = node
+        return node
+
     # ------------------------------------------------------------------
-    # Chain walking
+    # Lookup
     # ------------------------------------------------------------------
-    @staticmethod
-    def root_key(policy_key):
-        """Chain root; folding the policy configuration in keeps requests
-        with different eviction settings from sharing state snapshots."""
-        return hash(("prefix-root", policy_key))
+    def match(self, prompt, policy_key, budgeted=False):
+        """Longest-prefix lookup of ``prompt`` in the ``policy_key`` trie.
 
-    @staticmethod
-    def chain_key(parent_key, tokens):
-        return hash((parent_key, tokens))
-
-    def match(self, prompt, policy_key):
-        """Longest cached chain of full blocks covering ``prompt[:-1]``.
-
-        Returns ``(entries, parent_key)``: the matched chain (possibly
-        empty) and the key from which registration of this prompt's
-        remaining full blocks should continue.  At least one prompt token
-        is always left uncached so the consumer still runs a prefill that
-        produces next-token logits.
+        At most ``len(prompt) - 1`` tokens are ever covered — the live
+        prefill must compute at least the last row to produce next-token
+        logits.  ``budgeted`` adopters additionally stop at the deepest
+        matched node carrying a pure policy snapshot, at full-block
+        granularity (the votes the shrink-to-budget eviction consults
+        must be bit-exact).  Returns a :class:`PrefixMatch`; counters
+        update whether or not anything matched.
         """
+        tokens = tuple(int(t) for t in prompt)
+        self._clock += 1
         self.lookups += 1
-        self._clock += 1
-        entries = []
-        parent = self.root_key(policy_key)
-        max_blocks = (len(prompt) - 1) // self.block_size
-        for index in range(max_blocks):
-            tokens = tuple(
-                int(t)
-                for t in prompt[
-                    index * self.block_size : (index + 1) * self.block_size
-                ]
-            )
-            key = self.chain_key(parent, tokens)
-            entry = self._entries.get(key)
-            if entry is None or entry.tokens != tokens:
+        self.tokens_seen += len(tokens)
+        limit = len(tokens) - 1
+        block = self.block_size
+
+        node = self.root(policy_key)
+        nodes = []
+        pos = 0
+        tail_node = None
+        tail_length = 0
+        while pos < limit:
+            bucket = node.children.get(tokens[pos])
+            if not bucket:
                 break
-            entry.last_used = self._clock
-            entries.append(entry)
-            parent = key
-        if entries:
+            label = tokens[pos : pos + block]
+            full = None
+            if pos + block <= limit:
+                for child in bucket:
+                    if child.tokens == label:
+                        full = child
+                        break
+            if full is not None:
+                self._touch(full)
+                nodes.append(full)
+                node = full
+                pos += block
+                continue
+            if self.match_mode == "token" and not budgeted:
+                # Divergence (or the one-live-row cap) lands mid-block:
+                # adopt the resident block with the longest common run.
+                window = tokens[pos : min(pos + block, limit)]
+                best, best_length = None, 0
+                for child in bucket:
+                    common = _common_prefix(child.tokens, window)
+                    if common > best_length:
+                        best, best_length = child, common
+                if best is not None:
+                    self._touch(best)
+                    tail_node, tail_length = best, best_length
+            break
+
+        if budgeted:
+            # Coverage must end at a pure snapshot: intermediate nodes
+            # without one are fine (a deeper snapshot is cumulative over
+            # all earlier rows), but the chain is cut after the deepest
+            # snapshot-bearing node.
+            tail_node, tail_length = None, 0
+            while nodes and nodes[-1].policy_state is None:
+                nodes.pop()
+
+        snapshot, snapshot_depth = None, 0
+        for matched in reversed(nodes):
+            if matched.policy_state is not None:
+                snapshot = matched.policy_state
+                snapshot_depth = matched.depth
+                break
+
+        shared = (nodes[-1].depth if nodes else 0) + tail_length
+        if shared:
             self.hits += 1
-        return entries, parent
-
-    def insert(self, parent_key, tokens, layer_block_ids, policy_state, pool):
-        """Register one full block continuing ``parent_key``.
-
-        Takes one pool reference per block so the entry outlives the
-        registering request.  If the chain link already exists (two
-        identical prompts prefilled concurrently), the existing entry
-        wins and no references are taken.  Returns the entry's key, the
-        ``parent_key`` for the next block.
-        """
-        self._clock += 1
-        tokens = tuple(int(t) for t in tokens)
-        key = self.chain_key(parent_key, tokens)
-        existing = self._entries.get(key)
-        if existing is not None and existing.tokens == tokens:
-            existing.last_used = self._clock
-            return key
-        if existing is not None:
-            # Hash collision with different content: keep the resident
-            # entry (evicting it under a live chain would orphan children)
-            # and simply skip registration of the newcomer.
-            return key
-        entry = PrefixEntry(
-            key=key,
-            parent_key=parent_key,
-            tokens=tokens,
-            depth=self._depth_of(parent_key) + 1,
-            layer_block_ids=tuple(layer_block_ids),
-            policy_state=policy_state,
+            self.tokens_hit += shared
+        return PrefixMatch(
+            nodes=nodes,
+            tail_node=tail_node,
+            tail_length=tail_length,
+            parent=nodes[-1] if nodes else self.root(policy_key),
+            shared_length=shared,
+            policy_state=snapshot,
+            policy_length=snapshot_depth,
         )
-        entry.last_used = self._clock
-        for block_id in entry.layer_block_ids:
-            pool.retain(block_id)
-        self._entries[key] = entry
-        parent = self._entries.get(parent_key)
-        if parent is not None:
-            parent.children += 1
-        if self.max_blocks is not None:
-            excess = self.num_blocks_held - self.max_blocks
-            if excess > 0:
-                self.reclaim(pool, excess)
-        return key
-
-    def _depth_of(self, parent_key):
-        entry = self._entries.get(parent_key)
-        return entry.depth if entry is not None else 0
 
     # ------------------------------------------------------------------
-    # Reclaim
+    # Registration
+    # ------------------------------------------------------------------
+    def insert(self, parent, tokens, layer_block_ids, policy_state, pool):
+        """Register one freshly prefilled full block under ``parent``.
+
+        ``tokens`` is the block's ``block_size`` prompt tokens,
+        ``layer_block_ids`` the per-layer pool blocks holding its KV
+        (the trie takes one refcount per block so the entry outlives the
+        registering request), ``policy_state`` the per-layer snapshot at
+        the block boundary — or ``None`` when the registrant is tainted.
+        If a node with identical content already exists, the existing
+        node is returned: no references are taken, and a missing
+        snapshot is upgraded in place from a pure registrant.  Returns
+        the node to use as the next block's parent.
+        """
+        if parent.detached:
+            raise RuntimeError("insert under an evicted prefix node")
+        tokens = tuple(int(t) for t in tokens)
+        if len(tokens) != self.block_size:
+            raise ValueError(
+                f"edge label must be one full block "
+                f"({self.block_size} tokens), got {len(tokens)}"
+            )
+        if policy_state is not None and any(s is None for s in policy_state):
+            policy_state = None
+        self._clock += 1
+
+        bucket = parent.children.setdefault(tokens[0], [])
+        for existing in bucket:
+            if existing.tokens == tokens:
+                # Content-identical block already resident: never chain
+                # under mismatched content (the hash-collision leak of
+                # the chained cache), never double-retain.
+                self._touch(existing)
+                if existing.policy_state is None and policy_state is not None:
+                    existing.policy_state = policy_state
+                return existing
+
+        node = PrefixNode(tokens, parent, list(layer_block_ids), policy_state)
+        for block_id in node.layer_block_ids:
+            pool.retain(block_id)
+        bucket.append(node)
+        self._num_entries += 1
+        self._num_blocks_held += len(node.layer_block_ids)
+        self._touch(node)
+
+        # Registration housekeeping: expire idle entries, then hold the
+        # LRU capacity bound (best-effort — pinned blocks cannot shed).
+        if self.ttl is not None:
+            self.expire(pool)
+        if self.max_blocks is not None and self._num_blocks_held > self.max_blocks:
+            self._sweep(
+                pool, blocks_needed=self._num_blocks_held - self.max_blocks
+            )
+        return node
+
+    # ------------------------------------------------------------------
+    # Eviction
     # ------------------------------------------------------------------
     def reclaim(self, pool, blocks_needed):
-        """Drop idle entries until ``blocks_needed`` pool blocks freed.
+        """Release at least ``blocks_needed`` idle blocks if possible
+        (the pool's pressure callback).  One heap scan: evictable leaves
+        drop in LRU order, a parent orphaned by its last child's drop is
+        re-queued into the same scan, pinned entries are deferred.
+        Returns the number of pool blocks actually freed."""
+        if blocks_needed <= 0:
+            return 0
+        return self._sweep(pool, blocks_needed=blocks_needed)
 
-        Only *leaf* entries (no resident children — chains reclaim tip
-        first, so the surviving prefix stays reachable from its root)
-        whose blocks nobody else references (refcount 1 = the cache's own
-        reference) are droppable; candidates go least recently used
-        first.  Dropping a leaf may expose its parent, so candidates are
-        rescanned until a pass frees nothing.  Returns the number of pool
-        blocks actually freed.
-        """
+    def expire(self, pool):
+        """Drop every evictable entry idle for more than ``ttl`` clock
+        ticks (no-op when ``ttl`` is None).  Returns blocks freed."""
+        if self.ttl is None:
+            return 0
+        return self._sweep(pool, older_than=self._clock - self.ttl)
+
+    def _sweep(self, pool, blocks_needed=None, older_than=None):
+        """One pass over the LRU heap.  Stops once ``blocks_needed``
+        blocks are freed (when given) and/or when the heap top is newer
+        than ``older_than`` (when given); entries whose blocks live
+        adopters still pin are deferred and re-queued afterwards."""
         freed = 0
-        progress = True
-        while freed < blocks_needed and progress:
-            progress = False
-            candidates = sorted(
-                self._entries.values(), key=lambda e: (e.last_used, -e.depth)
-            )
-            for entry in candidates:
-                if freed >= blocks_needed:
-                    break
-                if entry.children:
-                    continue
-                if any(
-                    pool.refcount(block_id) > 1
-                    for block_id in entry.layer_block_ids
-                ):
-                    continue
-                del self._entries[entry.key]
-                parent = self._entries.get(entry.parent_key)
-                if parent is not None:
-                    parent.children -= 1
-                for block_id in entry.layer_block_ids:
-                    if pool.release(block_id) == 0:
-                        freed += 1
-                progress = True
+        deferred = []
+        heap = self._heap
+        while heap:
+            if blocks_needed is not None and freed >= blocks_needed:
+                break
+            timestamp, tiebreak, node = heap[0]
+            if older_than is not None and timestamp > older_than:
+                break
+            heapq.heappop(heap)
+            if node.detached or timestamp != node.last_used:
+                continue  # stale: a fresher entry is (or was) in the heap
+            if node.children:
+                # Unevictable while it has children; _evict_node
+                # re-queues it the moment the last child drops.
+                continue
+            if any(pool.refcount(b) > 1 for b in node.layer_block_ids):
+                deferred.append((timestamp, tiebreak, node))
+                continue
+            freed += len(node.layer_block_ids)
+            self._evict_node(node, pool)
+        for item in deferred:
+            heapq.heappush(heap, item)
         return freed
 
+    def _evict_node(self, node, pool):
+        """Drop one childless non-root node: release its blocks, unlink
+        it, and re-queue the parent if this orphaned it."""
+        assert not node.children and not node.is_root
+        for block_id in node.layer_block_ids:
+            pool.release(block_id)
+        parent = node.parent
+        bucket = parent.children[node.tokens[0]]
+        bucket.remove(node)
+        if not bucket:
+            del parent.children[node.tokens[0]]
+        node.detached = True
+        self._num_entries -= 1
+        self._num_blocks_held -= len(node.layer_block_ids)
+        if not parent.is_root and not parent.children:
+            # Parent re-queue: the freed leaf may expose a whole idle
+            # chain — push the parent at its own (older) timestamp so
+            # the *same* reclaim scan keeps draining it.
+            heapq.heappush(
+                self._heap, (parent.last_used, next(self._tiebreak), parent)
+            )
+
+    def _touch(self, node):
+        node.last_used = self._clock
+        heapq.heappush(self._heap, (node.last_used, next(self._tiebreak), node))
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
     def clear(self, pool):
-        """Release every held block (end-of-trace teardown)."""
-        for entry in self._entries.values():
-            for block_id in entry.layer_block_ids:
-                pool.release(block_id)
-        self._entries.clear()
+        """Release every held block and drop all entries (end-of-trace
+        teardown; metrics counters are kept)."""
+        stack = list(self._roots.values())
+        while stack:
+            node = stack.pop()
+            for bucket in node.children.values():
+                stack.extend(bucket)
+            node.children = {}
+            if not node.is_root:
+                node.detached = True
+                for block_id in node.layer_block_ids:
+                    pool.release(block_id)
+        self._roots = {}
+        self._heap = []
+        self._num_entries = 0
+        self._num_blocks_held = 0
 
     def __repr__(self):
         return (
-            f"PrefixCache(entries={self.num_entries}, "
-            f"blocks_held={self.num_blocks_held}, hits={self.hits}/"
-            f"{self.lookups})"
+            f"PrefixCache(block_size={self.block_size}, "
+            f"entries={self._num_entries}, blocks={self._num_blocks_held}, "
+            f"token_hit_rate={self.token_hit_rate:.3f})"
         )

@@ -212,9 +212,17 @@ class SequenceState:
     #: out to / back from the modeled host pool (``preempt="swap"``).
     swapped_out_slots: int = 0
     swapped_in_slots: int = 0
-    #: Prefix-cache chain key of the last full prompt block this sequence
-    #: registered/adopted (chunked paged prefill resumes insertion here).
-    prefix_parent_key: object = None
+    #: Prefix-trie node of the last full prompt block this sequence
+    #: registered/adopted (chunked paged prefill resumes insertion here;
+    #: a :class:`~repro.serve.prefix_cache.PrefixNode`, or ``None``).
+    prefix_node: object = None
+    #: True when a partial/unsnapshotted prefix hit made this sequence's
+    #: eviction-policy state impure (rows were adopted without their vote
+    #: contributions): its own boundary exports are no longer pure
+    #: functions of the prefix and are registered as ``policy_state=None``.
+    #: Only ever set on unbudgeted sequences, which never consult the
+    #: votes, so generated tokens stay bit-identical to a cold prefill.
+    prefix_tainted: bool = False
     #: Monotone submission index (admission-policy tie-breaker).
     submit_index: int = 0
     #: Worst-case pool-block demand reserved at admission (paged mode);

@@ -155,7 +155,8 @@ class KVResourceManager:
     max_batch_size:
         Batch slots — the admission cap on concurrently resident
         sequences.
-    paged, block_size, num_blocks, prefix_caching, prefix_cache_blocks:
+    paged, block_size, num_blocks, prefix_caching, prefix_cache_blocks, \
+prefix_ttl, prefix_match_mode:
         The paged-memory knobs, exactly as on
         :class:`~repro.serve.scheduler.Scheduler` (which forwards them
         here).
@@ -178,6 +179,8 @@ class KVResourceManager:
         num_blocks=None,
         prefix_caching=True,
         prefix_cache_blocks=None,
+        prefix_ttl=None,
+        prefix_match_mode="token",
         preempt="off",
         policy_factory=None,
     ):
@@ -198,7 +201,12 @@ class KVResourceManager:
                 config.n_heads, config.head_dim, block_size, num_blocks=num_blocks
             )
             self.prefix_cache = (
-                PrefixCache(block_size, max_blocks=prefix_cache_blocks)
+                PrefixCache(
+                    block_size,
+                    max_blocks=prefix_cache_blocks,
+                    ttl=prefix_ttl,
+                    match_mode=prefix_match_mode,
+                )
                 if prefix_caching
                 else None
             )
@@ -329,7 +337,13 @@ class KVResourceManager:
         tokens may claim for ``cache``: fresh tail blocks, CoW of every
         currently shared table block, and — for the *final* chunk of a
         budgeted prompt — CoW of the blocks this very chunk writes and
-        registers before the shrink-to-budget eviction runs."""
+        registers before the shrink-to-budget eviction runs.
+
+        A *partially* adopted block (radix-trie tail hit: the last
+        attached block covered mid-block, still refcount-shared with the
+        trie) needs no extra term: it is counted by ``shared_blocks``,
+        and the chunk's first append at its non-zero offset is exactly
+        the CoW that term prices."""
         if not self.paged or rows <= 0:
             return 0
         block_size = self.block_pool.block_size

@@ -204,6 +204,13 @@ class ServingReport:
     mean_block_utilization: float = 0.0
     prefix_lookups: int = 0
     prefix_hits: int = 0
+    #: Prompt tokens presented to the prefix cache / covered by adopted
+    #: KV, over all lookups — the token-weighted hit accounting
+    #: (:attr:`prefix_token_hit_rate`), which unlike
+    #: :attr:`prefix_hit_rate` credits a hit by how much prefill it
+    #: actually skipped.
+    prompt_tokens_seen: int = 0
+    prefix_tokens_hit: int = 0
     #: Prompt tokens whose prefill was skipped via a prefix-cache hit.
     prefill_tokens_saved: int = 0
     cow_copies: int = 0
@@ -250,7 +257,20 @@ class ServingReport:
 
     @property
     def prefix_hit_rate(self):
+        """Fraction of lookups with *any* coverage (coarse: a one-block
+        hit counts like a full hit — prefer
+        :attr:`prefix_token_hit_rate`)."""
         return self.prefix_hits / self.prefix_lookups if self.prefix_lookups else 0.0
+
+    @property
+    def prefix_token_hit_rate(self):
+        """Token-weighted prefix hit rate:
+        ``prefix_tokens_hit / prompt_tokens_seen``."""
+        return (
+            self.prefix_tokens_hit / self.prompt_tokens_seen
+            if self.prompt_tokens_seen
+            else 0.0
+        )
 
     @property
     def tokens_per_round(self):
@@ -346,6 +366,7 @@ class ServingReport:
                     "peak_blocks": self.peak_blocks,
                     "block_util": self.mean_block_utilization,
                     "prefix_hit_rate": self.prefix_hit_rate,
+                    "token_hit_rate": self.prefix_token_hit_rate,
                     "prefill_saved": self.prefill_tokens_saved,
                     "cow_copies": self.cow_copies,
                 }
@@ -399,6 +420,14 @@ class Scheduler:
         ``None`` keeps every registered block resident.  Bounding it is
         what keeps never-rehit unique-suffix blocks from pinning pool
         memory across the whole trace.
+    prefix_ttl:
+        Idle lifetime for prefix-trie entries, in lookup-clock ticks
+        (the trie's second eviction axis next to the LRU bound);
+        ``None`` (default) disables expiry.
+    prefix_match_mode:
+        ``"token"`` (default) allows partial mid-block tail hits for
+        unbudgeted sequences; ``"block"`` restricts matching to full
+        blocks — the pre-trie coverage, kept as an ablation baseline.
     prefill_chunk:
         Per-round prompt-token budget for prefill work, shared by
         continuing prefills (served first, admission order) and new
@@ -457,6 +486,8 @@ class Scheduler:
         num_blocks=None,
         prefix_caching=True,
         prefix_cache_blocks=None,
+        prefix_ttl=None,
+        prefix_match_mode="token",
         prefill_chunk=None,
         admission_policy=None,
         auto_fast_forward=True,
@@ -522,6 +553,8 @@ class Scheduler:
             num_blocks=num_blocks,
             prefix_caching=prefix_caching,
             prefix_cache_blocks=prefix_cache_blocks,
+            prefix_ttl=prefix_ttl,
+            prefix_match_mode=prefix_match_mode,
             preempt=preempt,
             policy_factory=self.policy_factory,
         )
@@ -1004,8 +1037,9 @@ class Scheduler:
             state.position = 0
             state.prefilled = 0
             state.prompt_tokens = None
-            state.prefix_parent_key = None
+            state.prefix_node = None
             state.prefix_hit_length = 0
+            state.prefix_tainted = False
             # Recompute drops *all* derived state, the (host-resident)
             # draft cache included; a swap victim keeps its draft cache —
             # its contents are committed tokens, still valid at resume.
@@ -1153,36 +1187,54 @@ class Scheduler:
         return prefill.logits
 
     def _attach_prefix(self, state):
-        """Adopt the longest cached chain of full prompt blocks (paged
-        admission, before the first prefill chunk): attach the blocks
-        copy-on-write, import the policy's snapshotted slot state for
-        the shared span, and remember the chain key so later chunks can
-        keep registering blocks from it."""
+        """Adopt the longest cached prefix of the prompt (paged
+        admission, before the first prefill chunk): a radix-trie lookup
+        returns full-block coverage plus — for unbudgeted sequences — a
+        partial mid-block tail.  The matched blocks attach copy-on-write,
+        the deepest pure policy snapshot within the coverage is imported,
+        and the trie node is remembered so later chunks keep registering
+        blocks from it.
+
+        Budgeted sequences stop at the deepest snapshot-bearing node
+        (the shrink-to-budget eviction consults the votes, which must be
+        bit-exact).  An unbudgeted sequence may outrun its snapshot —
+        rows adopted without their vote contributions taint the policy
+        state, which is harmless for its own tokens (the votes are never
+        consulted without a budget) but makes its later boundary exports
+        impure, so they are registered without snapshots."""
         policy = state.policy
         if self.prefix_cache is None or not policy.prefix_shareable:
             return
+        request = state.request
+        budget = request.budget if request.budget is not None else self.budget
         prompt = state.prompt_tokens
         n_layers = self.model.config.n_layers
-        entries, parent_key = self.prefix_cache.match(
-            prompt, policy.prefix_state_key()
+        hit = self.prefix_cache.match(
+            prompt, policy.prefix_state_key(), budgeted=budget is not None
         )
-        state.prefix_parent_key = parent_key
-        if not entries:
+        state.prefix_node = hit.parent
+        if not hit.shared_length:
             return
-        shared_length = len(entries) * self.block_pool.block_size
+        nodes = list(hit.nodes)
+        if hit.tail_node is not None:
+            nodes.append(hit.tail_node)
         state.cache.attach_prefix(
             [
-                [entry.layer_block_ids[layer] for entry in entries]
+                [node.layer_block_ids[layer] for node in nodes]
                 for layer in range(n_layers)
             ],
-            shared_length,
+            hit.shared_length,
         )
-        snapshot = entries[-1].policy_state
-        for layer in range(n_layers):
-            policy.import_prefill_state(layer, snapshot[layer], shared_length)
-        state.prefix_hit_length = shared_length
-        state.prefilled = shared_length
-        self._prefill_tokens_saved += shared_length
+        if hit.policy_length:
+            for layer in range(n_layers):
+                policy.import_prefill_state(
+                    layer, hit.policy_state[layer], hit.policy_length
+                )
+        state.prefix_tainted = hit.tainted
+        assert not (state.prefix_tainted and budget is not None)
+        state.prefix_hit_length = hit.shared_length
+        state.prefilled = hit.shared_length
+        self._prefill_tokens_saved += hit.shared_length
 
     def _prefill_paged_range(self, state, start, end):
         """Paged prefill of prompt rows ``[start, end)`` with prefix
@@ -1196,8 +1248,12 @@ class Scheduler:
         2. Feed the new attention rows to the policy in block-sized
            chunks, snapshotting state at every block boundary and
            registering the freshly written full blocks in the prefix
-           cache (before eviction can mutate them); the chain key is
-           carried in ``state.prefix_parent_key`` across chunks.
+           trie (before eviction can mutate them); the parent node is
+           carried in ``state.prefix_node`` across chunks.  A tainted
+           sequence (partial/unsnapshotted adoption) registers its
+           blocks without snapshots — their KV is still pure, its vote
+           state is not.  Registration covers *prompt* rows only, so
+           provisional speculative tokens never enter the trie.
         """
         prompt = state.prompt_tokens
         policy = state.policy
@@ -1224,14 +1280,16 @@ class Scheduler:
                 )
             if shareable and chunk_end % block_size == 0:
                 block_index = chunk_end // block_size - 1
-                state.prefix_parent_key = self.prefix_cache.insert(
-                    state.prefix_parent_key,
+                state.prefix_node = self.prefix_cache.insert(
+                    state.prefix_node,
                     prompt[chunk_end - block_size : chunk_end],
                     [
                         cache[layer].block_ids[block_index]
                         for layer in range(n_layers)
                     ],
-                    [
+                    None
+                    if state.prefix_tainted
+                    else [
                         policy.export_prefill_state(layer, chunk_end)
                         for layer in range(n_layers)
                     ],
@@ -1635,5 +1693,7 @@ class Scheduler:
             if self.prefix_cache is not None:
                 report.prefix_lookups = self.prefix_cache.lookups
                 report.prefix_hits = self.prefix_cache.hits
+                report.prompt_tokens_seen = self.prefix_cache.tokens_seen
+                report.prefix_tokens_hit = self.prefix_cache.tokens_hit
             report.prefill_tokens_saved = self._prefill_tokens_saved
         return report

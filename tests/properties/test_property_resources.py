@@ -232,8 +232,8 @@ class TestManagerConservation:
         pool = manager.block_pool
         # Register one full block per layer in the prefix cache.
         shared = [pool.allocate() for _ in range(CONFIG.n_layers)]
-        root = manager.prefix_cache.root_key(("test",))
-        manager.prefix_cache.insert(root, (1, 2, 3, 4), shared, [None] * CONFIG.n_layers, pool)
+        root = manager.prefix_cache.root(("test",))
+        manager.prefix_cache.insert(root, (1, 2, 3, 4), shared, None, pool)
 
         state = SequenceState(Request("r0", np.arange(8), max_new_tokens=4))
         state.cache = manager.admit("r0", 16)

@@ -180,16 +180,37 @@ class TestCopyOnWrite:
         writer.append(rng.normal(size=(2, 3)), rng.normal(size=(2, 3)), 6)
         np.testing.assert_array_equal(reader.keys, before)
 
-    def test_attach_requires_empty_and_full_blocks(self, rng):
+    def test_attach_requires_empty_and_length_in_last_block(self, rng):
         pool = BlockPool(2, 3, 4)
         owner = PagedLayerKVCache(pool, capacity=40)
         fill(owner, 8, np.random.default_rng(7))
         cache = PagedLayerKVCache(pool, capacity=40)
         with pytest.raises(ValueError):
-            cache.attach_blocks(owner.block_ids, 7)  # not block-aligned
+            cache.attach_blocks(owner.block_ids, 4)  # last block unused
+        with pytest.raises(ValueError):
+            cache.attach_blocks(owner.block_ids, 9)  # past the last block
         cache.attach_blocks(owner.block_ids, 8)
         with pytest.raises(RuntimeError):
             cache.attach_blocks(owner.block_ids, 8)  # non-empty
+
+    def test_attach_partial_last_block_cows_on_first_append(self, rng):
+        """A radix-trie tail hit adopts the divergent block mid-way: the
+        adopter's first append lands at a non-zero offset and must CoW,
+        leaving the resident rows bit-intact for other adopters."""
+        pool = BlockPool(2, 3, 4)
+        owner = PagedLayerKVCache(pool, capacity=40)
+        fill(owner, 8, np.random.default_rng(7))
+        before = owner.keys.copy()
+        cache = PagedLayerKVCache(pool, capacity=40)
+        cache.attach_blocks(owner.block_ids, 6)  # 1 full block + 2 rows
+        assert cache.length == 6
+        assert pool.refcount(owner.block_ids[1]) == 2
+        copies = pool.cow_copies
+        cache.append(rng.normal(size=(2, 3)), rng.normal(size=(2, 3)), 6)
+        assert pool.cow_copies == copies + 1
+        np.testing.assert_array_equal(owner.keys, before)
+        # Adopted rows below the write offset were carried into the copy.
+        np.testing.assert_array_equal(cache.keys[:, :6], before[:, :6])
 
 
 class TestPagedKVCache:
@@ -214,38 +235,42 @@ class TestPrefixCache:
         pool = BlockPool(2, 3, 4, num_blocks=32)
         cache = PrefixCache(block_size=4)
         prompt = np.arange(11)  # 2 full blocks + 3 tail tokens
-        entries, parent = cache.match(prompt, policy_key="p")
-        assert entries == []
+        miss = cache.match(prompt, policy_key="p")
+        assert miss.nodes == [] and miss.shared_length == 0
         blocks0 = self.make_entry_blocks(pool)
-        parent = cache.insert(parent, prompt[:4], blocks0, [None, None], pool)
+        parent = cache.insert(miss.parent, prompt[:4], blocks0, None, pool)
         blocks1 = self.make_entry_blocks(pool)
-        cache.insert(parent, prompt[4:8], blocks1, [None, None], pool)
+        cache.insert(parent, prompt[4:8], blocks1, None, pool)
         assert all(pool.refcount(b) == 2 for b in blocks0 + blocks1)
 
-        entries, _ = cache.match(prompt, policy_key="p")
-        assert [e.layer_block_ids for e in entries] == [
-            tuple(blocks0),
-            tuple(blocks1),
-        ]
+        hit = cache.match(prompt, policy_key="p")
+        assert [n.layer_block_ids for n in hit.nodes] == [blocks0, blocks1]
+        assert hit.shared_length == 8
         assert cache.hit_rate == 0.5  # one miss, one hit
 
-    def test_policy_key_partitions_chains(self):
+    def test_policy_key_partitions_tries(self):
         pool = BlockPool(2, 3, 4, num_blocks=32)
         cache = PrefixCache(block_size=4)
         prompt = np.arange(9)
-        _, parent = cache.match(prompt, policy_key="a")
-        cache.insert(parent, prompt[:4], self.make_entry_blocks(pool), [None] * 2, pool)
-        entries, _ = cache.match(prompt, policy_key="b")
-        assert entries == []
+        miss = cache.match(prompt, policy_key="a")
+        cache.insert(miss.parent, prompt[:4], self.make_entry_blocks(pool), None, pool)
+        assert cache.match(prompt, policy_key="b").shared_length == 0
 
     def test_last_token_never_shared(self):
         cache = PrefixCache(block_size=4)
-        prompt = np.arange(8)  # exactly 2 blocks: only 1 eligible
+        prompt = np.arange(8)  # exactly 2 blocks: only 1 fully eligible
         pool = BlockPool(2, 3, 4, num_blocks=32)
-        _, parent = cache.match(prompt, policy_key="p")
-        cache.insert(parent, prompt[:4], self.make_entry_blocks(pool), [None] * 2, pool)
-        entries, _ = cache.match(prompt, policy_key="p")
-        assert len(entries) == 1  # second block left for the live prefill
+        miss = cache.match(prompt, policy_key="p")
+        parent = cache.insert(
+            miss.parent, prompt[:4], self.make_entry_blocks(pool), None, pool
+        )
+        cache.insert(parent, prompt[4:8], self.make_entry_blocks(pool), None, pool)
+        hit = cache.match(prompt, policy_key="p")
+        # The second block is resident but the last row must stay live:
+        # it is adopted only partially (3 of 4 rows).
+        assert len(hit.nodes) == 1
+        assert hit.tail_length == 3
+        assert hit.shared_length == 7
 
     def test_reclaim_drops_leaves_before_parents(self):
         """Reclaiming a parent would orphan its children (unmatchable yet
@@ -253,17 +278,17 @@ class TestPrefixCache:
         pool = BlockPool(2, 3, 4, num_blocks=32)
         cache = PrefixCache(block_size=4)
         prompt = np.arange(9)
-        _, parent = cache.match(prompt, policy_key="p")
+        miss = cache.match(prompt, policy_key="p")
         first = self.make_entry_blocks(pool)
-        parent = cache.insert(parent, prompt[:4], first, [None] * 2, pool)
+        parent = cache.insert(miss.parent, prompt[:4], first, None, pool)
         second = self.make_entry_blocks(pool)
-        cache.insert(parent, prompt[4:8], second, [None] * 2, pool)
+        cache.insert(parent, prompt[4:8], second, None, pool)
         for block in first + second:
             pool.release(block)  # the registering request retires
 
         assert cache.reclaim(pool, 2) == 2  # the child (newer!) goes
-        entries, _ = cache.match(prompt, policy_key="p")
-        assert len(entries) == 1  # the parent still matches
+        hit = cache.match(prompt, policy_key="p")
+        assert len(hit.nodes) == 1  # the parent still matches
         assert cache.num_blocks_held == 2
         # A deeper deficit drains the rest, parent included.
         assert cache.reclaim(pool, 10) == 2
@@ -273,9 +298,9 @@ class TestPrefixCache:
         pool = BlockPool(2, 3, 4, num_blocks=32)
         cache = PrefixCache(block_size=4)
         prompt = np.arange(5)
-        _, parent = cache.match(prompt, policy_key="p")
+        miss = cache.match(prompt, policy_key="p")
         blocks = self.make_entry_blocks(pool)
-        cache.insert(parent, prompt[:4], blocks, [None] * 2, pool)
+        cache.insert(miss.parent, prompt[:4], blocks, None, pool)
         # Blocks still referenced by their "sequence" (refcount 2).
         assert cache.reclaim(pool, 10) == 0
         for block in blocks:
@@ -289,9 +314,9 @@ class TestPrefixCache:
         cache = PrefixCache(block_size=4, max_blocks=4)
         for i in range(4):
             prompt = np.arange(i * 100, i * 100 + 5)
-            _, parent = cache.match(prompt, policy_key="p")
+            miss = cache.match(prompt, policy_key="p")
             blocks = self.make_entry_blocks(pool)
-            cache.insert(parent, prompt[:4], blocks, [None] * 2, pool)
+            cache.insert(miss.parent, prompt[:4], blocks, None, pool)
             for block in blocks:  # the sequence retires
                 pool.release(block)
         assert cache.num_blocks_held <= 4
@@ -300,9 +325,9 @@ class TestPrefixCache:
         pool = BlockPool(2, 3, 4, num_blocks=32)
         cache = PrefixCache(block_size=4)
         prompt = np.arange(5)
-        _, parent = cache.match(prompt, policy_key="p")
+        miss = cache.match(prompt, policy_key="p")
         blocks = self.make_entry_blocks(pool)
-        cache.insert(parent, prompt[:4], blocks, [None] * 2, pool)
+        cache.insert(miss.parent, prompt[:4], blocks, None, pool)
         for block in blocks:
             pool.release(block)
         cache.clear(pool)
