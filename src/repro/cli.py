@@ -26,6 +26,12 @@ Usage::
     python -m repro serve-bench --spec-decode --target tiny --draft self --spec-k 2
                                          # fast smoke: no zoo training,
                                          # accept rate 1.0 by construction
+    python -m repro serve-bench --n-samples 4 --shared-prefix 24
+                                         # parallel sampling: n branches per
+                                         # request share prompt blocks CoW
+    python -m repro serve-bench --beam-width 4 --cosim
+                                         # beam search over forked KV blocks,
+                                         # dense-fork copies priced in cycles
     python -m repro serve-bench --json out.json
                                          # any mode: machine-readable rows
     python -m repro serve-engine         # async engine: admission x chunking
@@ -335,6 +341,28 @@ def _serve_bench(argv):
         "nothing to win)",
     )
     parser.add_argument(
+        "--n-samples",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="run the fork/join benchmark instead: each request is "
+        "forked into N parallel sampled continuations sharing its "
+        "prompt KV blocks copy-on-write (branch i is bit-identical to "
+        "an independent request with seed+i); reports peak blocks vs "
+        "N scaled single runs, and with --cosim prices dense forks' "
+        "KV copies (paged CoW forks are free)",
+    )
+    parser.add_argument(
+        "--beam-width",
+        type=_positive_int,
+        default=None,
+        metavar="W",
+        help="run the fork/join benchmark in beam-search mode instead: "
+        "width-W beams with per-round joint scoring over forked KV "
+        "blocks; pruned beams release their divergent tail back to "
+        "the pool (mutually exclusive with --n-samples)",
+    )
+    parser.add_argument(
         "--json",
         default=None,
         metavar="PATH",
@@ -376,6 +404,8 @@ def _serve_bench(argv):
             for flag, off_default in (
                 ("--spec-decode", not args.spec_decode),
                 ("--preempt", args.preempt is None),
+                ("--n-samples", args.n_samples is None),
+                ("--beam-width", args.beam_width is None),
                 ("--cosim", not args.cosim),
                 ("--paged", not args.paged),
                 ("--chunk-prefill", args.chunk_prefill == 0),
@@ -422,6 +452,12 @@ def _serve_bench(argv):
     if args.spec_decode:
         if args.preempt is not None:
             parser.error("--spec-decode cannot be combined with --preempt")
+        if args.n_samples is not None or args.beam_width is not None:
+            parser.error(
+                "--spec-decode cannot be combined with --n-samples or "
+                "--beam-width (fork families decode round-by-round and "
+                "are incompatible with draft-window speculation)"
+            )
         # The spec benchmark serves whole prompts without prefix sharing
         # (provisional tokens never enter the prefix cache anyway);
         # reject knobs it would otherwise silently ignore.
@@ -499,6 +535,8 @@ def _serve_bench(argv):
                 ("--shared-prefix", args.shared_prefix == 0),
                 ("--no-prefix-cache", not args.no_prefix_cache),
                 ("--compression-ratio", args.compression_ratio is None),
+                ("--n-samples", args.n_samples is None),
+                ("--beam-width", args.beam_width is None),
             )
             if not off_default
         ]
@@ -536,6 +574,62 @@ def _serve_bench(argv):
             cosim_shapes=args.cosim_shapes,
         )
         result.experiment_id = "serving_preempt_bench"
+        _emit(result, extra=extra, json_path=args.json)
+        return 0
+    if args.n_samples is not None or args.beam_width is not None:
+        if args.n_samples is not None and args.beam_width is not None:
+            parser.error(
+                "--n-samples and --beam-width are mutually exclusive "
+                "(parallel sampling vs beam search)"
+            )
+        mode_flag = "--n-samples" if args.n_samples is not None else (
+            "--beam-width"
+        )
+        width = args.n_samples if args.n_samples is not None else (
+            args.beam_width
+        )
+        if width < 2:
+            parser.error(f"{mode_flag} must be >= 2, got {width}")
+        # The fork benchmark always serves paged + dense and unbudgeted
+        # sequences (CoW tails require it); reject knobs it would
+        # otherwise silently ignore.
+        ignored = [
+            flag
+            for flag, off_default in (
+                ("--chunk-prefill", args.chunk_prefill == 0),
+                ("--paged", not args.paged),
+                ("--no-prefix-cache", not args.no_prefix_cache),
+                ("--compression-ratio", args.compression_ratio is None),
+            )
+            if not off_default
+        ]
+        if ignored:
+            parser.error(
+                f"{', '.join(ignored)} cannot be combined with "
+                f"{mode_flag} (the fork benchmark serves each trace "
+                "paged and dense, unbudgeted, with whole-prompt "
+                "admission)"
+            )
+        # One batch cap, not a sweep; untouched --batch-sizes keeps
+        # run_fork's own width-scaled default.
+        fork_batch = (
+            max(batch_sizes)
+            if args.batch_sizes != parser.get_default("batch_sizes")
+            else None
+        )
+        result, extra = serving.run_fork(
+            n_samples=args.n_samples or 1,
+            beam_width=args.beam_width or 0,
+            n_requests=args.requests,
+            mean_interarrival=args.interarrival,
+            seed=args.seed,
+            block_size=args.block_size,
+            shared_prefix=args.shared_prefix,
+            max_batch_size=fork_batch,
+            cosim=args.cosim,
+            cosim_shapes=args.cosim_shapes,
+        )
+        result.experiment_id = "serving_fork_bench"
         _emit(result, extra=extra, json_path=args.json)
         return 0
     common = dict(

@@ -135,6 +135,22 @@ class LayerKVCache:
         self._positions[length : self.length] = -1
         self.length = length
 
+    def fork(self):
+        """An independent copy of this layer's occupied slots.
+
+        The dense half of the fork/join surface: a branch gets its own
+        slab holding the same entries, so parent and child diverge freely
+        afterwards.  Paged mode shares blocks copy-on-write instead
+        (:meth:`repro.serve.paging.PagedLayerKVCache.fork`); the slab
+        copy here is exactly the traffic that sharing avoids.
+        """
+        clone = LayerKVCache(self.n_heads, self.head_dim, self.capacity)
+        clone._keys[:, : self.length] = self._keys[:, : self.length]
+        clone._values[:, : self.length] = self._values[:, : self.length]
+        clone._positions[: self.length] = self._positions[: self.length]
+        clone.length = self.length
+        return clone
+
     def __len__(self):
         return self.length
 
@@ -165,6 +181,12 @@ class KVCache:
         """Roll every layer back to ``length`` slots (spec-decode rollback)."""
         for layer in self.layers:
             layer.truncate(length)
+
+    def fork(self):
+        """An independent per-layer copy (dense branch fork)."""
+        clone = KVCache.__new__(KVCache)
+        clone.layers = [layer.fork() for layer in self.layers]
+        return clone
 
     def __getitem__(self, layer_index):
         return self.layers[layer_index]
@@ -236,6 +258,19 @@ class BatchedKVCache:
             cache = self._cache_factory(capacity)
         else:
             cache = KVCache(self.n_layers, self.n_heads, self.head_dim, capacity)
+        self._caches[seq_id] = cache
+        return cache
+
+    def adopt_sequence(self, seq_id, cache):
+        """Register a pre-built cache under ``seq_id`` (fork adoption).
+
+        :meth:`add_sequence` always builds an *empty* cache through the
+        factory; a forked branch arrives with its state already populated
+        (CoW block table or copied slab), so the resource manager
+        registers it here instead.  Removal semantics are identical.
+        """
+        if seq_id in self._caches:
+            raise KeyError(f"sequence {seq_id!r} already allocated")
         self._caches[seq_id] = cache
         return cache
 

@@ -22,10 +22,12 @@ from __future__ import annotations
 import numpy as np
 
 import math
+from dataclasses import replace
 
 from repro.config import ModelConfig, llama2_7b_shapes, tiny_config
 from repro.core.engine import budget_from_ratio, sequence_capacity
 from repro.core.policies.voting import VotingPolicy
+from repro.core.sampling import greedy, temperature_sampler
 from repro.experiments.common import ExperimentResult, format_table
 from repro.models.inference import CachedTransformer
 from repro.models.transformer import TransformerLM
@@ -41,6 +43,7 @@ __all__ = [
     "run",
     "run_cosim",
     "run_engine",
+    "run_fork",
     "run_preempt",
     "run_prefix",
     "run_spec",
@@ -1306,6 +1309,195 @@ def run_preempt(
     result = ExperimentResult(
         "serving_preempt",
         f"Preemption under KV overload ({n_requests}-request burst)",
+        rows=rows,
+        notes=notes,
+    )
+    return result, "\n\n".join(extra_blocks)
+
+
+def run_fork(
+    n_samples=4,
+    beam_width=0,
+    n_requests=4,
+    mean_interarrival=4.0,
+    reserved_length=4,
+    model=None,
+    seed=0,
+    block_size=4,
+    shared_prefix=0,
+    prompt_range=(12, 24),
+    max_new_range=(8, 12),
+    max_batch_size=None,
+    cosim=False,
+    hw=None,
+    cosim_shapes="7b",
+):
+    """Fork/join benchmark: parallel sampling or beam search over
+    shared-prompt KV blocks.
+
+    Serves one workload three ways on identical prompts:
+
+    1. ``single`` — every request decoded once (paged), scaled to the
+       branch count for the fair memory baseline;
+    2. ``forked/paged`` — every request forked into ``n_samples``
+       branches (or a ``beam_width`` beam) sharing all prompt blocks
+       copy-on-write: the peak-block ratio against ``branches x single``
+       is the shared-prompt-blocks win;
+    3. ``forked/dense`` — the same fork family over dense slabs, where
+       each fork physically copies the parent's KV state
+       (``fork_copied_slots``), which ``--cosim`` prices as HBM traffic
+       (paged forks price at zero).
+
+    Parallel sampling uses a temperature sampler so branches diverge
+    (branch ``i`` is bit-identical to an independent request with seed
+    ``seed + i``); beam search is deterministic and ignores the sampler.
+
+    Returns ``(ExperimentResult, extra_text)``.
+    """
+    if beam_width and beam_width > 1 and n_samples > 1:
+        raise ValueError("n_samples and beam_width are mutually exclusive")
+    mode = "beam" if beam_width and beam_width > 1 else "sample"
+    width = beam_width if mode == "beam" else n_samples
+    if width < 2:
+        raise ValueError(
+            f"fork benchmark needs at least 2 branches, got {width}"
+        )
+    if model is None:
+        model = CachedTransformer.from_module(
+            TransformerLM(tiny_config(), seed=0)
+        )
+    if max_batch_size is None:
+        max_batch_size = max(8, 2 * width)
+    n_layers = model.config.n_layers
+    sampler = greedy if mode == "beam" else temperature_sampler(0.8)
+
+    base_requests = make_workload(
+        n_requests=n_requests,
+        mean_interarrival=mean_interarrival,
+        prompt_range=prompt_range,
+        max_new_range=max_new_range,
+        compression_ratio=None,
+        shared_prefix=shared_prefix,
+        vocab=model.config.vocab_size,
+        seed=seed,
+    )
+    forked_requests = [
+        replace(
+            request,
+            n=width if mode == "sample" else 1,
+            beam_width=width if mode == "beam" else 1,
+        )
+        for request in base_requests
+    ]
+
+    def serve(requests, use_paged):
+        scheduler = Scheduler(
+            model,
+            policy_factory=lambda: VotingPolicy(
+                n_layers, reserved_length=reserved_length
+            ),
+            max_batch_size=max_batch_size,
+            sampler=sampler,
+            paged=use_paged,
+            block_size=block_size,
+        )
+        for request in requests:
+            scheduler.submit(request)
+        report = scheduler.run()
+        return scheduler, report
+
+    _, single_report = serve(base_requests, use_paged=True)
+    forked_paged, paged_report = serve(forked_requests, use_paged=True)
+    forked_dense, dense_report = serve(forked_requests, use_paged=False)
+
+    scaled_single_peak = width * single_report.peak_blocks
+    rows = [
+        {
+            "mode": "single/paged",
+            "branches": 1,
+            "rounds": single_report.total_rounds,
+            "tokens": single_report.total_tokens,
+            "peak_blocks": single_report.peak_blocks,
+            "forks": 0,
+            "shared_blocks": 0,
+            "copied_slots": 0,
+        },
+        {
+            "mode": f"{mode}/paged",
+            "branches": width,
+            "rounds": paged_report.total_rounds,
+            "tokens": paged_report.total_tokens,
+            "peak_blocks": paged_report.peak_blocks,
+            "forks": paged_report.forks,
+            "shared_blocks": paged_report.fork_shared_blocks,
+            "copied_slots": 0,
+            "peak_vs_scaled_single": (
+                paged_report.peak_blocks / scaled_single_peak
+                if scaled_single_peak
+                else 0.0
+            ),
+        },
+        {
+            "mode": f"{mode}/dense",
+            "branches": width,
+            "rounds": dense_report.total_rounds,
+            "tokens": dense_report.total_tokens,
+            "peak_blocks": 0,
+            "forks": dense_report.forks,
+            "shared_blocks": 0,
+            "copied_slots": dense_report.fork_copied_slots,
+        },
+    ]
+
+    extra_blocks = []
+    if cosim:
+        hw_model = (
+            llama2_7b_shapes() if cosim_shapes == "7b" else model.config
+        )
+        cosim_rows = []
+        for label, scheduler in (
+            (f"{mode}/paged", forked_paged),
+            (f"{mode}/dense", forked_dense),
+        ):
+            priced = ServingCoSimulator(
+                scheduler, hw=hw, hw_model=hw_model
+            ).replay()
+            summary = priced.summary()
+            cosim_rows.append(
+                {
+                    "trace": label,
+                    "cycles": summary["cycles"],
+                    "hw_tokens/s": summary["hw_tokens/s"],
+                    "fork_events": priced.fork_events,
+                    "fork_cycles": priced.fork_cycles,
+                    "fork_mb": priced.fork_bytes / 1e6,
+                }
+            )
+        extra_blocks.append(
+            format_table(
+                cosim_rows,
+                title=(
+                    "Fork pricing on the cycle model "
+                    f"({'Llama-2 7B' if cosim_shapes == '7b' else 'served'} "
+                    "shapes): paged CoW forks are free, dense forks pay "
+                    "an HBM copy of every inherited slot"
+                ),
+            )
+        )
+
+    notes = (
+        f"{n_requests} prompts, {width} branches each ({mode} mode). "
+        "Forked/paged shares every prompt block copy-on-write across "
+        "branches, so peak_vs_scaled_single < 1.0 is the memory the "
+        "fork surface saves over serving the branches as independent "
+        "requests; fork_shared_blocks counts the block references "
+        "adopted instead of allocated. Forked/dense pays the same "
+        "divergence with physical slab copies (copied_slots), the "
+        "traffic --cosim prices."
+    )
+    result = ExperimentResult(
+        "serving_fork",
+        f"Fork/join decoding: {mode} x{width} over {n_requests} prompts",
         rows=rows,
         notes=notes,
     )

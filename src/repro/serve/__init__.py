@@ -46,6 +46,7 @@ from repro.serve.resources import PREEMPT_MODES, KVResourceManager, SwapImage
 from repro.serve.scheduler import Scheduler, ServingReport
 from repro.serve.trace import (
     DecodeEvent,
+    ForkEvent,
     PrefillEvent,
     RoundTrace,
     SwapEvent,
@@ -78,6 +79,7 @@ __all__ = [
     "compare_dataflows",
     "make_admission",
     "DecodeEvent",
+    "ForkEvent",
     "PrefillEvent",
     "RoundTrace",
     "SwapEvent",

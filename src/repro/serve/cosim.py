@@ -146,6 +146,13 @@ class ServingCoSimReport:
     #: Cycles the host link spends on those transfers, serialized into
     #: ``total_cycles`` (swap traffic is never free).
     swap_cycles: float = 0.0
+    #: Branch forks priced (fork-family traces only).
+    fork_events: int = 0
+    #: HBM bytes dense forks spent duplicating KV slabs (read + write of
+    #: every copied slot); 0 for paged CoW forks — the sharing win.
+    fork_bytes: float = 0.0
+    #: HBM cycles of those copies, serialized into ``total_cycles``.
+    fork_cycles: float = 0.0
     #: request_id -> all-layer attention cycles per priced decode step,
     #: in step order (includes the dead step when priced) — directly
     #: comparable to ``CoSimResult.attention_cycles_per_step``.
@@ -244,6 +251,10 @@ class ServingCoSimReport:
             summary["swap_events"] = self.swap_events
             summary["swap_cycles"] = self.swap_cycles
             summary["swap_mb"] = self.swap_bytes / 1e6
+        if self.fork_events:
+            summary["fork_events"] = self.fork_events
+            summary["fork_cycles"] = self.fork_cycles
+            summary["fork_mb"] = self.fork_bytes / 1e6
         if self.verify_passes:
             summary["verify_passes"] = self.verify_passes
             summary["accept_rate"] = self.accept_rate
@@ -363,6 +374,7 @@ class ServingCoSimulator:
             2 * self.hw_model.d_model * self.hw.bytes_per_element * n_layers
         )
         has_swaps = any(record.swaps for record in trace)
+        has_forks = any(record.forks for record in trace)
         has_verifies = any(record.verifies for record in trace)
         if has_verifies and self.draft_simulator is None:
             raise ValueError(
@@ -409,6 +421,7 @@ class ServingCoSimulator:
                 and not decode_events
                 and not record.verifies
                 and not record.swaps
+                and not record.forks
             ):
                 continue
             if record.prefills or decode_events or record.verifies:
@@ -483,6 +496,20 @@ class ServingCoSimulator:
                 report.spec_proposed += sum(v.proposed for v in record.verifies)
                 report.spec_accepted += sum(v.accepted for v in record.verifies)
                 report.spec_tokens += sum(v.tokens for v in record.verifies)
+            # Fork traffic: a dense fork duplicates every copied slot's
+            # keys and values within HBM (one read + one write pass over
+            # the same bytes a swap would move once over the host link);
+            # a paged CoW fork copies nothing and is priced at zero —
+            # the shared-prompt-blocks win made cycle-visible.
+            round_fork_cycles = 0.0
+            if record.forks:
+                round_fork_bytes = (
+                    record.forked_copied_slots * 2 * swap_bytes_per_slot
+                )
+                round_fork_cycles = round_fork_bytes / self.hw.bytes_per_cycle
+                report.fork_events += record.num_forks
+                report.fork_bytes += round_fork_bytes
+                report.fork_cycles += round_fork_cycles
             round_swap_cycles = 0.0
             if record.swaps:
                 round_swap_bytes = (
@@ -500,7 +527,9 @@ class ServingCoSimulator:
                 report.decode_cycles += stats.decode_cycles
                 report.macs += stats.macs
                 report.hbm_bytes += stats.hbm_bytes + vote_bytes
-            report.total_cycles += round_swap_cycles + round_draft_cycles
+            report.total_cycles += (
+                round_swap_cycles + round_draft_cycles + round_fork_cycles
+            )
             # Tokens are recomputed here from the per-event flags so the
             # pricing loop itself guarantees dead rows yield zero tokens
             # (a `record.tokens` regression would trip this, not pass
@@ -544,7 +573,8 @@ class ServingCoSimulator:
                 "decodes": len(decode_events),
                 "cycles": (stats.cycles if stats is not None else 0.0)
                 + round_swap_cycles
-                + round_draft_cycles,
+                + round_draft_cycles
+                + round_fork_cycles,
                 "attn_cycles": stats.attention_cycles if stats is not None else 0.0,
                 "linear_cycles": stats.linear_cycles if stats is not None else 0.0,
                 "tokens": record.tokens,
@@ -552,6 +582,9 @@ class ServingCoSimulator:
             if has_swaps:
                 row["swaps"] = record.num_swaps
                 row["swap_cycles"] = round_swap_cycles
+            if has_forks:
+                row["forks"] = record.num_forks
+                row["fork_cycles"] = round_fork_cycles
             if has_verifies:
                 row["verifies"] = record.num_verifies
                 row["verify_rows"] = sum(v.rows for v in record.verifies)

@@ -264,6 +264,16 @@ class PagedLayerKVCache:
         alone misses registered-after-write sharing)."""
         return sum(1 for block_id in self._table if self.pool.refcount(block_id) > 1)
 
+    @property
+    def shared_tail_blocks(self):
+        """1 when the next append writes into a still-shared block (a
+        fork branch's partial tail), 0 otherwise.  A block-aligned length
+        allocates fresh instead, which the tail-crossing demand term
+        already counts."""
+        if self.length % self.block_size == 0 or not self._table:
+            return 0
+        return 1 if self.pool.refcount(self._table[-1]) > 1 else 0
+
     def _gather(self, storage, start=0):
         """Copies of slots [start, length), dense-layout, (H, n, d)."""
         first = start // self.block_size
@@ -492,6 +502,26 @@ class PagedLayerKVCache:
             self._owned.append(False)
         self.length = length
 
+    def fork(self):
+        """A copy-on-write branch of this layer's cache.
+
+        The branch adopts the *entire* current table — every block
+        retained, none owned — so fork costs only refcounts and table
+        metadata, no KV traffic.  Divergence pays as it happens: the
+        branch's (or the parent's) first write into a still-shared block
+        goes through the ordinary :meth:`_ensure_owned` copy-on-write,
+        including a mid-block append into a partial tail.  A branch whose
+        tail shrinks back past a shared block releases just its reference
+        (``join``/prune never frees blocks another branch still holds).
+        """
+        clone = PagedLayerKVCache(self.pool, self.capacity)
+        for block_id in self._table:
+            self.pool.retain(block_id)
+            clone._table.append(block_id)
+            clone._owned.append(False)
+        clone.length = self.length
+        return clone
+
     def release(self):
         """Return every table block to the pool (sequence retirement)."""
         while self._table:
@@ -546,6 +576,12 @@ class PagedKVCache:
         """Blocks with pool refcount > 1 (CoW candidates), all layers."""
         return sum(layer.shared_blocks for layer in self.layers)
 
+    @property
+    def shared_tail_blocks(self):
+        """Layers whose next append must copy-on-write a shared partial
+        tail block (post-fork divergence), over all layers."""
+        return sum(layer.shared_tail_blocks for layer in self.layers)
+
     def attach_prefix(self, layer_block_ids, length):
         """Adopt a shared prefix: ``layer_block_ids[l]`` are the block ids
         for layer ``l``; every layer adopts ``length`` slots."""
@@ -560,6 +596,13 @@ class PagedKVCache:
         """Roll every layer back to ``length`` slots (spec-decode rollback)."""
         for layer in self.layers:
             layer.truncate(length)
+
+    def fork(self):
+        """A copy-on-write branch: every layer's table shared, refcounted."""
+        clone = PagedKVCache.__new__(PagedKVCache)
+        clone.pool = self.pool
+        clone.layers = [layer.fork() for layer in self.layers]
+        return clone
 
     def release(self):
         """Release every layer's blocks back to the pool."""

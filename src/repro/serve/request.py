@@ -112,6 +112,21 @@ class Request:
     priority:
         Scheduling priority (higher = more urgent); consumed by the
         engine's priority admission policy, ignored by plain FIFO.
+    n:
+        Parallel samples: ``n > 1`` returns ``n`` independent
+        continuations of the same prompt.  The prompt is prefilled once;
+        at prefill completion the sequence is forked into ``n`` branches
+        sharing all prompt KV blocks copy-on-write (paged mode), each
+        sampling with its own RNG seeded ``seed + branch_index`` — so
+        branch ``i`` is bit-identical to an independent request with
+        ``seed = seed + i``.
+    beam_width:
+        Beam search: ``beam_width > 1`` decodes with joint per-round
+        top-``beam_width`` selection over cumulative log-probabilities.
+        Losing branches are pruned (released through the retirement
+        path); a branch with several surviving successors CoW-forks.
+        Mutually exclusive with ``n > 1``; the sampler is ignored (beam
+        scoring is deterministic).
     """
 
     request_id: object
@@ -123,6 +138,8 @@ class Request:
     budget: int | None = None
     deadline: int | None = None
     priority: int = 0
+    n: int = 1
+    beam_width: int = 1
 
     def __post_init__(self):
         self.prompt = np.asarray(self.prompt)
@@ -139,6 +156,19 @@ class Request:
                 f"deadline {self.deadline} precedes arrival "
                 f"{self.arrival_time}"
             )
+        if self.n < 1:
+            raise ValueError("n must be at least 1")
+        if self.beam_width < 1:
+            raise ValueError("beam_width must be at least 1")
+        if self.n > 1 and self.beam_width > 1:
+            raise ValueError(
+                "n and beam_width are mutually exclusive decoding modes"
+            )
+
+    @property
+    def num_branches(self):
+        """Branch slots this request can occupy at once (1 = plain)."""
+        return max(self.n, self.beam_width)
 
 
 @dataclass
@@ -245,6 +275,16 @@ class SequenceState:
     #: Draft tokens proposed for / accepted by this sequence.
     spec_proposed: int = 0
     spec_accepted: int = 0
+    #: Family id (the root request's id) when this sequence belongs to a
+    #: fork family (parallel sampling or beam search); ``None`` otherwise.
+    family: object = None
+    #: Branch index within the family (0 = the root sequence).
+    branch_index: int = 0
+    #: True once the family root has spawned its parallel-sampling
+    #: branches (guards against re-forking after a preemption resume).
+    forked: bool = False
+    #: Cumulative log-probability of the generated tokens (beam scoring).
+    cum_logprob: float = 0.0
 
     @property
     def request_id(self):

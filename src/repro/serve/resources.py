@@ -229,6 +229,23 @@ prefix_ttl, prefix_match_mode:
         self._admitted = {}  # request_id -> cache (device-resident)
         self._reservations = {}  # request_id -> worst-case pool blocks
         self._swapped = {}  # request_id -> SwapImage (host pool)
+        # family id -> batch slots held for branches not yet forked; the
+        # scheduler keeps a fork family's total slot claim constant at
+        # its branch count, so later admissions can never starve a
+        # family of the slots its forks were admitted against.
+        self._slot_reservations = {}
+        # family id -> pool blocks held for branches not yet forked
+        # (one-way scheduling's block-side mirror of the slot claim).
+        self._block_reservations = {}
+
+        # ---- fork/join counters (feed ServingReport) ----
+        self.forks = 0
+        self.joins = 0
+        #: Pool blocks branches adopted copy-on-write at fork instead of
+        #: allocating — the shared-prompt-blocks metric (paged mode).
+        self.fork_shared_blocks = 0
+        #: KV slots (per-layer convention) dense forks physically copied.
+        self.fork_copied_slots = 0
 
         # ---- swap-traffic counters (feed ServingReport) ----
         self.swap_outs = 0
@@ -251,11 +268,13 @@ prefix_ttl, prefix_match_mode:
 
     @property
     def slots_used(self):
-        return len(self._admitted)
+        """Admitted sequences plus batch slots reserved for fork
+        families' not-yet-spawned branches."""
+        return len(self._admitted) + sum(self._slot_reservations.values())
 
     @property
     def slots_free(self):
-        return self.max_batch_size - len(self._admitted)
+        return self.max_batch_size - self.slots_used
 
     @property
     def num_swapped(self):
@@ -330,6 +349,13 @@ prefix_ttl, prefix_match_mode:
         )
         if budgeted:
             demand += cache.shared_blocks
+        else:
+            # A fork branch's partial tail block may still be shared with
+            # its siblings; the very first diverging append copies it
+            # without crossing a block boundary, so the crossing term
+            # alone misses it.  Zero in every non-fork flow (prefill
+            # always diverges an adopted partial tail before decode).
+            demand += getattr(cache, "shared_tail_blocks", 0)
         return demand
 
     def prefill_block_demand(self, cache, rows, budgeted, final):
@@ -402,25 +428,49 @@ prefix_ttl, prefix_match_mode:
         return sum(
             max(0, self._reservations[rid] - cache.owned_blocks)
             for rid, cache in self._admitted.items()
-        )
+        ) + sum(self._block_reservations.values())
 
-    def can_admit(self, worst_blocks, immediate_blocks):
+    def can_admit(self, worst_blocks, immediate_blocks, slots=1):
         """Room for one more sequence?
 
-        Needs a free batch slot in every mode.  Block-wise, one-way
+        Needs a free batch slot in every mode (``slots`` of them: a fork
+        family's root admission claims one slot per eventual branch, so
+        the scheduler passes the branch count here).  Block-wise, one-way
         scheduling (``preempt="off"``) demands the worst case on top of
         every running sequence's outstanding reservation — an admitted
         sequence can then never fail an allocation; two-way scheduling
         demands only the immediate prefill need, because a mid-run
         shortfall preempts a victim instead of crashing.
         """
-        if self.slots_free <= 0:
+        if self.slots_free < slots:
             return False
         if not self.paged or self.block_pool.growable:
             return True
         if self.preemptible:
             return self.has_blocks(immediate_blocks)
         return self.has_blocks(worst_blocks + self.outstanding_reservation())
+
+    def reserve_slots(self, family, extra):
+        """Hold ``extra`` batch slots for ``family``'s unspawned branches.
+
+        Setting ``extra <= 0`` drops the family's reservation.  The
+        scheduler calls this at root admission (``num_branches - 1``
+        extras), shrinks it as forks consume slots, and re-arms it when
+        a beam family's live-branch count dips below its width."""
+        if extra <= 0:
+            self._slot_reservations.pop(family, None)
+        else:
+            self._slot_reservations[family] = int(extra)
+
+    def reserve_blocks(self, family, blocks):
+        """Hold ``blocks`` pool blocks for ``family``'s unspawned
+        branches (the one-way block-side mirror of
+        :meth:`reserve_slots`; counted by
+        :meth:`outstanding_reservation`).  ``blocks <= 0`` drops it."""
+        if blocks <= 0:
+            self._block_reservations.pop(family, None)
+        else:
+            self._block_reservations[family] = int(blocks)
 
     # ------------------------------------------------------------------
     # Lifecycle: admit / retire / preempt / resume
@@ -442,6 +492,52 @@ prefix_ttl, prefix_match_mode:
             else reserved_blocks
         )
         return cache
+
+    def fork(self, parent_id, child_id, reserved_blocks=None, family=None):
+        """Fork ``parent_id``'s cache into a new branch ``child_id``.
+
+        The child claims a batch slot — drawn from ``family``'s slot
+        reservation when one is armed (the root admission pre-paid it),
+        otherwise from the free pool — and adopts the parent's KV state:
+        copy-on-write block sharing in paged mode (zero slots copied,
+        every parent block's refcount bumped), a full slab copy dense.
+        Divergence is handled downstream by the caches themselves
+        (:meth:`~repro.serve.paging.PagedLayerKVCache.fork`); the manager
+        only does the bookkeeping.  Returns the child cache.
+        """
+        if family is not None and family in self._slot_reservations:
+            remaining = self._slot_reservations[family] - 1
+            self.reserve_slots(family, remaining)
+        elif self.slots_free <= 0:
+            raise RuntimeError("fork with no free batch slot")
+        parent = self._admitted[parent_id]
+        child = parent.fork()
+        self.cache_bank.adopt_sequence(child_id, child)
+        self._admitted[child_id] = child
+        self._reservations[child_id] = (
+            self._reservations.get(parent_id, 0)
+            if reserved_blocks is None
+            else reserved_blocks
+        )
+        self.forks += 1
+        if self.paged:
+            self.fork_shared_blocks += child.num_blocks
+        else:
+            self.fork_copied_slots += max(
+                (layer.length for layer in child), default=0
+            )
+        return child
+
+    def join(self, request_id):
+        """Prune a losing branch back into the pool.
+
+        Resource-wise identical to :meth:`retire` — the branch's tail
+        blocks return to the pool and blocks still shared with siblings
+        just drop a refcount — but spelled (and counted) separately
+        because the sequence did not finish: beam pruning retires it
+        with ``finish_reason="beam_pruned"``."""
+        self.joins += 1
+        self.retire(request_id)
 
     def retire(self, request_id):
         """Free a retired sequence's slot and cache (blocks return to the

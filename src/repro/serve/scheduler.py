@@ -127,8 +127,9 @@ Worked example — serve three requests at batch cap 2::
 
 from __future__ import annotations
 
+import copy
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -151,6 +152,7 @@ from repro.serve.trace import (
     SWAP_IN,
     SWAP_OUT,
     DecodeEvent,
+    ForkEvent,
     PrefillEvent,
     RoundTrace,
     SwapEvent,
@@ -239,6 +241,17 @@ class ServingReport:
     #: token each continuing pass leaves pending) — the numerator of
     #: :attr:`tokens_per_target_pass`.
     spec_tokens: int = 0
+    # ---- fork/join extras (defaults when no fork families) ----
+    #: Branch forks performed (parallel-sampling spawns + beam splits).
+    forks: int = 0
+    #: Branches retired early through the join path (beam pruning).
+    joins: int = 0
+    #: Pool blocks branches adopted copy-on-write at fork instead of
+    #: allocating fresh — the shared-prompt-blocks saving (paged mode).
+    fork_shared_blocks: int = 0
+    #: KV slots (per-layer convention) dense forks physically copied —
+    #: exactly the traffic paged CoW sharing avoids.
+    fork_copied_slots: int = 0
 
     @property
     def accept_rate(self):
@@ -352,6 +365,14 @@ class ServingReport:
             summary["verify_passes"] = self.verify_passes
             summary["accept_rate"] = self.accept_rate
             summary["tokens/pass"] = self.tokens_per_target_pass
+        if self.forks:
+            summary["forks"] = self.forks
+            if self.joins:
+                summary["beam_pruned"] = self.joins
+            if self.paged:
+                summary["fork_shared_blocks"] = self.fork_shared_blocks
+            else:
+                summary["fork_copied_slots"] = self.fork_copied_slots
         if self.preempt != "off":
             summary["preempt"] = self.preempt
             summary["preemptions"] = self.preemptions
@@ -372,6 +393,34 @@ class ServingReport:
                 }
             )
         return summary
+
+
+@dataclass
+class _ForkFamily:
+    """Book-keeping for one multi-branch request (``n`` or ``beam_width``).
+
+    The family's root sequence is ``branches[0]``; spawned branches are
+    appended in creation order and keep ids ``<root_id>#<branch_index>``.
+    Pruned/finished branches stay in ``branches`` (results are read from
+    them); liveness is judged by their status.
+    """
+
+    #: The originally submitted multi-branch :class:`Request`.
+    request: object
+    #: ``"sample"`` (``n > 1``) or ``"beam"`` (``beam_width > 1``).
+    mode: str
+    #: Target branch count (``n`` or ``beam_width``).
+    width: int
+    #: Every :class:`SequenceState` ever in the family, creation order.
+    branches: list = field(default_factory=list)
+    #: Next branch index to assign (the root is branch 0).
+    next_branch: int = 1
+    #: Worst-case pool blocks of one branch (captured at root admission;
+    #: scales the family's block-side reservation under one-way mode).
+    branch_worst: int | None = None
+    #: Sample mode: True once the root has spawned its ``n - 1``
+    #: siblings (a one-shot event, unlike beam's rolling forks).
+    spawned: bool = False
 
 
 class Scheduler:
@@ -562,6 +611,7 @@ class Scheduler:
         self._waiting = []  # SequenceState, sorted by (arrival, submit order)
         self._running = []  # SequenceState, admission order
         self._finished = []
+        self._families = {}  # family id (root request id) -> _ForkFamily
         self._rejected = []  # Rejection records, submission order
         self._submit_count = 0
         #: Per-round hardware trace (:class:`~repro.serve.trace.RoundTrace`
@@ -638,6 +688,20 @@ class Scheduler:
         }
         if request.request_id in seen or request.request_id in self.cache_bank:
             raise KeyError(f"duplicate request id {request.request_id!r}")
+        if request.num_branches > 1:
+            if self.draft_model is not None:
+                raise ValueError(
+                    "fork families (n > 1 / beam_width > 1) are incompatible "
+                    "with speculative decoding: a branch's provisional verify "
+                    "window would be shared copy-on-write with its siblings, "
+                    "so rollback could not stay per-branch exact"
+                )
+            if request.num_branches > self.max_batch_size:
+                raise ValueError(
+                    f"request {request.request_id!r} needs "
+                    f"{request.num_branches} batch slots for its branches "
+                    f"but max_batch_size is {self.max_batch_size}"
+                )
         if self.paged and not self.block_pool.growable:
             budget = request.budget if request.budget is not None else self.budget
             # The worst case is also the request's *actual* peak demand
@@ -648,6 +712,13 @@ class Scheduler:
             worst = self.manager.sequence_worst_blocks(
                 request.prompt.shape[0], request.max_new_tokens, budget
             )
+            # A fork family must eventually hold every branch resident at
+            # once (branches are never half-admitted), so its unservable
+            # threshold is the per-branch worst times the branch count —
+            # conservative for paged mode, where branches actually share
+            # their prompt blocks, but a family beyond it could deadlock
+            # a one-way pool.
+            worst *= request.num_branches
             if worst > self.block_pool.num_blocks:
                 rejection = Rejection(
                     request_id=request.request_id,
@@ -668,6 +739,14 @@ class Scheduler:
                 return rejection
         state = SequenceState(request=request, submit_index=self._submit_count)
         self._submit_count += 1
+        if request.num_branches > 1:
+            state.family = request.request_id
+            self._families[request.request_id] = _ForkFamily(
+                request=request,
+                mode="sample" if request.n > 1 else "beam",
+                width=request.num_branches,
+                branches=[state],
+            )
         self._waiting.append(state)
         self._waiting.sort(
             key=lambda s: (s.request.arrival_time, s.submit_index)
@@ -738,7 +817,17 @@ class Scheduler:
         self._sample_kv_usage()
 
         sampled = self._sample(record)
-        active = [s for s in self._running if s.status == RUNNING]
+        beam_ready = None
+        if self._families:
+            beam_tokens, beam_ready = self._advance_beams(record)
+            sampled += beam_tokens
+            beam_ready = {id(s) for s in beam_ready}
+        active = [
+            s
+            for s in self._running
+            if s.status == RUNNING
+            and (beam_ready is None or not self._is_beam(s) or id(s) in beam_ready)
+        ]
         if active and self.draft_model is not None:
             plain = []
             for state in active:
@@ -758,6 +847,7 @@ class Scheduler:
             or record.dead_steps
             or record.verifies
             or record.swaps
+            or record.forks
         ):
             # Busy = the hardware did work, whether or not a token came
             # out: a chunked-prefill-only round costs compute too, and
@@ -850,6 +940,8 @@ class Scheduler:
                     )
                 )
                 self._running.append(state)
+                if state.family is not None:
+                    self._sync_family(self._families[state.family])
                 continue  # no prefill rows: chunk budget untouched
 
             request = state.request
@@ -879,6 +971,11 @@ class Scheduler:
             state.status = PREFILLING
             if state.admitted_at is None:
                 state.admitted_at = self.round_index
+            if state.family is not None:
+                family = self._families[state.family]
+                if family.branch_worst is None:
+                    family.branch_worst = state.reserved_blocks
+                self._sync_family(family)
 
             if self.paged:
                 self._attach_prefix(state)
@@ -944,6 +1041,11 @@ class Scheduler:
                         -(-rows_now // block_size)
                     )
                     own_need += fresh * n_layers
+        slots = 1
+        if state.family is not None:
+            worst = self._family_admission_worst(state, worst)
+            slots = self._family_slots_needed(state)
+
         def immediate():
             # Optimistic admission must not eat the blocks the resident
             # batch still needs this round (its decode appends and CoW)
@@ -955,7 +1057,7 @@ class Scheduler:
                 return own_need + self._round_block_demand()
             return own_need
 
-        while not manager.can_admit(worst, immediate()):
+        while not manager.can_admit(worst, immediate(), slots=slots):
             if not manager.preemptible:
                 return False
             victim = self._select_victim()
@@ -1048,6 +1150,10 @@ class Scheduler:
         self._waiting.sort(
             key=lambda s: (s.request.arrival_time, s.submit_index)
         )
+        if state.family is not None:
+            # Losing residency may drop the family's standing reservation
+            # (re-secured wholesale at the next branch's re-admission).
+            self._sync_family(self._families[state.family])
 
     def _ensure_headroom(self, record):
         """Guarantee this round's block demand before any compute runs.
@@ -1112,6 +1218,23 @@ class Scheduler:
                 demand += manager.decode_block_demand(
                     state.cache, budgeted, tokens=tokens
                 )
+        # A beam family about to advance may fork up to width - 1
+        # branches mid-round (after headroom was secured), each taking
+        # an append step of its own; bound their demand by the widest
+        # live branch's step demand.
+        for family in self._families.values():
+            if family.mode != "beam":
+                continue
+            live = self._family_live(family)
+            if not live or any(s.status != RUNNING for s in live):
+                continue
+            budgeted = (
+                family.request.budget is not None or self.budget is not None
+            )
+            per_step = max(
+                manager.decode_block_demand(s.cache, budgeted) for s in live
+            )
+            demand += (family.width - 1) * per_step
         return demand
 
     def _prefill_state(self, state, budget, chunk_budget, record):
@@ -1151,6 +1274,12 @@ class Scheduler:
             state.logits = logits
             state.position = total
             state.status = RUNNING
+            if (
+                state.family is not None
+                and state.request.n > 1
+                and not state.forked
+            ):
+                self._fork_family(state, record)
         return chunk_budget
 
     def _prefill_compute(self, state, start, end):
@@ -1310,6 +1439,8 @@ class Scheduler:
         for state in self._running:
             if state.status != RUNNING:
                 continue  # chunked prefill still in flight: no logits yet
+            if self._is_beam(state):
+                continue  # beam branches take tokens from the joint advance
             request = state.request
             token = self.sampler(state.logits, state.rng)
             state.tokens.append(token)
@@ -1376,6 +1507,252 @@ class Scheduler:
             state.cache_lengths.append(state.cache[0].length)
             state.logits = result.logits[b]
             state.position += 1
+
+    # ------------------------------------------------------------------
+    # Fork/join (parallel sampling and beam search)
+    # ------------------------------------------------------------------
+    def _is_beam(self, state):
+        """Whether ``state`` belongs to a beam-search family (its tokens
+        come from the joint per-round advance, never from ``_sample``)."""
+        if state.family is None:
+            return False
+        return self._families[state.family].mode == "beam"
+
+    def _family_live(self, family):
+        """The family's unfinished branches, creation order."""
+        return [s for s in family.branches if s.status != FINISHED]
+
+    def _family_unspawned(self, family):
+        """Branches the family may still fork (the reservation target).
+
+        Sample mode spawns exactly once, so after the spawn the answer
+        is 0 regardless of later branch deaths; beam mode refills its
+        width whenever a branch finishes, so every missing live branch
+        is a potential future fork."""
+        if family.mode == "sample" and family.spawned:
+            return 0
+        return max(0, family.width - len(self._family_live(family)))
+
+    def _sync_family(self, family):
+        """Reconcile the manager's slot/block reservations with the
+        family's state: while any branch is resident the family holds
+        its unspawned branches' slots (and, one-way, their worst-case
+        blocks); with no resident branch the claim drops — the next
+        re-admission re-secures the whole family via
+        :meth:`_family_admission_worst` / :meth:`_family_slots_needed`.
+        """
+        live = self._family_live(family)
+        resident = any(s.status in (PREFILLING, RUNNING) for s in live)
+        extra = self._family_unspawned(family) if resident else 0
+        family_id = family.request.request_id
+        self.manager.reserve_slots(family_id, extra)
+        blocks = extra * (family.branch_worst or 0)
+        self.manager.reserve_blocks(family_id, blocks)
+
+    def _family_slots_needed(self, state):
+        """Batch slots ``state``'s admission must find free: one for
+        itself, plus — when no family branch is resident, so nothing
+        holds the family's reservation — one per branch the family may
+        still fork."""
+        family = self._families[state.family]
+        live = self._family_live(family)
+        if any(s.status in (PREFILLING, RUNNING) for s in live):
+            return 1
+        return 1 + self._family_unspawned(family)
+
+    def _family_admission_worst(self, state, worst):
+        """One-way block demand for admitting ``state``: its own worst
+        case, plus the unspawned branches' share when this admission
+        (re-)arms the family reservation."""
+        family = self._families[state.family]
+        live = self._family_live(family)
+        if any(s.status in (PREFILLING, RUNNING) for s in live):
+            return worst
+        per_branch = family.branch_worst if family.branch_worst is not None else worst
+        return worst + self._family_unspawned(family) * per_branch
+
+    def _fork_family(self, state, record):
+        """Spawn a parallel-sampling family's ``n - 1`` sibling branches
+        off the freshly prefilled root (one-shot).
+
+        Each branch adopts the root's KV state (CoW blocks when paged, a
+        slab copy when dense), a deep copy of its eviction-policy state,
+        and a *fresh* RNG seeded ``seed + branch_index`` — the root's own
+        RNG, seeded ``seed`` and still unconsumed at this point, makes
+        branch 0 the root itself, so branch ``i`` is bit-identical to an
+        independent request with seed ``seed + i``."""
+        family = self._families[state.family]
+        for _ in range(family.width - 1):
+            self._fork_branch(state, family, record)
+        state.forked = True
+        family.spawned = True
+        self._sync_family(family)
+
+    def _fork_branch(self, parent, family, record):
+        """Fork one branch off ``parent``: duplicate its scheduler-side
+        state, let the resource manager duplicate its device state (this
+        consumes one reserved family slot), and record the
+        :class:`~repro.serve.trace.ForkEvent`.  Returns the branch."""
+        root = family.request
+        branch_index = family.next_branch
+        family.next_branch += 1
+        child_id = f"{root.request_id}#{branch_index}"
+        child_request = replace(
+            root,
+            request_id=child_id,
+            seed=root.seed + branch_index,
+            n=1,
+            beam_width=1,
+        )
+        child = SequenceState(
+            request=child_request,
+            policy=copy.deepcopy(parent.policy),
+            rng=np.random.default_rng(child_request.seed),
+            status=RUNNING,
+            logits=parent.logits,
+            position=parent.position,
+            tokens=list(parent.tokens),
+            cache_lengths=list(parent.cache_lengths),
+            evictions=list(parent.evictions),
+            admitted_at=parent.admitted_at,
+            first_token_round=parent.first_token_round,
+            prefilled=parent.prefilled,
+            prompt_tokens=parent.prompt_tokens,
+            submit_index=self._submit_count,
+            reserved_blocks=parent.reserved_blocks,
+            prefix_node=parent.prefix_node,
+            prefix_hit_length=parent.prefix_hit_length,
+            prefix_tainted=parent.prefix_tainted,
+            family=parent.family,
+            branch_index=branch_index,
+            cum_logprob=parent.cum_logprob,
+        )
+        self._submit_count += 1
+        child.cache = self.manager.fork(
+            parent.request_id,
+            child_id,
+            reserved_blocks=parent.reserved_blocks,
+            family=root.request_id,
+        )
+        family.branches.append(child)
+        self._running.append(child)
+        kv_slots = max((layer.length for layer in child.cache), default=0)
+        record.forks.append(
+            ForkEvent(
+                request_id=parent.request_id,
+                child_id=child_id,
+                kv_slots=int(kv_slots),
+                blocks=child.cache.num_blocks if self.paged else 0,
+                copied_slots=0 if self.paged else int(kv_slots),
+            )
+        )
+        return child
+
+    def _prune(self, state):
+        """Beam pruning: retire a losing branch through the join path,
+        releasing its cache tail back to the pool immediately."""
+        self.manager.join(state.request_id)
+        state.finish(self.round_index, "beam_pruned")
+        self._sync_family(self._families[state.family])
+
+    def _advance_beams(self, record):
+        """Jointly advance every beam family that has all live branches
+        holding fresh logits this round; returns ``(tokens appended,
+        states whose appended token still needs a decode step)``.
+
+        A family with any branch mid-prefill, preempted, or swapped
+        stalls wholesale — beam selection is a joint decision over every
+        branch's logits, so advancing a subset would change the search.
+        """
+        sampled = 0
+        ready = []
+        for family in self._families.values():
+            if family.mode != "beam":
+                continue
+            live = self._family_live(family)
+            if not live:
+                continue
+            if any(s.status != RUNNING or s.logits is None for s in live):
+                continue
+            sampled += self._advance_one_beam(family, live, record, ready)
+        return sampled, ready
+
+    def _advance_one_beam(self, family, live, record, ready):
+        """One beam round: score every (branch, token) successor, keep
+        the global top ``width`` by cumulative log-probability, prune
+        branches left with no successor, and fork branches keeping
+        several.  Ties break deterministically by (score, branch
+        creation order, token id).  Pruning runs before forking so a
+        fixed pool can fund the forks with the pruned branches' slots
+        and blocks.  Returns the number of tokens appended."""
+        width = family.width
+        candidates = []
+        for order, state in enumerate(live):
+            logits = state.logits
+            peak = logits.max()
+            logprobs = logits - (peak + np.log(np.exp(logits - peak).sum()))
+            vocab = logprobs.shape[0]
+            top = np.lexsort((np.arange(vocab), -logprobs))[: min(width, vocab)]
+            for token in top:
+                candidates.append(
+                    (float(state.cum_logprob + logprobs[token]), order, int(token))
+                )
+        candidates.sort(key=lambda c: (-c[0], c[1], c[2]))
+        by_branch = {}
+        for score, order, token in candidates[:width]:
+            by_branch.setdefault(order, []).append((score, token))
+        for order, state in enumerate(live):
+            if order not in by_branch:
+                self._prune(state)
+        appended = 0
+        for order, state in enumerate(live):
+            successors = by_branch.get(order)
+            if not successors:
+                continue
+            # Fork before appending: children must adopt the cache state
+            # *without* this round's token, which they replace with their
+            # own successor.
+            children = [
+                self._fork_branch(state, family, record)
+                for _ in successors[1:]
+            ]
+            appended += self._append_beam_token(state, successors[0], record)
+            for child, successor in zip(children, successors[1:]):
+                appended += self._append_beam_token(child, successor, record)
+            if state.status == RUNNING:
+                ready.append(state)
+            ready.extend(c for c in children if c.status == RUNNING)
+        self._sync_family(family)
+        self._peak_concurrency = max(self._peak_concurrency, len(self._running))
+        return appended
+
+    def _append_beam_token(self, state, successor, record):
+        """Commit one beam successor ``(cumulative score, token)`` onto
+        ``state``, mirroring ``_sample``'s finish handling (EOS retires
+        the branch; the length cap records the engine-compat dead step).
+        Returns 1 (the token appended)."""
+        score, token = successor
+        request = state.request
+        state.tokens.append(int(token))
+        state.cum_logprob = score
+        if state.first_token_round is None:
+            state.first_token_round = self.round_index
+        if request.eos is not None and token == request.eos:
+            self._finish(state, "eos")
+        elif state.num_generated >= request.max_new_tokens:
+            budget = (
+                request.budget if request.budget is not None else self.budget
+            )
+            record.dead_steps.append(
+                DecodeEvent(
+                    request_id=request.request_id,
+                    attention_length=int(state.cache[0].length + 1),
+                    budgeted=budget is not None,
+                    dead=True,
+                )
+            )
+            self._finish(state, "length")
+        return 1
 
     # ------------------------------------------------------------------
     # Speculative decoding (draft-propose / target-verify)
@@ -1594,6 +1971,10 @@ class Scheduler:
     def _finish(self, state, reason):
         self.manager.retire(state.request_id)
         state.finish(self.round_index, reason)
+        if state.family is not None:
+            # A finished beam branch frees a width slot the next advance
+            # re-forks into; a fully finished family drops every claim.
+            self._sync_family(self._families[state.family])
 
     def release_prefix_cache(self):
         """Drop every prefix-cache entry, returning its blocks to the
@@ -1620,6 +2001,36 @@ class Scheduler:
             if state.request_id == request_id:
                 return list(state.tokens)
         raise KeyError(f"request {request_id!r} has not finished")
+
+    def samples_for(self, request_id):
+        """The generated token lists of every branch of a fork family,
+        in branch order — for ``Request(n=k)`` the ``k`` independent
+        continuations; branch ``i`` carries effective seed
+        ``seed + i``."""
+        family = self._families.get(request_id)
+        if family is None:
+            raise KeyError(f"request {request_id!r} is not a fork family")
+        branches = sorted(family.branches, key=lambda s: s.branch_index)
+        return [list(s.tokens) for s in branches]
+
+    def beam_result_for(self, request_id):
+        """``(tokens, cum_logprob)`` of the best completed hypothesis of
+        a ``Request(beam_width=k)`` family (pruned branches excluded);
+        ties break toward the earliest-created branch."""
+        family = self._families.get(request_id)
+        if family is None or family.mode != "beam":
+            raise KeyError(f"request {request_id!r} is not a beam request")
+        done = [
+            s
+            for s in family.branches
+            if s.status == FINISHED and s.finish_reason != "beam_pruned"
+        ]
+        if not done:
+            raise KeyError(
+                f"beam request {request_id!r} has no finished hypothesis yet"
+            )
+        best = max(done, key=lambda s: (s.cum_logprob, -s.branch_index))
+        return list(best.tokens), best.cum_logprob
 
     def report(self, wall_seconds=0.0):
         """Snapshot :class:`ServingReport` over the requests retired (and
@@ -1657,6 +2068,12 @@ class Scheduler:
                 row["accept_rate"] = (
                     s.spec_accepted / s.spec_proposed if s.spec_proposed else 0.0
                 )
+        if self._families:
+            for row, s in zip(rows, self._finished):
+                row["family"] = s.family
+                row["branch"] = s.branch_index
+                if self._is_beam(s):
+                    row["cum_logprob"] = s.cum_logprob
         manager = self.manager
         report = ServingReport(
             requests=rows,
@@ -1680,6 +2097,10 @@ class Scheduler:
             spec_proposed=self._spec_proposed,
             spec_accepted=self._spec_accepted,
             spec_tokens=self._spec_tokens,
+            forks=manager.forks,
+            joins=manager.joins,
+            fork_shared_blocks=manager.fork_shared_blocks,
+            fork_copied_slots=manager.fork_copied_slots,
         )
         if self.paged:
             report.paged = True

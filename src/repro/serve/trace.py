@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "DecodeEvent",
+    "ForkEvent",
     "PrefillEvent",
     "RoundTrace",
     "SwapEvent",
@@ -223,6 +224,44 @@ class SwapEvent:
 
 
 @dataclass
+class ForkEvent:
+    """One sequence forked into a branch within a round.
+
+    Recorded when a fork family spawns a branch — at prefill completion
+    for parallel sampling (``Request(n=)``), or mid-decode when a beam
+    branch keeps several surviving successors (``Request(beam_width=)``).
+    A fork produces no tokens; its hardware cost is the KV state the
+    branch had to *duplicate*.  In paged mode that is zero slots — the
+    branch adopts every parent block copy-on-write and pays only block-
+    table metadata — while a dense fork copies the whole slab.  The
+    co-simulator prices ``copied_slots`` as an HBM read+write pass, which
+    is exactly the traffic paging avoids (the shared-prompt-blocks win).
+
+    Attributes
+    ----------
+    request_id:
+        The parent sequence that forked.
+    child_id:
+        The new branch's request id.
+    kv_slots:
+        KV slots resident in the parent *per layer* at fork time (the
+        same per-layer convention as :attr:`SwapEvent.kv_slots`).
+    blocks:
+        Pool blocks the branch adopted copy-on-write over all layers
+        (0 when served dense).
+    copied_slots:
+        KV slots per layer the fork physically duplicated: ``kv_slots``
+        for a dense fork, 0 for a paged CoW fork.
+    """
+
+    request_id: object
+    child_id: object
+    kv_slots: int
+    blocks: int = 0
+    copied_slots: int = 0
+
+
+@dataclass
 class RoundTrace:
     """Everything the hardware executed in one scheduler round."""
 
@@ -241,6 +280,10 @@ class RoundTrace:
     verifies: list = field(default_factory=list)
     #: KV swap transfers performed this round (``preempt="swap"`` only).
     swaps: list = field(default_factory=list)
+    #: Branch forks performed this round (``Request(n=)`` /
+    #: ``Request(beam_width=)`` families only).  Forks yield no tokens;
+    #: see :class:`ForkEvent` for what the co-simulator prices.
+    forks: list = field(default_factory=list)
 
     @property
     def num_prefills(self):
@@ -259,9 +302,19 @@ class RoundTrace:
         return len(self.swaps)
 
     @property
+    def num_forks(self):
+        return len(self.forks)
+
+    @property
     def swapped_kv_slots(self):
         """Per-layer KV slots moved over the host link this round."""
         return sum(event.kv_slots for event in self.swaps)
+
+    @property
+    def forked_copied_slots(self):
+        """Per-layer KV slots physically duplicated by this round's
+        forks (0 for paged CoW forks — the whole point of sharing)."""
+        return sum(event.copied_slots for event in self.forks)
 
     @property
     def computed_prefill_tokens(self):

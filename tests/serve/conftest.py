@@ -1,0 +1,47 @@
+"""Shared fixtures for the serving test suite.
+
+Every serve test exercises the same untrained tiny model (deterministic
+weights, seed 0), so it is built once per session here instead of once
+per module in each file.  ``serve_requests`` is the common
+submit-everything-then-run harness the individual modules used to
+re-implement.
+"""
+
+import pytest
+
+from repro.config import tiny_config
+from repro.models.inference import CachedTransformer
+from repro.models.transformer import TransformerLM
+from repro.serve import Scheduler
+
+
+@pytest.fixture(scope="session")
+def model():
+    """The serve-suite target model (untrained tiny, seed 0)."""
+    return CachedTransformer.from_module(TransformerLM(tiny_config(), seed=0))
+
+
+@pytest.fixture(scope="session")
+def draft_inference():
+    """An independently initialized tiny model (same vocab as the
+    target) for speculative-decoding tests."""
+    return CachedTransformer.from_module(TransformerLM(tiny_config(), seed=7))
+
+
+@pytest.fixture()
+def serve_requests():
+    """Build a Scheduler, submit every request, run to completion.
+
+    Returns a callable ``(model, requests, **scheduler_kwargs) ->
+    (scheduler, report)``; per-module wrappers layer their own defaults
+    (policy factory, batch cap, paging) on top.
+    """
+
+    def _serve(model, requests, **kwargs):
+        scheduler = Scheduler(model, **kwargs)
+        for request in requests:
+            scheduler.submit(request)
+        report = scheduler.run()
+        return scheduler, report
+
+    return _serve

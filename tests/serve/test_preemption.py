@@ -18,24 +18,16 @@ The contract under test, per mode:
 import numpy as np
 import pytest
 
-from repro.config import tiny_config
 from repro.core.policies.h2o import H2OPolicy
 from repro.core.policies.extensions import TOVAPolicy
 from repro.core.policies.voting import VotingPolicy
 from repro.experiments import serving
-from repro.models.inference import CachedTransformer
-from repro.models.transformer import TransformerLM
 from repro.serve import (
     Request,
     Scheduler,
     ServingCoSimulator,
     ServingEngine,
 )
-
-
-@pytest.fixture(scope="module")
-def model():
-    return CachedTransformer.from_module(TransformerLM(tiny_config(), seed=0))
 
 
 def make_requests(n=4, prompt_len=20, max_new=8, budget=None, seed=0):

@@ -14,18 +14,10 @@ per-request hit rate hides.
 import numpy as np
 import pytest
 
-from repro.config import tiny_config
 from repro.core.policies import H2OPolicy, VotingPolicy
-from repro.models.inference import CachedTransformer
-from repro.models.transformer import TransformerLM
 from repro.serve import Request, Scheduler, compare_dataflows
 
 BLOCK_SIZE = 4
-
-
-@pytest.fixture(scope="module")
-def model():
-    return CachedTransformer.from_module(TransformerLM(tiny_config(), seed=0))
 
 
 def voting_factory(model):

@@ -16,17 +16,9 @@ end-to-end safety properties of the paged serving path:
 import numpy as np
 import pytest
 
-from repro.config import tiny_config
 from repro.core.engine import budget_from_ratio
 from repro.core.policies import VotingPolicy
-from repro.models.inference import CachedTransformer
-from repro.models.transformer import TransformerLM
 from repro.serve import Request, Scheduler
-
-
-@pytest.fixture(scope="module")
-def model():
-    return CachedTransformer.from_module(TransformerLM(tiny_config(), seed=0))
 
 
 def fuzz_trace(model, seed):
@@ -195,3 +187,67 @@ def test_prefix_cache_survives_across_trace_and_hits_accumulate(model):
     # Every request after the first should have hit the shared prefix.
     assert report.prefix_hits == len(requests) - 1
     assert report.prefill_tokens_saved == (len(requests) - 1) * 16
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("preempt", ["off", "swap"])
+def test_forked_branch_churn_drains_pool(model, seed, preempt):
+    """Random fork families (parallel samples and beams) churned under
+    slot pressure: whatever mix of forks, beam prunes, and preemptions
+    fires, every family completes and every pool block drains back."""
+    from repro.core.sampling import temperature_sampler
+
+    rng = np.random.default_rng(1000 + seed)
+    vocab = model.config.vocab_size
+    requests = []
+    arrival = 0
+    for i in range(int(rng.integers(4, 8))):
+        prompt = rng.integers(0, vocab, size=int(rng.integers(6, 20)))
+        n = beam = 1
+        roll = rng.random()
+        if roll < 0.4:
+            n = int(rng.integers(2, 4))
+        elif roll < 0.7:
+            beam = int(rng.integers(2, 4))
+        requests.append(
+            Request(
+                request_id=f"req-{i}",
+                prompt=prompt,
+                max_new_tokens=int(rng.integers(3, 10)),
+                arrival_time=arrival,
+                eos=int(rng.integers(0, vocab)) if rng.random() < 0.3 else None,
+                seed=i,
+                n=n,
+                beam_width=beam,
+            )
+        )
+        arrival += int(rng.integers(0, 3))
+    scheduler = Scheduler(
+        model,
+        policy_factory=lambda: VotingPolicy(
+            model.config.n_layers, reserved_length=4
+        ),
+        sampler=temperature_sampler(0.9),
+        max_batch_size=4,  # families queue behind each other's branches
+        paged=True,
+        block_size=4,
+        preempt=preempt,
+    )
+    for request in requests:
+        scheduler.submit(request)
+    scheduler.run()
+
+    for request in requests:
+        if request.n > 1:
+            samples = scheduler.samples_for(request.request_id)
+            assert len(samples) == request.n
+        elif request.beam_width > 1:
+            tokens, _ = scheduler.beam_result_for(request.request_id)
+            assert tokens
+        else:
+            assert scheduler.tokens_for(request.request_id) is not None
+    pool = scheduler.block_pool
+    assert pool.num_used == scheduler.prefix_cache.num_blocks_held
+    scheduler.release_prefix_cache()
+    assert pool.num_free == pool.num_blocks
+    assert scheduler.manager.slots_used == 0

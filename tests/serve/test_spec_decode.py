@@ -21,12 +21,6 @@ from repro.serve import (
 )
 
 
-@pytest.fixture(scope="module")
-def draft_inference():
-    """An independently initialized tiny model (same vocab as the target)."""
-    return CachedTransformer.from_module(TransformerLM(tiny_config(), seed=7))
-
-
 def make_requests(rng, n=3, prompt_range=(10, 24), max_new_range=(5, 10), **kw):
     return [
         Request(
