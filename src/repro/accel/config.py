@@ -65,6 +65,11 @@ class HardwareConfig:
     #: ``preempt="swap"`` transfers; an order of magnitude below HBM, so
     #: swap traffic is never free.
     host_link_gb_s: float = 32.0
+    #: Sustained device <-> device bandwidth of the inter-cluster link
+    #: carrying tensor-parallel all-reduce traffic (NVLink-class, well
+    #: above the host link but below HBM).  Consumed by the simulator
+    #: when ``tp > 1`` shards a layer across PE clusters.
+    interconnect_gb_s: float = 64.0
     #: Effective bandwidth fraction for strided (transpose-pattern) DRAM
     #: access — the row-buffer-miss derate a Ramulator run exhibits for
     #: column-major walks over a row-major layout.
@@ -95,6 +100,8 @@ class HardwareConfig:
             raise ValueError("sram_transposed_derate must be in (0, 1]")
         if self.host_link_gb_s <= 0:
             raise ValueError("host_link_gb_s must be positive")
+        if self.interconnect_gb_s <= 0:
+            raise ValueError("interconnect_gb_s must be positive")
 
     @property
     def n_pe(self):
@@ -120,6 +127,11 @@ class HardwareConfig:
     def host_bytes_per_cycle(self):
         """Host-link bytes deliverable per clock cycle (KV swap path)."""
         return self.host_link_gb_s / self.clock_ghz
+
+    @property
+    def interconnect_bytes_per_cycle(self):
+        """Inter-cluster bytes per clock cycle (TP all-reduce path)."""
+        return self.interconnect_gb_s / self.clock_ghz
 
     @property
     def onchip_buffer_bytes(self):

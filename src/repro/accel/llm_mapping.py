@@ -52,42 +52,48 @@ class LinearOp:
         return self.rows * self.k * math.ceil(self.n / width)
 
 
-def decode_linear_ops(model):
+def decode_linear_ops(model, tp=1):
     """The weight GEMVs of one decode step for one layer + the LM head.
 
     Returns ``(per_layer_ops, head_ops)``.  Dataflow tags follow Fig. 1:
     QKV generation consumes a normalized (layernorm) input → outer
     product (blue); projections/FFN feeding a reduction → inner (green).
+
+    ``tp > 1`` returns the shard executed by *one* of ``tp`` PE clusters
+    under Megatron-style tensor parallelism: QKV/gate/up are column-
+    parallel (output dimension split), wo/down are row-parallel (input
+    dimension split), and the LM head is replicated.  ``tp=1`` is the
+    unsharded mapping, dimension for dimension.
     """
     d, ff = model.d_model, model.d_ff
     per_layer = [
-        LinearOp("wq", d, d, dataflow="outer"),
-        LinearOp("wk", d, d, dataflow="outer"),
-        LinearOp("wv", d, d, dataflow="outer"),
-        LinearOp("wo", d, d, dataflow="inner"),
+        LinearOp("wq", d, d // tp, dataflow="outer"),
+        LinearOp("wk", d, d // tp, dataflow="outer"),
+        LinearOp("wv", d, d // tp, dataflow="outer"),
+        LinearOp("wo", d // tp, d, dataflow="inner"),
     ]
     if model.activation == "swiglu":
         per_layer += [
-            LinearOp("ffn_gate", d, ff, dataflow="outer"),
-            LinearOp("ffn_up", d, ff, dataflow="outer"),
-            LinearOp("ffn_down", ff, d, dataflow="inner"),
+            LinearOp("ffn_gate", d, ff // tp, dataflow="outer"),
+            LinearOp("ffn_up", d, ff // tp, dataflow="outer"),
+            LinearOp("ffn_down", ff // tp, d, dataflow="inner"),
         ]
     else:
         per_layer += [
-            LinearOp("ffn_up", d, ff, dataflow="outer"),
-            LinearOp("ffn_down", ff, d, dataflow="inner"),
+            LinearOp("ffn_up", d, ff // tp, dataflow="outer"),
+            LinearOp("ffn_down", ff // tp, d, dataflow="inner"),
         ]
     head = [LinearOp("lm_head", d, model.vocab_size, dataflow="inner")]
     return per_layer, head
 
 
-def prefill_linear_ops(model, prompt_length):
+def prefill_linear_ops(model, prompt_length, tp=1):
     """Same operators as :func:`decode_linear_ops` but with ``rows=P``.
 
     In the prefill phase weights are fetched to the on-chip buffer once
     and reused across the ``P`` tokens (paper Sec. V, "Storage").
     """
-    per_layer, head = decode_linear_ops(model)
+    per_layer, head = decode_linear_ops(model, tp=tp)
     per_layer = [
         LinearOp(op.name, op.k, op.n, rows=prompt_length, dataflow=op.dataflow)
         for op in per_layer

@@ -55,6 +55,10 @@ class PhaseStats:
     nonlinear_cycles: float = 0.0
     macs: float = 0.0
     hbm_bytes: float = 0.0
+    #: Tensor-parallel all-reduce cost over the inter-cluster link
+    #: (zero unless the simulator was built with ``tp > 1``).
+    interconnect_cycles: float = 0.0
+    interconnect_bytes: float = 0.0
 
     @property
     def attention_cycles(self):
@@ -177,6 +181,20 @@ class MixedRoundStats:
         return total
 
     @property
+    def interconnect_cycles(self):
+        total = sum(stats.interconnect_cycles for stats in self.prefills)
+        if self.decode is not None:
+            total += self.decode.interconnect_cycles
+        return total
+
+    @property
+    def interconnect_bytes(self):
+        total = sum(stats.interconnect_bytes for stats in self.prefills)
+        if self.decode is not None:
+            total += self.decode.interconnect_bytes
+        return total
+
+    @property
     def per_sequence_attention(self):
         """Per-decode-sequence attention cycles (empty without decodes)."""
         return (
@@ -187,15 +205,54 @@ class MixedRoundStats:
 
 
 class AcceleratorSimulator:
-    """Cycle/energy model of one accelerator configuration."""
+    """Cycle/energy model of one accelerator configuration.
 
-    def __init__(self, hw: HardwareConfig, model):
+    ``tp > 1`` prices Megatron-style tensor parallelism: attention heads
+    and FFN columns are sharded across ``tp`` PE clusters, each cluster
+    executes its shard of every operator (and stores KV for its own
+    heads only), and the two per-layer all-reduces (after the attention
+    output projection and after the FFN down projection) are priced as
+    ring all-reduce traffic over
+    :attr:`~repro.accel.config.HardwareConfig.interconnect_gb_s`.  The
+    reported cycles are those of one (any) cluster — clusters run in
+    lock-step — so ``tp=1`` reproduces the single-device numbers
+    bit-for-bit: every shard dimension divides by 1 and the all-reduce
+    terms are skipped entirely.
+    """
+
+    def __init__(self, hw: HardwareConfig, model, tp=1):
+        if tp < 1:
+            raise ValueError(f"tp must be at least 1, got {tp}")
+        if model.n_heads % tp or model.d_ff % tp:
+            raise ValueError(
+                f"tp={tp} must divide n_heads={model.n_heads} "
+                f"and d_ff={model.d_ff}"
+            )
         self.hw = hw
         self.model = model
+        self.tp = tp
         self.hbm = HBMModel(
             bandwidth_gb_s=hw.hbm_bandwidth_gb_s,
             clock_ghz=hw.clock_ghz,
             strided_derate=hw.dram_strided_derate,
+        )
+
+    def _allreduce_charge(self, stats, rows):
+        """Charge one layer's two ring all-reduces for ``rows`` activation
+        vectors (attention output + FFN output, each d_model wide)."""
+        if self.tp == 1:
+            return
+        per_reduce = (
+            2.0
+            * (self.tp - 1)
+            / self.tp
+            * rows
+            * self.model.d_model
+            * self.hw.bytes_per_element
+        )
+        stats.interconnect_bytes += 2 * per_reduce
+        stats.interconnect_cycles += (
+            2 * per_reduce / self.hw.interconnect_bytes_per_cycle
         )
 
     # ------------------------------------------------------------------
@@ -235,12 +292,16 @@ class AcceleratorSimulator:
             raise ValueError("prompt length must be positive")
         model, hw = self.model, self.hw
         stats = PhaseStats()
+        local_heads = model.n_heads // self.tp
+        kv_width = model.d_model // self.tp
 
-        per_layer_ops, head_ops = prefill_linear_ops(model, prompt_length)
+        per_layer_ops, head_ops = prefill_linear_ops(
+            model, prompt_length, tp=self.tp
+        )
         attn = prefill_attention(
             prompt_length,
             model.head_dim,
-            model.n_heads,
+            local_heads,
             hw,
             dataflow=dataflow,
             prefix_length=prefix_length,
@@ -251,7 +312,7 @@ class AcceleratorSimulator:
             prefix_length * prompt_length
             + prompt_length * (prompt_length + 1) / 2
         )
-        attn_macs = 2 * model.n_heads * model.head_dim * attended
+        attn_macs = 2 * local_heads * model.head_dim * attended
         # Streaming (GEMV-pinned) prefill re-reads the growing K and V
         # from HBM for every computed row instead of reusing tiles.
         streamed_kv_bytes = 0.0
@@ -260,7 +321,7 @@ class AcceleratorSimulator:
             and resolve_dataflow(dataflow, hw, "prefill") == "decode"
         ):
             streamed_kv_bytes = (
-                2 * attended * model.d_model * hw.bytes_per_element
+                2 * attended * kv_width * hw.bytes_per_element
             )
         norm_stall = layernorm_stall_cycles(model.d_model, hw, hw.element_serial)
 
@@ -272,8 +333,9 @@ class AcceleratorSimulator:
                 stats.hbm_bytes += hbm_bytes
             stats.attention = stats.attention + attn
             stats.macs += attn_macs
-            # KV cache write-back for this layer (computed rows only).
-            kv_bytes = 2 * prompt_length * model.d_model * hw.bytes_per_element
+            # KV cache write-back for this layer (computed rows only,
+            # this cluster's heads only under TP).
+            kv_bytes = 2 * prompt_length * kv_width * hw.bytes_per_element
             stats.hbm_bytes += kv_bytes
             stats.hbm_bytes += streamed_kv_bytes
             stats.nonlinear_cycles += (
@@ -281,6 +343,7 @@ class AcceleratorSimulator:
                 if not hw.element_serial
                 else layer_norm_count(model) * prompt_length * hw.element_serial_drain
             )
+            self._allreduce_charge(stats, prompt_length)
         for op in head_ops:
             cycles, macs, hbm_bytes = self._linear_cycles(op, weights_resident=False)
             stats.linear_cycles += cycles
@@ -288,7 +351,10 @@ class AcceleratorSimulator:
             stats.hbm_bytes += hbm_bytes
 
         stats.cycles = (
-            stats.linear_cycles + stats.attention.total + stats.nonlinear_cycles
+            stats.linear_cycles
+            + stats.attention.total
+            + stats.nonlinear_cycles
+            + stats.interconnect_cycles
         )
         return stats
 
@@ -302,9 +368,11 @@ class AcceleratorSimulator:
         """
         model, hw = self.model, self.hw
         stats = PhaseStats()
-        per_layer_ops, head_ops = decode_linear_ops(model)
+        local_heads = model.n_heads // self.tp
+        kv_width = model.d_model // self.tp
+        per_layer_ops, head_ops = decode_linear_ops(model, tp=self.tp)
         attn = decode_attention(
-            cache_length, model.head_dim, model.n_heads, hw, dataflow=dataflow
+            cache_length, model.head_dim, local_heads, hw, dataflow=dataflow
         )
         norm_stall = layernorm_stall_cycles(model.d_model, hw, hw.element_serial)
 
@@ -315,11 +383,12 @@ class AcceleratorSimulator:
                 stats.macs += macs
                 stats.hbm_bytes += hbm_bytes
             stats.attention = stats.attention + attn
-            stats.macs += 2 * model.n_heads * model.head_dim * cache_length
+            stats.macs += 2 * local_heads * model.head_dim * cache_length
             # KV cache read (K and V) + current token write-back.
-            stats.hbm_bytes += 2 * cache_length * model.d_model * hw.bytes_per_element
-            stats.hbm_bytes += 2 * model.d_model * hw.bytes_per_element
+            stats.hbm_bytes += 2 * cache_length * kv_width * hw.bytes_per_element
+            stats.hbm_bytes += 2 * kv_width * hw.bytes_per_element
             stats.nonlinear_cycles += layer_norm_count(model) * norm_stall
+            self._allreduce_charge(stats, 1)
         for op in head_ops:
             cycles, macs, hbm_bytes = self._linear_cycles(op, weights_resident=False)
             stats.linear_cycles += cycles
@@ -327,7 +396,10 @@ class AcceleratorSimulator:
             stats.hbm_bytes += hbm_bytes
 
         stats.cycles = (
-            stats.linear_cycles + stats.attention.total + stats.nonlinear_cycles
+            stats.linear_cycles
+            + stats.attention.total
+            + stats.nonlinear_cycles
+            + stats.interconnect_cycles
         )
         return stats
 
@@ -355,7 +427,9 @@ class AcceleratorSimulator:
         model, hw = self.model, self.hw
         stats = RoundStats()
         batch = len(cache_lengths)
-        per_layer_ops, head_ops = decode_linear_ops(model)
+        local_heads = model.n_heads // self.tp
+        kv_width = model.d_model // self.tp
+        per_layer_ops, head_ops = decode_linear_ops(model, tp=self.tp)
         norm_stall = layernorm_stall_cycles(model.d_model, hw, hw.element_serial)
 
         for _ in range(model.n_layers):
@@ -366,6 +440,7 @@ class AcceleratorSimulator:
                 stats.macs += batch * op.macs
                 stats.hbm_bytes += op.weight_bytes
             stats.nonlinear_cycles += batch * (layer_norm_count(model) * norm_stall)
+            self._allreduce_charge(stats, batch)
         for op in head_ops:
             compute = batch * op.compute_cycles(hw.tree_width)
             memory = self.hbm.stream_cycles(op.weight_bytes)
@@ -375,18 +450,21 @@ class AcceleratorSimulator:
 
         for length in cache_lengths:
             attn = decode_attention(
-                length, model.head_dim, model.n_heads, hw, dataflow=dataflow
+                length, model.head_dim, local_heads, hw, dataflow=dataflow
             )
             for _ in range(model.n_layers):
                 stats.attention = stats.attention + attn
-                stats.macs += 2 * model.n_heads * model.head_dim * length
+                stats.macs += 2 * local_heads * model.head_dim * length
                 # KV cache read (K and V) + current token write-back.
-                stats.hbm_bytes += 2 * length * model.d_model * hw.bytes_per_element
-                stats.hbm_bytes += 2 * model.d_model * hw.bytes_per_element
+                stats.hbm_bytes += 2 * length * kv_width * hw.bytes_per_element
+                stats.hbm_bytes += 2 * kv_width * hw.bytes_per_element
             stats.per_sequence_attention.append(attn.total * model.n_layers)
 
         stats.cycles = (
-            stats.linear_cycles + stats.attention.total + stats.nonlinear_cycles
+            stats.linear_cycles
+            + stats.attention.total
+            + stats.nonlinear_cycles
+            + stats.interconnect_cycles
         )
         return stats
 

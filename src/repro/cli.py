@@ -36,6 +36,13 @@ Usage::
                                          # any mode: machine-readable rows
     python -m repro serve-engine         # async engine: admission x chunking
     python -m repro serve-engine --admissions fifo,edf --chunk-sizes 0,8 --cosim
+    python -m repro serve-fleet          # replica fleet: placement policies
+    python -m repro serve-fleet --replicas 2 --placement prefix_affinity --cosim
+                                         # prefix-affinity routing, fleet
+                                         # makespan priced in cycles
+    python -m repro serve-fleet --tp 2 --interconnect-gb-s 64 --cosim
+                                         # tensor-parallel replicas: sharded
+                                         # GEMMs + priced all-reduces
 
 Results are also written to ``.artifacts/results/`` as text tables.
 """
@@ -363,6 +370,14 @@ def _serve_bench(argv):
         "the pool (mutually exclusive with --n-samples)",
     )
     parser.add_argument(
+        "--workload-file",
+        default=None,
+        metavar="PATH",
+        help="replay a saved JSONL workload (see "
+        "repro.experiments.serving.save_workload) instead of generating "
+        "one; applies to the default benchmark mode",
+    )
+    parser.add_argument(
         "--json",
         default=None,
         metavar="PATH",
@@ -380,6 +395,17 @@ def _serve_bench(argv):
     if not batch_sizes or any(b <= 0 for b in batch_sizes):
         parser.error(
             f"--batch-sizes entries must be positive, got {args.batch_sizes!r}"
+        )
+    if args.workload_file is not None and (
+        args.prefix_compare
+        or args.spec_decode
+        or args.preempt is not None
+        or args.n_samples is not None
+        or args.beam_width is not None
+    ):
+        parser.error(
+            "--workload-file applies to the default benchmark mode only "
+            "(the comparison modes build their own dedicated workloads)"
         )
     compression_ratio = "default"
     if args.compression_ratio is not None:
@@ -645,6 +671,8 @@ def _serve_bench(argv):
     )
     if compression_ratio != "default":
         common["compression_ratio"] = compression_ratio
+    if args.workload_file is not None:
+        common["workload"] = serving.load_workload(args.workload_file)
     if args.cosim:
         result, extra = serving.run_cosim(
             cosim_shapes=args.cosim_shapes, **common
@@ -800,6 +828,154 @@ def _serve_engine(argv):
     return 0
 
 
+def _serve_fleet(argv):
+    """The ``serve-fleet`` subcommand: multi-replica placement benchmark."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve-fleet",
+        description=(
+            "Serve one shared multi-turn arrival stream on a fleet of "
+            "engine replicas under each placement policy; per-request "
+            "tokens are asserted identical to a single engine, so TTFT / "
+            "imbalance / prefix-hit differences are pure routing."
+        ),
+    )
+    parser.add_argument(
+        "--replicas",
+        type=_positive_int,
+        default=2,
+        help="number of engine replicas in the fleet",
+    )
+    parser.add_argument(
+        "--placement",
+        default="round_robin,least_loaded,prefix_affinity",
+        help="comma-separated placement policies to sweep "
+        "(round_robin, least_loaded, prefix_affinity)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=6,
+        help="number of conversations in the generated workload",
+    )
+    parser.add_argument(
+        "--turns",
+        type=_positive_int,
+        default=3,
+        help="turns per conversation (later turns re-extend earlier "
+        "prompts, which is what prefix affinity exploits)",
+    )
+    parser.add_argument(
+        "--interarrival",
+        type=_mean_gap,
+        default=2.0,
+        help="mean request inter-arrival gap in rounds (>= 1)",
+    )
+    parser.add_argument(
+        "--shared-prefix",
+        type=_nonnegative_int,
+        default=0,
+        help="tokens of system prompt shared by every conversation",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=4,
+        help="per-replica cap on concurrently running sequences",
+    )
+    parser.add_argument(
+        "--block-size",
+        type=_positive_int,
+        default=4,
+        help="KV slots per pool block (replicas always serve paged)",
+    )
+    parser.add_argument(
+        "--tp",
+        type=_positive_int,
+        default=1,
+        help="tensor-parallel degree priced by the co-simulator "
+        "(tp=1 is bit-identical to the single-device cycle model)",
+    )
+    parser.add_argument(
+        "--interconnect-gb-s",
+        type=_nonnegative_float,
+        default=None,
+        metavar="GB_S",
+        help="override the all-reduce interconnect bandwidth used for "
+        "tensor-parallel pricing (requires --cosim)",
+    )
+    parser.add_argument(
+        "--cosim",
+        action="store_true",
+        help="also replay every replica's trace on the accelerator cycle "
+        "model: fleet makespan (max over replicas) and fleet tokens/s",
+    )
+    parser.add_argument(
+        "--cosim-shapes",
+        choices=("7b", "served"),
+        default="7b",
+        help="model shapes priced by the co-simulator (default: 7b)",
+    )
+    parser.add_argument(
+        "--workload-file",
+        default=None,
+        metavar="PATH",
+        help="replay a saved JSONL workload (see "
+        "repro.experiments.serving.save_workload) instead of generating "
+        "the multi-turn preset",
+    )
+    parser.add_argument(
+        "--seed", type=_nonnegative_int, default=0, help="workload seed"
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the result (rows + notes) as machine-readable "
+        "JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+    placements = tuple(
+        p.strip() for p in args.placement.split(",") if p.strip()
+    )
+    from repro.serve import available_placements
+
+    unknown = [p for p in placements if p not in available_placements()]
+    if unknown or not placements:
+        parser.error(
+            f"--placement entries must be one of "
+            f"{'/'.join(available_placements())}, got {args.placement!r}"
+        )
+    if args.tp > 1 and not args.cosim:
+        parser.error("--tp > 1 only affects cycle pricing; add --cosim")
+    if args.interconnect_gb_s is not None and not args.cosim:
+        parser.error("--interconnect-gb-s only affects cycle pricing; "
+                     "add --cosim")
+    workload = (
+        serving.load_workload(args.workload_file)
+        if args.workload_file is not None
+        else None
+    )
+    result = serving.run_fleet(
+        replicas=args.replicas,
+        placements=placements,
+        n_requests=args.requests,
+        turns=args.turns,
+        mean_interarrival=args.interarrival,
+        shared_prefix=args.shared_prefix,
+        block_size=args.block_size,
+        max_batch_size=args.batch_size,
+        seed=args.seed,
+        tp=args.tp,
+        interconnect_gb_s=args.interconnect_gb_s,
+        cosim=args.cosim,
+        cosim_shapes=args.cosim_shapes,
+        workload=workload,
+    )
+    result.experiment_id = "serving_fleet_bench"
+    _emit(result, extra=None, json_path=args.json)
+    return 0
+
+
 def _json_default(value):
     """JSON fallback for numpy scalars and other non-native row values."""
     item = getattr(value, "item", None)
@@ -842,6 +1018,8 @@ def main(argv=None):
         return _serve_bench(argv[1:])
     if argv and argv[0] == "serve-engine":
         return _serve_engine(argv[1:])
+    if argv and argv[0] == "serve-fleet":
+        return _serve_fleet(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -851,7 +1029,8 @@ def main(argv=None):
         "experiment",
         choices=sorted(_EXPERIMENTS) + ["list", "all"],
         help="artifact to regenerate, 'list', 'all', or the "
-        "'serve-bench' / 'serve-engine' subcommands (see their --help)",
+        "'serve-bench' / 'serve-engine' / 'serve-fleet' subcommands "
+        "(see their --help)",
     )
     parser.add_argument(
         "--fast", action="store_true",
@@ -864,6 +1043,7 @@ def main(argv=None):
             print(name)
         print("serve-bench")
         print("serve-engine")
+        print("serve-fleet")
         return 0
 
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -19,11 +19,14 @@ pull at once: the prefix is stored once and prefilled once.
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 
 import math
 from dataclasses import replace
 
+from repro.accel.config import veda_config
 from repro.config import ModelConfig, llama2_7b_shapes, tiny_config
 from repro.core.engine import budget_from_ratio, sequence_capacity
 from repro.core.policies.voting import VotingPolicy
@@ -36,6 +39,7 @@ from repro.serve import (
     Scheduler,
     ServingCoSimulator,
     ServingEngine,
+    ServingFleet,
     compare_dataflows,
 )
 
@@ -43,11 +47,14 @@ __all__ = [
     "run",
     "run_cosim",
     "run_engine",
+    "run_fleet",
     "run_fork",
     "run_preempt",
     "run_prefix",
     "run_spec",
     "make_workload",
+    "save_workload",
+    "load_workload",
     "overload_pool_blocks",
     "spec_draft_7b_shapes",
 ]
@@ -236,6 +243,59 @@ def make_workload(
     return requests
 
 
+#: Request fields serialized by :func:`save_workload`, in column order.
+_WORKLOAD_FIELDS = (
+    "request_id",
+    "max_new_tokens",
+    "arrival_time",
+    "eos",
+    "seed",
+    "budget",
+    "deadline",
+    "priority",
+    "n",
+    "beam_width",
+    "length_penalty",
+)
+
+
+def save_workload(requests, path):
+    """Serialize a request trace to JSONL (one request per line).
+
+    Every :class:`~repro.serve.Request` field is written, prompts as
+    plain integer lists, so a generated workload can be archived and
+    replayed bit-for-bit (``--workload-file`` on the serving CLIs)
+    across runs, machines, and schedulers.  Returns ``path``.
+    """
+    with open(path, "w") as handle:
+        for request in requests:
+            row = {name: getattr(request, name) for name in _WORKLOAD_FIELDS}
+            row["prompt"] = [int(t) for t in np.asarray(request.prompt)]
+            handle.write(json.dumps(row) + "\n")
+    return path
+
+
+def load_workload(path):
+    """Load a :func:`save_workload` JSONL trace back into
+    :class:`~repro.serve.Request` objects (validation re-runs on
+    construction, so a hand-edited file fails loudly)."""
+    requests = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            try:
+                prompt = np.asarray(row.pop("prompt"), dtype=np.int64)
+                requests.append(Request(prompt=prompt, **row))
+            except (KeyError, TypeError, ValueError) as error:
+                raise ValueError(
+                    f"{path}:{line_number}: bad workload record: {error}"
+                ) from error
+    return requests
+
+
 def _make_server(
     model,
     reserved_length,
@@ -246,12 +306,15 @@ def _make_server(
     prefill_chunk=None,
     prefix_match_mode="token",
     prefix_cache_blocks=-1,
+    workload=None,
 ):
     """Build a ``serve(batch_size, use_paged) -> (scheduler, report)``
     closure over one reproducible workload (shared by :func:`run` and
     :func:`run_cosim`).  ``prefix_cache_blocks=-1`` (the default) sizes
     the retained set from the shared prefix; pass ``None`` for an
-    unbounded cache or an explicit block count."""
+    unbounded cache or an explicit block count.  ``workload`` (a request
+    list, e.g. from :func:`load_workload`) replaces the generated
+    trace."""
     n_layers = model.config.n_layers
     if prefix_cache_blocks == -1:
         # Keep the hot shared prefix resident with headroom while letting
@@ -259,6 +322,9 @@ def _make_server(
         prefix_cache_blocks = max(
             16, 2 * n_layers * (int(shared_prefix) // block_size + 1)
         )
+    requests = (
+        list(workload) if workload is not None else make_workload(**workload_kwargs)
+    )
 
     def serve(batch_size, use_paged):
         scheduler = Scheduler(
@@ -274,20 +340,20 @@ def _make_server(
             prefill_chunk=prefill_chunk,
             prefix_match_mode=prefix_match_mode,
         )
-        for request in make_workload(**workload_kwargs):
+        for request in requests:
             scheduler.submit(request)
         report = scheduler.run()
         return scheduler, report
 
+    serve.request_ids = [request.request_id for request in requests]
     return serve
 
 
 def _assert_paged_tokens_match(
-    dense_scheduler, paged_scheduler, n_requests, batch_size
+    dense_scheduler, paged_scheduler, request_ids, batch_size
 ):
     """The paged run must be bit-identical to the dense run, per request."""
-    for i in range(n_requests):
-        request_id = f"req-{i}"
+    for request_id in request_ids:
         if paged_scheduler.tokens_for(request_id) != dense_scheduler.tokens_for(
             request_id
         ):
@@ -312,6 +378,7 @@ def run(
     max_new_range=(8, 24),
     compression_ratio=0.5,
     prefill_chunk=None,
+    workload=None,
 ):
     """Serve the same trace at several batch caps; tabulate the effect.
 
@@ -348,6 +415,7 @@ def run(
             seed=seed,
         ),
         prefill_chunk=prefill_chunk,
+        workload=workload,
     )
 
     rows = []
@@ -369,7 +437,7 @@ def run(
         if paged:
             paged_scheduler, paged_report = serve(batch_size, use_paged=True)
             _assert_paged_tokens_match(
-                scheduler, paged_scheduler, n_requests, batch_size
+                scheduler, paged_scheduler, serve.request_ids, batch_size
             )
             reduction = (
                 1.0 - paged_report.peak_kv_slots / report.peak_kv_slots
@@ -561,6 +629,7 @@ def run_cosim(
     hw=None,
     cosim_shapes="7b",
     prefill_chunk=None,
+    workload=None,
 ):
     """Serve the trace, then price it on the accelerator cycle model.
 
@@ -604,6 +673,7 @@ def run_cosim(
             seed=seed,
         ),
         prefill_chunk=prefill_chunk,
+        workload=workload,
     )
 
     rows = []
@@ -635,7 +705,7 @@ def run_cosim(
         if paged:
             paged_scheduler, paged_report = serve(batch_size, use_paged=True)
             _assert_paged_tokens_match(
-                scheduler, paged_scheduler, n_requests, batch_size
+                scheduler, paged_scheduler, serve.request_ids, batch_size
             )
             paged_reports = compare_dataflows(
                 paged_scheduler, hw=hw, hw_model=hw_model
@@ -1502,3 +1572,172 @@ def run_fork(
         notes=notes,
     )
     return result, "\n\n".join(extra_blocks)
+
+
+def run_fleet(
+    replicas=2,
+    placements=("round_robin", "least_loaded", "prefix_affinity"),
+    n_requests=6,
+    turns=3,
+    mean_interarrival=2.0,
+    turn_gap=8.0,
+    shared_prefix=0,
+    prompt_range=(12, 32),
+    max_new_range=(8, 16),
+    compression_ratio=None,
+    reserved_length=4,
+    block_size=4,
+    max_batch_size=4,
+    model=None,
+    seed=0,
+    tp=1,
+    interconnect_gb_s=None,
+    cosim=False,
+    cosim_shapes="7b",
+    hw=None,
+    workload=None,
+):
+    """Serve one shared arrival stream on a replica fleet per placement
+    policy; tabulate what routing alone changes.
+
+    The default workload is multi-turn conversations (each turn
+    re-extends its own history), served *unbudgeted* so prefix sharing
+    is unconstrained — the regime where placement matters: a
+    conversation's later turns only re-hit the radix trie of the replica
+    that served its earlier turns.  The identical stream is first served
+    on a **single engine** (the fleet-equivalence reference), then on
+    the fleet once per placement policy, and every request's generated
+    tokens are asserted bit-identical across all runs: placement changes
+    *where* and *when*, never *what*.  Rows report the routing-only
+    differences — fleet TTFT, load imbalance (max/mean replica tokens),
+    and the cross-fleet prefix token hit rate.
+
+    ``cosim=True`` replays each replica's trace on its own accelerator
+    cycle model (``tp`` > 1 shards every layer over ``tp`` PE clusters
+    and prices the all-reduces on the ``interconnect_gb_s`` link);
+    fleet throughput is total tokens over the slowest replica's cycles.
+    ``workload`` (e.g. from :func:`load_workload`) replaces the
+    generated trace.
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be at least 1")
+    if cosim_shapes not in ("7b", "served"):
+        raise ValueError(
+            f"cosim_shapes must be '7b' or 'served', got {cosim_shapes!r}"
+        )
+    if model is None:
+        model = CachedTransformer.from_module(
+            TransformerLM(tiny_config(), seed=0)
+        )
+    n_layers = model.config.n_layers
+    stream_desc = f"{turns}-turn conversations"
+    if workload is None:
+        workload = make_workload(
+            n_requests=n_requests,
+            mean_interarrival=mean_interarrival,
+            prompt_range=prompt_range,
+            max_new_range=max_new_range,
+            compression_ratio=compression_ratio,
+            shared_prefix=shared_prefix,
+            vocab=model.config.vocab_size,
+            seed=seed,
+            turns=turns,
+            turn_gap=turn_gap,
+        )
+    else:
+        workload = list(workload)
+        stream_desc = "replayed"
+    engine_kwargs = dict(
+        policy_factory=lambda: VotingPolicy(
+            n_layers, reserved_length=reserved_length
+        ),
+        max_batch_size=max_batch_size,
+        paged=True,
+        block_size=block_size,
+    )
+    if cosim:
+        hw = hw or veda_config()
+        if interconnect_gb_s is not None:
+            hw = replace(hw, interconnect_gb_s=interconnect_gb_s)
+        hw_model = llama2_7b_shapes() if cosim_shapes == "7b" else model.config
+
+    # Fleet-equivalence reference: the same stream on one engine.
+    single = ServingEngine(model, **engine_kwargs)
+    single_handles = single.play(workload)
+    reference = {
+        h.request_id: tuple(h.result())
+        for h in single_handles
+        if h.rejection is None
+    }
+
+    rows = []
+    for placement in placements:
+        fleet = ServingFleet(
+            model, replicas=replicas, placement=placement, **engine_kwargs
+        )
+        handles = fleet.play(workload)
+        tokens = {
+            h.request_id: tuple(h.result())
+            for h in handles
+            if h.rejection is None
+        }
+        if tokens != reference:
+            raise AssertionError(
+                f"fleet tokens diverged from the single engine under "
+                f"placement={placement}: routing must never change outputs"
+            )
+        report = fleet.report()
+        row = {
+            "placement": placement,
+            "replicas": replicas,
+            "rounds": report.total_rounds,
+            "tokens": report.total_tokens,
+            "by_replica": "/".join(
+                str(t) for t in report.tokens_per_replica
+            ),
+            "mean_ttft": report.mean_ttft,
+            "p95_ttft": report.p95_ttft,
+            "imbalance": report.load_imbalance,
+            "token_hit_rate": report.prefix_token_hit_rate,
+        }
+        if any(r.deadline is not None for r in workload):
+            row["miss_rate"] = report.deadline_miss_rate
+        if cosim:
+            priced = fleet.cosim(hw=hw, hw_model=hw_model, tp=tp)
+            row["fleet_cycles"] = priced.fleet_cycles
+            row["fleet_tokens/s"] = priced.tokens_per_second
+            if tp > 1:
+                row["allreduce_cyc"] = priced.interconnect_cycles
+        rows.append(row)
+
+    notes = (
+        f"One shared arrival stream ({len(workload)} requests, "
+        f"{stream_desc}) routed over {replicas} engine "
+        "replicas (each with its own scheduler, block pool, and radix "
+        "trie) per placement policy; per-request tokens are asserted "
+        "bit-identical to a single engine serving the same stream, so "
+        "TTFT/hit-rate/imbalance differences are pure routing. "
+        "token_hit_rate is the cross-fleet prefix hit rate: affinity "
+        "routing sends a conversation's later turns back to the replica "
+        "holding its earlier turns' blocks; round-robin scatters them."
+    )
+    if cosim:
+        notes += (
+            " fleet_cycles is the slowest replica's serialized cycle "
+            f"count ({'Llama-2 7B' if cosim_shapes == '7b' else 'served'} "
+            "shapes) — replicas run concurrently, so fleet_tokens/s is "
+            "total tokens over that makespan"
+            + (
+                f"; tp={tp} shards each layer over {tp} PE clusters with "
+                "ring all-reduces priced on the inter-cluster link "
+                f"({hw.interconnect_gb_s:g} GB/s)."
+                if tp > 1
+                else "."
+            )
+        )
+    return ExperimentResult(
+        "serving_fleet",
+        f"Serving fleet: placement policies over {replicas} replicas",
+        rows=rows,
+        notes=notes,
+    )

@@ -4,14 +4,28 @@ two-way preemption/swap scheduling), the unified resource manager
 (batch slots, pool blocks, prefix reservations, the modeled host swap
 pool), the async serving engine (streaming submission, per-request
 handles, SLA-aware admission), the paged KV memory layer (block pool,
-paged caches, cross-request prefix cache), and the serving-scale
-hardware co-simulator (per-round trace replay with phase-aware dataflow
-selection, TTFT-in-cycles accounting, and host-link swap pricing)."""
+paged caches, cross-request prefix cache), the serving-scale hardware
+co-simulator (per-round trace replay with phase-aware dataflow
+selection, TTFT-in-cycles accounting, and host-link swap pricing), and
+the multi-replica fleet (prefix-affinity routing over engine replicas
+with fleet-level co-simulation and tensor-parallel pricing)."""
 
 from repro.serve.cosim import (
     ServingCoSimReport,
     ServingCoSimulator,
     compare_dataflows,
+)
+from repro.serve.fleet import (
+    FleetCoSimReport,
+    FleetReport,
+    FleetRouter,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    PrefixAffinityPlacement,
+    RoundRobinPlacement,
+    ServingFleet,
+    available_placements,
+    make_placement,
 )
 from repro.serve.engine import (
     AdmissionPolicy,
@@ -60,6 +74,13 @@ __all__ = [
     "EDFAdmission",
     "EngineTick",
     "FIFOAdmission",
+    "FleetCoSimReport",
+    "FleetReport",
+    "FleetRouter",
+    "LeastLoadedPlacement",
+    "PlacementPolicy",
+    "PrefixAffinityPlacement",
+    "RoundRobinPlacement",
     "PagedKVCache",
     "PagedLayerKVCache",
     "PrefixCache",
@@ -72,12 +93,15 @@ __all__ = [
     "SequenceState",
     "Scheduler",
     "ServingEngine",
+    "ServingFleet",
     "ServingReport",
     "ServingCoSimReport",
     "ServingCoSimulator",
     "available_admissions",
+    "available_placements",
     "compare_dataflows",
     "make_admission",
+    "make_placement",
     "DecodeEvent",
     "ForkEvent",
     "PrefillEvent",

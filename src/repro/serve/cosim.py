@@ -153,6 +153,12 @@ class ServingCoSimReport:
     fork_bytes: float = 0.0
     #: HBM cycles of those copies, serialized into ``total_cycles``.
     fork_cycles: float = 0.0
+    #: Tensor-parallel degree the trace was priced at (1 = one device).
+    tp: int = 1
+    #: All-reduce traffic over the inter-cluster link (``tp > 1`` only),
+    #: already folded into the per-round cycles by the simulator.
+    interconnect_cycles: float = 0.0
+    interconnect_bytes: float = 0.0
     #: request_id -> all-layer attention cycles per priced decode step,
     #: in step order (includes the dead step when priced) — directly
     #: comparable to ``CoSimResult.attention_cycles_per_step``.
@@ -260,6 +266,10 @@ class ServingCoSimReport:
             summary["accept_rate"] = self.accept_rate
             summary["tokens/pass"] = self.tokens_per_target_pass
             summary["draft_cycles"] = self.draft_cycles
+        if self.tp > 1:
+            summary["tp"] = self.tp
+            summary["allreduce_cycles"] = self.interconnect_cycles
+            summary["allreduce_mb"] = self.interconnect_bytes / 1e6
         return summary
 
 
@@ -297,6 +307,11 @@ class ServingCoSimulator:
         speculative trace without draft shapes raises — draft compute is
         the cost side of the speculation trade and must never be
         silently dropped.
+    tp:
+        Tensor-parallel degree: shard the priced model's heads and FFN
+        across ``tp`` PE clusters and price the per-layer all-reduces
+        over the hardware configuration's interconnect link.  ``tp=1``
+        (default) is bit-identical to the single-device replay.
     """
 
     def __init__(
@@ -307,6 +322,7 @@ class ServingCoSimulator:
         dataflow="auto",
         count_dead_steps=True,
         hw_draft_model=None,
+        tp=1,
     ):
         if dataflow not in DATAFLOWS:
             raise ValueError(
@@ -319,14 +335,15 @@ class ServingCoSimulator:
         self.hw_model = hw_model or scheduler.model.config
         self.dataflow = dataflow
         self.count_dead_steps = bool(count_dead_steps)
-        self.simulator = AcceleratorSimulator(self.hw, self.hw_model)
+        self.tp = int(tp)
+        self.simulator = AcceleratorSimulator(self.hw, self.hw_model, tp=self.tp)
         if hw_draft_model is None and scheduler is not None:
             draft = getattr(scheduler, "draft_model", None)
             if draft is not None:
                 hw_draft_model = draft.config
         self.hw_draft_model = hw_draft_model
         self.draft_simulator = (
-            AcceleratorSimulator(self.hw, hw_draft_model)
+            AcceleratorSimulator(self.hw, hw_draft_model, tp=self.tp)
             if hw_draft_model is not None
             else None
         )
@@ -365,6 +382,7 @@ class ServingCoSimulator:
             dataflow=self.dataflow,
             clock_ghz=self.hw.clock_ghz,
             n_pe=self.hw.n_pe,
+            tp=self.tp,
         )
         n_layers = self.hw_model.n_layers
         # Swap transfers move a slot's keys and values for every layer
@@ -491,6 +509,8 @@ class ServingCoSimulator:
                     report.draft_cycles += draft_stats.cycles
                     report.macs += draft_stats.macs
                     report.hbm_bytes += draft_stats.hbm_bytes
+                    report.interconnect_cycles += draft_stats.interconnect_cycles
+                    report.interconnect_bytes += draft_stats.interconnect_bytes
                 report.verify_passes += record.num_verifies
                 report.verify_rows += sum(v.rows for v in record.verifies)
                 report.spec_proposed += sum(v.proposed for v in record.verifies)
@@ -527,6 +547,8 @@ class ServingCoSimulator:
                 report.decode_cycles += stats.decode_cycles
                 report.macs += stats.macs
                 report.hbm_bytes += stats.hbm_bytes + vote_bytes
+                report.interconnect_cycles += stats.interconnect_cycles
+                report.interconnect_bytes += stats.interconnect_bytes
             report.total_cycles += (
                 round_swap_cycles + round_draft_cycles + round_fork_cycles
             )

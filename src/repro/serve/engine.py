@@ -355,6 +355,24 @@ class ServingEngine:
             self.scheduler.round_index = int(round_index)
 
     # ------------------------------------------------------------------
+    # Router introspection (fleet placement signals)
+    # ------------------------------------------------------------------
+    @property
+    def outstanding_tokens(self):
+        """Tokens of work still owed to this engine's live requests."""
+        return self.scheduler.outstanding_tokens
+
+    @property
+    def free_kv_capacity(self):
+        """Free KV blocks (paged) or batch slots (dense)."""
+        return self.scheduler.free_kv_capacity
+
+    def prefix_probe(self, request):
+        """Longest cached prefix (tokens) this engine's radix trie holds
+        for ``request``'s prompt; a pure read (no LRU/counter effects)."""
+        return self.scheduler.prefix_probe(request)
+
+    # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
     def submit(self, request) -> RequestHandle:

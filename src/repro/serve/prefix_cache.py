@@ -339,6 +339,62 @@ class PrefixCache:
             policy_length=snapshot_depth,
         )
 
+    def probe(self, prompt, policy_key, budgeted=False):
+        """Read-only longest-prefix lookup: the token coverage
+        :meth:`match` *would* report for ``prompt``, without touching
+        the lookup clock, the hit counters, or LRU recency.
+
+        A fleet router probes every replica's trie before placing a
+        request; only the chosen replica's eventual :meth:`match` may
+        count as a lookup or refresh recency, otherwise the probes
+        themselves would perturb eviction order and metrics.  Returns
+        the would-be ``shared_length`` in tokens (0 on a miss).
+        """
+        tokens = tuple(int(t) for t in prompt)
+        limit = len(tokens) - 1
+        block = self.block_size
+
+        node = self._roots.get(policy_key)
+        if node is None:
+            return 0
+        depth = 0
+        pos = 0
+        tail_length = 0
+        trail = []  # snapshot-bearing flags for the budgeted cut
+        while pos < limit:
+            bucket = node.children.get(tokens[pos])
+            if not bucket:
+                break
+            label = tokens[pos : pos + block]
+            full = None
+            if pos + block <= limit:
+                for child in bucket:
+                    if child.tokens == label:
+                        full = child
+                        break
+            if full is not None:
+                trail.append(full)
+                node = full
+                depth = full.depth
+                pos += block
+                continue
+            if self.match_mode == "token" and not budgeted:
+                window = tokens[pos : min(pos + block, limit)]
+                for child in bucket:
+                    common = _common_prefix(child.tokens, window)
+                    if common > tail_length:
+                        tail_length = common
+            break
+
+        if budgeted:
+            # Mirror match(): budgeted coverage ends at the deepest
+            # pure-snapshot node, at full-block granularity.
+            tail_length = 0
+            while trail and trail[-1].policy_state is None:
+                trail.pop()
+            depth = trail[-1].depth if trail else 0
+        return depth + tail_length
+
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------

@@ -127,6 +127,14 @@ class Request:
         path); a branch with several surviving successors CoW-forks.
         Mutually exclusive with ``n > 1``; the sampler is ignored (beam
         scoring is deterministic).
+    length_penalty:
+        Length-normalization exponent ``alpha`` for beam scoring:
+        hypotheses are ranked by ``cum_logprob / len(tokens) ** alpha``
+        (GNMT-style), both at the per-round joint selection and at the
+        final best-hypothesis pick.  ``alpha = 0`` (the default) divides
+        by 1 and is bit-identical to raw cumulative log-probability;
+        larger values counteract the inherent bias toward short
+        hypotheses.  Ignored unless ``beam_width > 1``.
     """
 
     request_id: object
@@ -140,6 +148,7 @@ class Request:
     priority: int = 0
     n: int = 1
     beam_width: int = 1
+    length_penalty: float = 0.0
 
     def __post_init__(self):
         self.prompt = np.asarray(self.prompt)
@@ -163,6 +172,10 @@ class Request:
         if self.n > 1 and self.beam_width > 1:
             raise ValueError(
                 "n and beam_width are mutually exclusive decoding modes"
+            )
+        if not np.isfinite(self.length_penalty) or self.length_penalty < 0:
+            raise ValueError(
+                "length_penalty must be a finite non-negative exponent"
             )
 
     @property

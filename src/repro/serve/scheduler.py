@@ -614,6 +614,9 @@ class Scheduler:
         self._families = {}  # family id (root request id) -> _ForkFamily
         self._rejected = []  # Rejection records, submission order
         self._submit_count = 0
+        #: Throwaway policy instance backing :meth:`prefix_probe` (the
+        #: probe only needs its ``prefix_state_key``); built lazily.
+        self._probe_policy = None
         #: Per-round hardware trace (:class:`~repro.serve.trace.RoundTrace`
         #: per non-empty round), consumed by
         #: :class:`~repro.serve.cosim.ServingCoSimulator`.
@@ -764,6 +767,59 @@ class Scheduler:
     @property
     def done(self):
         return not self._waiting and not self._running
+
+    # ------------------------------------------------------------------
+    # Router introspection (read-only views for fleet placement)
+    # ------------------------------------------------------------------
+    @property
+    def outstanding_tokens(self):
+        """Tokens of work still owed to live requests: unprefilled
+        prompt rows plus ungenerated decode tokens, summed over the
+        waiting queue and the running batch.  The fleet router's
+        least-loaded placement signal; read-only."""
+        total = 0
+        for state in self._waiting + self._running:
+            request = state.request
+            prompt_rows = (
+                state.prompt_tokens.shape[0]
+                if state.prompt_tokens is not None
+                else request.prompt.shape[0]
+            )
+            total += max(0, int(prompt_rows) - state.prefilled)
+            total += max(0, request.max_new_tokens - state.num_generated)
+        return total
+
+    @property
+    def free_kv_capacity(self):
+        """Free KV capacity for the router's tie-breaks: free pool
+        blocks when paged, free batch slots when dense."""
+        if self.paged:
+            return self.block_pool.num_free
+        return self.manager.slots_free
+
+    def prefix_probe(self, request):
+        """Longest cached prefix (in tokens) this scheduler's radix trie
+        would adopt for ``request``'s prompt — the fleet router's
+        prefix-affinity signal.
+
+        A pure read: unlike the admission-time match it touches no LRU
+        clocks and no hit counters, so probing every replica before a
+        placement decision cannot perturb any replica's cache behavior.
+        Returns 0 when prefix sharing cannot apply (dense mode, prefix
+        caching off, or a non-shareable eviction policy)."""
+        if self.prefix_cache is None:
+            return 0
+        policy = self._probe_policy
+        if policy is None:
+            policy = self._probe_policy = self.policy_factory()
+        if not policy.prefix_shareable:
+            return 0
+        budget = request.budget if request.budget is not None else self.budget
+        return self.prefix_cache.probe(
+            np.asarray(request.prompt),
+            policy.prefix_state_key(),
+            budgeted=budget is not None,
+        )
 
     # ------------------------------------------------------------------
     # Scheduling loop
@@ -1684,8 +1740,15 @@ class Scheduler:
         several.  Ties break deterministically by (score, branch
         creation order, token id).  Pruning runs before forking so a
         fixed pool can fund the forks with the pruned branches' slots
-        and blocks.  Returns the number of tokens appended."""
+        and blocks.  Returns the number of tokens appended.
+
+        Scoring ranks candidates by their *length-normalized* cumulative
+        log-probability ``raw / len ** alpha`` (GNMT length penalty,
+        ``alpha = Request.length_penalty``); the branch keeps
+        accumulating the raw sum, so normalization is purely a rank-time
+        transform and ``alpha = 0`` is bit-identical to raw scoring."""
         width = family.width
+        alpha = family.request.length_penalty
         candidates = []
         for order, state in enumerate(live):
             logits = state.logits
@@ -1693,14 +1756,15 @@ class Scheduler:
             logprobs = logits - (peak + np.log(np.exp(logits - peak).sum()))
             vocab = logprobs.shape[0]
             top = np.lexsort((np.arange(vocab), -logprobs))[: min(width, vocab)]
+            length = state.num_generated + 1
             for token in top:
-                candidates.append(
-                    (float(state.cum_logprob + logprobs[token]), order, int(token))
-                )
-        candidates.sort(key=lambda c: (-c[0], c[1], c[2]))
+                raw = float(state.cum_logprob + logprobs[token])
+                rank = raw if alpha == 0 else raw / length**alpha
+                candidates.append((rank, raw, order, int(token)))
+        candidates.sort(key=lambda c: (-c[0], c[2], c[3]))
         by_branch = {}
-        for score, order, token in candidates[:width]:
-            by_branch.setdefault(order, []).append((score, token))
+        for _, raw, order, token in candidates[:width]:
+            by_branch.setdefault(order, []).append((raw, token))
         for order, state in enumerate(live):
             if order not in by_branch:
                 self._prune(state)
@@ -2016,7 +2080,11 @@ class Scheduler:
     def beam_result_for(self, request_id):
         """``(tokens, cum_logprob)`` of the best completed hypothesis of
         a ``Request(beam_width=k)`` family (pruned branches excluded);
-        ties break toward the earliest-created branch."""
+        ties break toward the earliest-created branch.
+
+        With ``Request.length_penalty = alpha > 0`` hypotheses compete
+        on ``cum_logprob / len(tokens) ** alpha``; the returned score is
+        always the raw cumulative log-probability of the winner."""
         family = self._families.get(request_id)
         if family is None or family.mode != "beam":
             raise KeyError(f"request {request_id!r} is not a beam request")
@@ -2029,7 +2097,14 @@ class Scheduler:
             raise KeyError(
                 f"beam request {request_id!r} has no finished hypothesis yet"
             )
-        best = max(done, key=lambda s: (s.cum_logprob, -s.branch_index))
+        alpha = family.request.length_penalty
+
+        def normalized(state):
+            if alpha == 0 or not state.tokens:
+                return state.cum_logprob
+            return state.cum_logprob / len(state.tokens) ** alpha
+
+        best = max(done, key=lambda s: (normalized(s), -s.branch_index))
         return list(best.tokens), best.cum_logprob
 
     def report(self, wall_seconds=0.0):

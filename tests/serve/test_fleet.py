@@ -1,0 +1,236 @@
+"""Differential fleet harness: placement must never change tokens.
+
+The fleet's contract is *routing-only divergence*: a request's generated
+tokens depend only on its own prompt, seed, and budget (batched decode
+is batch-composition-invariant by construction), so a fleet of replicas
+must produce per-request tokens bit-identical to one engine serving the
+same arrival stream — across every placement policy, dense and paged
+KV, and voting and H2O eviction.  The harness here pins that matrix;
+what placement *is* allowed to change (TTFT, imbalance, hit rates) is
+covered in ``test_fleet_report.py``.
+
+Placement policies themselves are unit-tested against stub replicas with
+hand-set load signals, so each rule (round-robin cycling, least-loaded
+ordering, deepest-prefix-match with least-loaded tiebreak) is pinned
+independently of the serving stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import H2OPolicy, VotingPolicy
+from repro.experiments.serving import make_workload
+from repro.serve import (
+    FleetRouter,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    PrefixAffinityPlacement,
+    Request,
+    RoundRobinPlacement,
+    ServingEngine,
+    ServingFleet,
+    available_placements,
+    make_placement,
+)
+
+PLACEMENTS = ("round_robin", "least_loaded", "prefix_affinity")
+
+
+def _policy_factory(model, policy):
+    if policy == "voting":
+        return lambda: VotingPolicy(model.config.n_layers, reserved_length=4)
+    return lambda: H2OPolicy(model.config.n_layers, recent_window=4)
+
+
+def engine_kwargs(model, policy="voting", paged=True):
+    kwargs = dict(
+        policy_factory=_policy_factory(model, policy), max_batch_size=4
+    )
+    if paged:
+        kwargs.update(paged=True, block_size=4)
+    return kwargs
+
+
+def conversations(model, n_requests=6, turns=2, seed=0):
+    """Multi-turn arrival stream (later turns re-extend earlier prompts)."""
+    return make_workload(
+        n_requests=n_requests,
+        turns=turns,
+        vocab=model.config.vocab_size,
+        seed=seed,
+    )
+
+
+class StubEngine:
+    """A replica as the placement policies see one: three load signals."""
+
+    def __init__(self, outstanding=0, free=0, match=0):
+        self.outstanding_tokens = outstanding
+        self.free_kv_capacity = free
+        self._match = match
+
+    def prefix_probe(self, request):
+        return self._match
+
+
+_REQ = Request("probe", np.arange(8), max_new_tokens=2)
+
+
+class TestPlacementPolicies:
+    def test_round_robin_cycles(self):
+        policy = RoundRobinPlacement()
+        engines = [StubEngine() for _ in range(3)]
+        assert [policy.choose(_REQ, engines) for _ in range(7)] == [
+            0, 1, 2, 0, 1, 2, 0,
+        ]
+
+    def test_least_loaded_prefers_fewest_outstanding(self):
+        policy = LeastLoadedPlacement()
+        engines = [StubEngine(outstanding=30), StubEngine(outstanding=10)]
+        assert policy.choose(_REQ, engines) == 1
+
+    def test_least_loaded_ties_break_on_free_capacity_then_index(self):
+        policy = LeastLoadedPlacement()
+        engines = [
+            StubEngine(outstanding=10, free=2),
+            StubEngine(outstanding=10, free=8),
+        ]
+        assert policy.choose(_REQ, engines) == 1
+        # Fully tied: lowest index (deterministic, no RNG anywhere).
+        engines = [StubEngine(outstanding=10, free=8) for _ in range(3)]
+        assert policy.choose(_REQ, engines) == 0
+
+    def test_prefix_affinity_deepest_match_wins_over_load(self):
+        policy = PrefixAffinityPlacement()
+        engines = [
+            StubEngine(outstanding=0, match=4),
+            StubEngine(outstanding=99, match=12),
+        ]
+        assert policy.choose(_REQ, engines) == 1
+
+    def test_prefix_affinity_all_miss_falls_back_to_least_loaded(self):
+        policy = PrefixAffinityPlacement()
+        engines = [
+            StubEngine(outstanding=30, match=0),
+            StubEngine(outstanding=10, match=0),
+        ]
+        assert policy.choose(_REQ, engines) == 1
+
+    def test_registry_and_unknown_name(self):
+        assert available_placements() == sorted(PLACEMENTS)
+        for name in PLACEMENTS:
+            assert make_placement(name).name == name
+        with pytest.raises(KeyError, match="unknown placement"):
+            make_placement("sticky")
+
+    def test_router_rejects_out_of_range_choice(self):
+        class Broken(PlacementPolicy):
+            name = "broken"
+
+            def choose(self, request, engines):
+                return len(engines)
+
+        router = FleetRouter(Broken())
+        with pytest.raises(ValueError, match="chose replica"):
+            router.route(_REQ, [StubEngine(), StubEngine()])
+
+    def test_router_records_placements(self):
+        router = FleetRouter("round_robin")
+        engines = [StubEngine(), StubEngine()]
+        for i in range(4):
+            router.route(
+                Request(f"r{i}", np.arange(6), max_new_tokens=2), engines
+            )
+        assert router.placements == {"r0": 0, "r1": 1, "r2": 0, "r3": 1}
+
+
+class TestFleetBasics:
+    def test_rejects_empty_fleet(self, model):
+        with pytest.raises(ValueError, match="at least one replica"):
+            ServingFleet(model, replicas=0)
+
+    def test_each_request_served_by_exactly_one_replica(self, model):
+        workload = conversations(model)
+        fleet = ServingFleet(model, replicas=3, **engine_kwargs(model))
+        fleet.play(workload)
+        served = [
+            {s.request.request_id for s in engine.scheduler.results()}
+            for engine in fleet.engines
+        ]
+        for i, mine in enumerate(served):
+            for theirs in served[i + 1:]:
+                assert not (mine & theirs)
+        union = set().union(*served)
+        assert union == {r.request_id for r in workload}
+        # The recorded placement is where the request actually retired.
+        for request in workload:
+            rid = request.request_id
+            assert rid in served[fleet.replica_of(rid)]
+
+    def test_tokens_for_reads_through_the_placement(self, model):
+        workload = conversations(model, n_requests=4, turns=1)
+        fleet = ServingFleet(model, replicas=2, **engine_kwargs(model))
+        handles = fleet.play(workload)
+        for handle in handles:
+            assert fleet.tokens_for(handle.request_id) == handle.result()
+
+    def test_single_replica_fleet_is_the_engine(self, model):
+        """replicas=1 routes everything to the only engine; reports and
+        tokens match a bare ServingEngine on the same stream."""
+        workload = conversations(model)
+        kwargs = engine_kwargs(model)
+        solo = ServingEngine(model, **kwargs)
+        solo_tokens = {h.request_id: h.result() for h in solo.play(workload)}
+        fleet = ServingFleet(model, replicas=1, **kwargs)
+        fleet_tokens = {
+            h.request_id: h.result() for h in fleet.play(workload)
+        }
+        assert fleet_tokens == solo_tokens
+        report = fleet.report()
+        assert report.total_rounds == solo.report().total_rounds
+        assert report.load_imbalance == pytest.approx(1.0)
+
+
+class TestFleetEquivalence:
+    """The differential harness: fleet tokens == single-engine tokens."""
+
+    _reference = {}
+
+    def _solo_tokens(self, model, policy, paged):
+        key = (policy, paged)
+        if key not in self._reference:
+            engine = ServingEngine(
+                model, **engine_kwargs(model, policy, paged)
+            )
+            handles = engine.play(conversations(model))
+            self._reference[key] = {
+                h.request_id: h.result() for h in handles
+            }
+        return self._reference[key]
+
+    @pytest.mark.parametrize("placement", PLACEMENTS)
+    @pytest.mark.parametrize("paged", [False, True], ids=["dense", "paged"])
+    @pytest.mark.parametrize("policy", ["voting", "h2o"])
+    def test_fleet_matches_single_engine(
+        self, model, policy, paged, placement
+    ):
+        fleet = ServingFleet(
+            model,
+            replicas=2,
+            placement=placement,
+            **engine_kwargs(model, policy, paged),
+        )
+        handles = fleet.play(conversations(model))
+        tokens = {h.request_id: h.result() for h in handles}
+        assert tokens == self._solo_tokens(model, policy, paged)
+
+    def test_equivalence_holds_at_three_replicas(self, model):
+        fleet = ServingFleet(
+            model,
+            replicas=3,
+            placement="prefix_affinity",
+            **engine_kwargs(model),
+        )
+        handles = fleet.play(conversations(model))
+        tokens = {h.request_id: h.result() for h in handles}
+        assert tokens == self._solo_tokens(model, "voting", True)
