@@ -78,6 +78,9 @@ class AreaPowerModel:
     POWER_VOTE_LOGIC_MW = 24.1
     POWER_SFU_CTRL_MW = 3.6
     POWER_SCHEDULE_MW = 11.2
+    #: Off-chip DRAM access energy, pJ per *bit* (matches the
+    #: :class:`repro.accel.memory.HBMModel` default).
+    ENERGY_HBM_PJ_PER_BIT = 2.0
 
     def __init__(self, hw: HardwareConfig = None):
         self.hw = hw or HardwareConfig()
@@ -171,3 +174,37 @@ class AreaPowerModel:
 
     def total_area_mm2(self):
         return self.breakdown()[-1].area_mm2
+
+    # ------------------------------------------------------------------
+    # Run energy (joules — the per-unit constants above are pJ-scale)
+    # ------------------------------------------------------------------
+    def run_energy_joules(self, cycles, macs, hbm_bytes):
+        """Modeled energy of a priced run, in **joules**.
+
+        Three terms, each explicitly converted from the pJ-scale unit
+        constants (1 pJ = 1e-12 J — the conversion the raw fields make
+        easy to misread):
+
+        - PE dynamic: ``macs × ENERGY_MAC`` pJ — activity-proportional,
+          so an idle array burns nothing here;
+        - DRAM: ``hbm_bytes × 8 × ENERGY_HBM_PJ_PER_BIT`` pJ — every
+          off-chip byte (weights, KV, votes) pays the access energy;
+        - background: everything *except* the PE array (voting engine,
+          SFU, schedule, on-chip buffer) drawn for the run's wall-clock
+          — those modules are modeled as always-on power, and the PE
+          array's share is already counted per-MAC above.
+        """
+        if cycles < 0 or macs < 0 or hbm_bytes < 0:
+            raise ValueError("cycles, macs, and hbm_bytes must be non-negative")
+        seconds = cycles / (self.hw.clock_ghz * 1e9)
+        pe_dynamic = macs * self.ENERGY_MAC * 1e-12
+        dram = hbm_bytes * 8.0 * self.ENERGY_HBM_PJ_PER_BIT * 1e-12
+        background_w = self.total_power_w() - self.pe_array().power_mw * 1e-3
+        return pe_dynamic + dram + background_w * seconds
+
+    def joules_per_token(self, cycles, macs, hbm_bytes, tokens):
+        """Run energy amortized per generated token (0.0 for no tokens)
+        — the serving-scale efficiency metric next to tokens/second."""
+        if not tokens:
+            return 0.0
+        return self.run_energy_joules(cycles, macs, hbm_bytes) / tokens

@@ -19,6 +19,13 @@ Usage::
     python -m repro serve-bench --preempt off,recompute,swap --cosim
                                          # overload burst: two-way scheduling
                                          # vs one-way, swap traffic priced
+    python -m repro serve-bench --preempt swap,model --cosim
+                                         # cost-modeled per-victim swap vs
+                                         # recompute choice
+    python -m repro serve-bench --adaptive-chunk --objective energy
+                                         # cost-guided controller vs the
+                                         # static chunk x preempt grid,
+                                         # dataflow picked by joules/token
     python -m repro serve-bench --spec-decode
                                          # speculative decoding: distilled-
                                          # draft / small-target zoo pair,
@@ -285,10 +292,36 @@ def _serve_bench(argv):
         metavar="MODES",
         help="run the preemption benchmark instead: serve the overload "
         "burst preset against a deliberately-undersized block pool "
-        "under each comma-separated mode (off, recompute, swap); "
+        "under each comma-separated mode (off, recompute, swap, or "
+        "model — per-victim swap-vs-recompute by modeled cycle cost); "
         "the largest --batch-sizes entry is the batch cap; combine "
         "with --cosim to price recompute's re-prefill compute vs "
         "swap's HBM<->host traffic",
+    )
+    parser.add_argument(
+        "--adaptive-chunk",
+        action="store_true",
+        help="run the cost-guided scheduling benchmark instead: the "
+        "overload burst served under every static (prefill chunk, "
+        "preempt mode) combination plus the cost-model-guided "
+        "controller (adaptive chunk sizing, per-victim modeled "
+        "preemption, cycle-priced EDF admission); per-request tokens "
+        "are asserted bit-identical across all rows and every trace is "
+        "priced per dataflow through the memoized round-cost predictor",
+    )
+    parser.add_argument(
+        "--objective",
+        choices=("cycles", "energy"),
+        default=None,
+        help="(with --adaptive-chunk) pick each row's dataflow by total "
+        "cycles or modeled joules (default: cycles)",
+    )
+    parser.add_argument(
+        "--static-chunks",
+        default="4,8,16",
+        metavar="CHUNKS",
+        help="(with --adaptive-chunk) comma-separated static prefill "
+        "chunk budgets forming the baseline grid",
     )
     parser.add_argument(
         "--pool-fraction",
@@ -400,6 +433,7 @@ def _serve_bench(argv):
         args.prefix_compare
         or args.spec_decode
         or args.preempt is not None
+        or args.adaptive_chunk
         or args.n_samples is not None
         or args.beam_width is not None
     ):
@@ -424,6 +458,73 @@ def _serve_bench(argv):
                     f"--compression-ratio must be in (0, 1], "
                     f"got {args.compression_ratio!r}"
                 )
+    if args.objective is not None and not args.adaptive_chunk:
+        parser.error("--objective requires --adaptive-chunk")
+    if (
+        args.static_chunks != parser.get_default("static_chunks")
+        and not args.adaptive_chunk
+    ):
+        parser.error("--static-chunks requires --adaptive-chunk")
+    if args.adaptive_chunk:
+        # The scheduling benchmark runs its own dedicated overload
+        # workload (always paged, unbudgeted, no prefix sharing, every
+        # trace priced); reject knobs it would otherwise silently ignore.
+        ignored = [
+            flag
+            for flag, off_default in (
+                ("--prefix-compare", not args.prefix_compare),
+                ("--spec-decode", not args.spec_decode),
+                ("--preempt", args.preempt is None),
+                ("--n-samples", args.n_samples is None),
+                ("--beam-width", args.beam_width is None),
+                ("--cosim", not args.cosim),
+                ("--paged", not args.paged),
+                ("--shared-prefix", args.shared_prefix == 0),
+                ("--no-prefix-cache", not args.no_prefix_cache),
+                ("--interarrival", args.interarrival == 2.0),
+                ("--compression-ratio", args.compression_ratio is None),
+            )
+            if not off_default
+        ]
+        if ignored:
+            parser.error(
+                f"{', '.join(ignored)} cannot be combined with "
+                "--adaptive-chunk (the scheduling benchmark serves the "
+                "overload preset paged, unbudgeted, without prefix "
+                "sharing, and always prices every trace)"
+            )
+        try:
+            static_chunks = tuple(
+                int(c) for c in args.static_chunks.split(",")
+            )
+        except ValueError:
+            parser.error(
+                f"--static-chunks must be comma-separated integers, "
+                f"got {args.static_chunks!r}"
+            )
+        if not static_chunks or any(c <= 0 for c in static_chunks):
+            parser.error(
+                f"--static-chunks entries must be positive, "
+                f"got {args.static_chunks!r}"
+            )
+        if not 0.0 < args.pool_fraction <= 1.0:
+            parser.error(
+                f"--pool-fraction must be in (0, 1], got {args.pool_fraction}"
+            )
+        result, extra = serving.run_cosim_schedule(
+            n_requests=args.requests,
+            static_chunks=static_chunks,
+            base_chunk=args.chunk_prefill or 8,
+            max_batch_size=max(batch_sizes),
+            block_size=args.block_size,
+            pool_fraction=args.pool_fraction,
+            objective=args.objective or "cycles",
+            seed=args.seed,
+            cosim_shapes=args.cosim_shapes,
+        )
+        result.experiment_id = "serving_schedule_bench"
+        _emit(result, extra=extra, json_path=args.json)
+        return 0
     if args.prefix_compare:
         ignored = [
             flag
@@ -543,10 +644,12 @@ def _serve_bench(argv):
         return 0
     if args.preempt is not None:
         modes = tuple(m.strip() for m in args.preempt.split(",") if m.strip())
-        unknown = [m for m in modes if m not in ("off", "recompute", "swap")]
+        unknown = [
+            m for m in modes if m not in ("off", "recompute", "swap", "model")
+        ]
         if unknown or not modes:
             parser.error(
-                f"--preempt entries must be off/recompute/swap, "
+                f"--preempt entries must be off/recompute/swap/model, "
                 f"got {args.preempt!r}"
             )
         # The preemption benchmark runs a dedicated workload preset (the

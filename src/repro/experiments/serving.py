@@ -20,6 +20,7 @@ pull at once: the prefix is stored once and prefilled once.
 from __future__ import annotations
 
 import json
+import time
 
 import numpy as np
 
@@ -27,6 +28,7 @@ import math
 from dataclasses import replace
 
 from repro.accel.config import veda_config
+from repro.accel.predictor import RoundCostPredictor
 from repro.config import ModelConfig, llama2_7b_shapes, tiny_config
 from repro.core.engine import budget_from_ratio, sequence_capacity
 from repro.core.policies.voting import VotingPolicy
@@ -35,17 +37,20 @@ from repro.experiments.common import ExperimentResult, format_table
 from repro.models.inference import CachedTransformer
 from repro.models.transformer import TransformerLM
 from repro.serve import (
+    CycleEDFAdmission,
     Request,
     Scheduler,
     ServingCoSimulator,
     ServingEngine,
     ServingFleet,
+    best_dataflow,
     compare_dataflows,
 )
 
 __all__ = [
     "run",
     "run_cosim",
+    "run_cosim_schedule",
     "run_engine",
     "run_fleet",
     "run_fork",
@@ -1254,7 +1259,7 @@ def run_preempt(
     Returns ``(ExperimentResult, extra_text)`` like :func:`run_cosim`.
     """
     for mode in modes:
-        if mode not in ("off", "recompute", "swap"):
+        if mode not in ("off", "recompute", "swap", "model"):
             raise ValueError(f"unknown preempt mode {mode!r}")
     if model is None:
         model = CachedTransformer.from_module(
@@ -1266,6 +1271,9 @@ def run_preempt(
         )
     hw_model = llama2_7b_shapes() if cosim_shapes == "7b" else model.config
     n_layers = model.config.n_layers
+    cost_model = (
+        RoundCostPredictor(hw, hw_model) if "model" in modes else None
+    )
 
     def serve(mode, workload, num_blocks, max_rounds=None):
         engine = ServingEngine(
@@ -1283,6 +1291,7 @@ def run_preempt(
             # shrink), muddying the pool-pressure signal being measured.
             prefix_caching=False,
             preempt=mode,
+            cost_model=cost_model if mode == "model" else None,
         )
         engine.play(workload, drain=False)
         while not engine.drained:
@@ -1383,6 +1392,220 @@ def run_preempt(
         notes=notes,
     )
     return result, "\n\n".join(extra_blocks)
+
+
+def run_cosim_schedule(
+    n_requests=8,
+    static_chunks=(4, 8, 16),
+    base_chunk=8,
+    static_preempts=("swap", "recompute"),
+    max_batch_size=8,
+    block_size=4,
+    pool_fraction=0.4,
+    scale=1,
+    compression_ratio=None,
+    reserved_length=4,
+    objective="cycles",
+    model=None,
+    seed=0,
+    cosim_shapes="7b",
+    hw=None,
+):
+    """Cost-model-guided scheduling vs the static grid, on one overload burst.
+
+    The same overload workload (unbudgeted, deliberately-undersized
+    pool) is served once per configuration: every static
+    ``(prefill_chunk, preempt)`` combination from ``static_chunks`` x
+    ``static_preempts``, plus the cost-guided controller —
+    ``adaptive_chunk=True`` (the chunk each round is sized from the
+    predicted decode-batch cycle budget and the free-block count),
+    ``preempt="model"`` (each victim swaps or recomputes by modeled
+    cycle cost), and cycle-priced EDF admission.  Scheduling decisions
+    never touch the numerics, so every configuration must retire
+    bit-identical per-request tokens — asserted here.
+
+    Each trace is then priced under every dataflow through one shared
+    memoized :class:`~repro.accel.predictor.RoundCostPredictor`
+    (``compare_dataflows(memoize=True)``) and the winner is picked by
+    ``objective`` (``"cycles"`` or ``"energy"``); rows carry modeled
+    throughput, p95 TTFT in cycles, and joules/token.  The memoized
+    replay is also timed against the unmemoized simulator on the same
+    trace (bit-identity asserted) — the replay speedup satellite.
+
+    Returns ``(ExperimentResult, extra_text)`` like :func:`run_cosim`.
+    """
+    if objective not in ("cycles", "energy"):
+        raise ValueError(f"objective must be 'cycles' or 'energy', got {objective!r}")
+    for mode in static_preempts:
+        if mode not in ("recompute", "swap"):
+            raise ValueError(
+                f"static preempt modes must be 'recompute' or 'swap', got {mode!r}"
+            )
+    if model is None:
+        model = CachedTransformer.from_module(
+            TransformerLM(tiny_config(), seed=0)
+        )
+    if cosim_shapes not in ("7b", "served"):
+        raise ValueError(
+            f"cosim_shapes must be '7b' or 'served', got {cosim_shapes!r}"
+        )
+    hw_model = llama2_7b_shapes() if cosim_shapes == "7b" else model.config
+    n_layers = model.config.n_layers
+    cost_model = RoundCostPredictor(hw, hw_model)
+
+    workload = make_workload(
+        n_requests=n_requests,
+        preset="overload",
+        prompt_range=(16 * scale, 24 * scale),
+        compression_ratio=compression_ratio,
+        vocab=model.config.vocab_size,
+        seed=seed,
+    )
+    num_blocks = overload_pool_blocks(
+        workload, block_size, n_layers, fraction=pool_fraction
+    )
+
+    def serve(chunk, preempt, adaptive):
+        engine = ServingEngine(
+            model,
+            admission=CycleEDFAdmission(cost_model=cost_model),
+            policy_factory=lambda: VotingPolicy(
+                n_layers, reserved_length=reserved_length
+            ),
+            max_batch_size=max_batch_size,
+            paged=True,
+            block_size=block_size,
+            num_blocks=num_blocks,
+            prefix_caching=False,
+            prefill_chunk=chunk,
+            adaptive_chunk=adaptive,
+            preempt=preempt,
+            cost_model=cost_model if (adaptive or preempt == "model") else None,
+        )
+        engine.play(workload, drain=False)
+        while not engine.drained:
+            engine.step()
+        return engine
+
+    configs = [
+        ("static", chunk, preempt)
+        for chunk in static_chunks
+        for preempt in static_preempts
+    ]
+    configs.append(("adaptive", base_chunk, "model"))
+
+    rows = []
+    baseline_tokens = None
+    adaptive_engine = None
+    for policy, chunk, preempt in configs:
+        engine = serve(chunk, preempt, adaptive=policy == "adaptive")
+        tokens = {
+            request.request_id: engine.tokens_for(request.request_id)
+            for request in workload
+        }
+        if baseline_tokens is None:
+            baseline_tokens = tokens
+        elif tokens != baseline_tokens:
+            diverged = sorted(
+                rid for rid in tokens if tokens[rid] != baseline_tokens[rid]
+            )
+            raise AssertionError(
+                f"scheduling changed tokens for {diverged} at "
+                f"({policy}, chunk={chunk}, preempt={preempt})"
+            )
+        report = engine.report()
+        hw_reports = compare_dataflows(
+            scheduler=engine.scheduler, hw=hw, hw_model=hw_model, memoize=True
+        )
+        dataflow, hw_report = best_dataflow(hw_reports, objective=objective)
+        rows.append(
+            {
+                "policy": policy,
+                "chunk": chunk,
+                "preempt": preempt,
+                "rounds": report.total_rounds,
+                "preempts": report.preemptions,
+                "cycles": hw_report.total_cycles,
+                "hw_tokens/s": hw_report.tokens_per_second,
+                "p95_ttft_cyc": hw_report.p95_ttft_cycles,
+                "joules/token": hw_report.joules_per_token,
+                "dataflow": dataflow,
+            }
+        )
+        if policy == "adaptive":
+            adaptive_engine = engine
+
+    # Replay-speedup satellite: the memoized pricer must reproduce the
+    # full simulator bit-for-bit while skipping the repeated work.
+    predictor = RoundCostPredictor(hw, hw_model)
+    warmup = ServingCoSimulator(
+        scheduler=adaptive_engine.scheduler,
+        hw=hw,
+        hw_model=hw_model,
+        predictor=predictor,
+    ).replay()
+    t0 = time.perf_counter()
+    cold = ServingCoSimulator(
+        scheduler=adaptive_engine.scheduler, hw=hw, hw_model=hw_model
+    ).replay()
+    t1 = time.perf_counter()
+    warm = ServingCoSimulator(
+        scheduler=adaptive_engine.scheduler,
+        hw=hw,
+        hw_model=hw_model,
+        predictor=predictor,
+    ).replay()
+    t2 = time.perf_counter()
+    if (warm.total_cycles, warm.macs, warm.hbm_bytes) != (
+        cold.total_cycles,
+        cold.macs,
+        cold.hbm_bytes,
+    ):
+        raise AssertionError("memoized replay diverged from the full simulator")
+    assert warmup.total_cycles == cold.total_cycles
+    replay_speedup = (t1 - t0) / max(t2 - t1, 1e-9)
+
+    static_rows = [row for row in rows if row["policy"] == "static"]
+    adaptive_row = rows[-1]
+    best_static = max(static_rows, key=lambda row: row["hw_tokens/s"])
+    extra = "\n".join(
+        [
+            f"Objective: {objective}; pool {num_blocks} blocks "
+            f"({1 / pool_fraction:.1f}x oversubscribed aggregate demand).",
+            f"Best static config: chunk={best_static['chunk']} "
+            f"preempt={best_static['preempt']} at "
+            f"{best_static['hw_tokens/s']:.1f} hw tokens/s, "
+            f"p95 TTFT {best_static['p95_ttft_cyc']:,.0f} cycles.",
+            f"Cost-guided controller: {adaptive_row['hw_tokens/s']:.1f} "
+            f"hw tokens/s, p95 TTFT "
+            f"{adaptive_row['p95_ttft_cyc']:,.0f} cycles, "
+            f"{adaptive_row['joules/token']:.4f} J/token.",
+            f"Model-preempt split: {adaptive_engine.report().model_swaps} "
+            f"swaps / {adaptive_engine.report().model_recomputes} recomputes.",
+            f"Memoized replay speedup: {replay_speedup:.2f}x "
+            f"(predictor hit rate {predictor.hit_rate:.2f}), bit-identical.",
+        ]
+    )
+    notes = (
+        "Every configuration serves the identical overload burst and "
+        "retires bit-identical per-request tokens (asserted): the cost "
+        "model only re-orders and re-sizes scheduling, never the math. "
+        "The adaptive controller sizes each prefill chunk so prefill "
+        "plus the predicted decode round fits the widest rung's cycle "
+        "budget without outrunning the free block pool, picks swap vs "
+        "recompute per victim by modeled cycles, and admits by "
+        "cycle-priced laxity. Traces are priced per dataflow through "
+        "one shared memoized predictor and the winner is chosen by the "
+        f"'{objective}' objective."
+    )
+    result = ExperimentResult(
+        "serving_schedule",
+        "Cost-model-guided scheduling vs the static grid",
+        rows=rows,
+        notes=notes,
+    )
+    result.replay_speedup = replay_speedup
+    return result, extra
 
 
 def run_fork(

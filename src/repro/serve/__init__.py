@@ -13,6 +13,7 @@ with fleet-level co-simulation and tensor-parallel pricing)."""
 from repro.serve.cosim import (
     ServingCoSimReport,
     ServingCoSimulator,
+    best_dataflow,
     compare_dataflows,
 )
 from repro.serve.fleet import (
@@ -29,6 +30,7 @@ from repro.serve.fleet import (
 )
 from repro.serve.engine import (
     AdmissionPolicy,
+    CycleEDFAdmission,
     EDFAdmission,
     EngineTick,
     FIFOAdmission,
@@ -71,6 +73,7 @@ __all__ = [
     "AdmissionPolicy",
     "BlockPool",
     "BlockPoolExhausted",
+    "CycleEDFAdmission",
     "EDFAdmission",
     "EngineTick",
     "FIFOAdmission",
@@ -99,6 +102,7 @@ __all__ = [
     "ServingCoSimulator",
     "available_admissions",
     "available_placements",
+    "best_dataflow",
     "compare_dataflows",
     "make_admission",
     "make_placement",

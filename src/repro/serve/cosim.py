@@ -88,11 +88,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.accel.area_power import AreaPowerModel
 from repro.accel.config import HardwareConfig, veda_config
+from repro.accel.predictor import RoundCostPredictor
 from repro.accel.scheduler import DATAFLOWS
 from repro.accel.simulator import AcceleratorSimulator
 
-__all__ = ["ServingCoSimReport", "ServingCoSimulator", "compare_dataflows"]
+__all__ = [
+    "ServingCoSimReport",
+    "ServingCoSimulator",
+    "compare_dataflows",
+    "best_dataflow",
+]
 
 
 @dataclass
@@ -170,6 +179,11 @@ class ServingCoSimReport:
     #: unknown) to the end of the round pricing its *final* prefill
     #: event — the round whose sampling pass produces the first token.
     ttft_cycles: dict = field(default_factory=dict)
+    #: Modeled energy of the whole trace in joules (PE dynamic per MAC +
+    #: DRAM per byte + non-array background power over the modeled
+    #: wall-clock; see
+    #: :meth:`repro.accel.area_power.AreaPowerModel.run_energy_joules`).
+    energy_joules: float = 0.0
 
     @property
     def wall_seconds(self):
@@ -203,6 +217,19 @@ class ServingCoSimReport:
     def max_ttft_cycles(self):
         """Worst-case TTFT in cycles (0.0 when no prefill completed)."""
         return max(self.ttft_cycles.values(), default=0.0)
+
+    @property
+    def p95_ttft_cycles(self):
+        """95th-percentile TTFT in accelerator cycles — the tail-latency
+        number cost-guided chunking is judged on (0.0 when empty)."""
+        if not self.ttft_cycles:
+            return 0.0
+        return float(np.percentile(list(self.ttft_cycles.values()), 95))
+
+    @property
+    def joules_per_token(self):
+        """Modeled energy per produced token (0.0 on an empty trace)."""
+        return self.energy_joules / self.total_tokens if self.total_tokens else 0.0
 
     @property
     def mean_decode_attention_cycles(self):
@@ -252,6 +279,7 @@ class ServingCoSimReport:
             "max_round_cycles": self.max_round_cycles,
             "mean_ttft_cycles": self.mean_ttft_cycles,
             "hbm_gb": self.hbm_bytes / 1e9,
+            "joules/token": self.joules_per_token,
         }
         if self.swap_events:
             summary["swap_events"] = self.swap_events
@@ -312,6 +340,19 @@ class ServingCoSimulator:
         across ``tp`` PE clusters and price the per-layer all-reduces
         over the hardware configuration's interconnect link.  ``tp=1``
         (default) is bit-identical to the single-device replay.
+    memoize:
+        Route round pricing through a
+        :class:`~repro.accel.predictor.RoundCostPredictor` instead of
+        the bare simulator.  The predictor re-assembles cached cost
+        fragments in the simulator's own accumulation order, so every
+        replayed number — cycles, energy, per-step attention — is
+        **bit-identical** to ``memoize=False``; long traces just price
+        several times faster (chunk shapes and batch depths repeat).
+    predictor / draft_predictor:
+        Explicit predictor instances to price with (implies memoized
+        pricing for that side).  Passing one lets several replays — e.g.
+        the three :func:`compare_dataflows` passes — share one warm
+        cache; shapes/tp must match ``hw_model``/``hw_draft_model``.
     """
 
     def __init__(
@@ -323,6 +364,9 @@ class ServingCoSimulator:
         count_dead_steps=True,
         hw_draft_model=None,
         tp=1,
+        memoize=False,
+        predictor=None,
+        draft_predictor=None,
     ):
         if dataflow not in DATAFLOWS:
             raise ValueError(
@@ -336,17 +380,28 @@ class ServingCoSimulator:
         self.dataflow = dataflow
         self.count_dead_steps = bool(count_dead_steps)
         self.tp = int(tp)
-        self.simulator = AcceleratorSimulator(self.hw, self.hw_model, tp=self.tp)
+        if predictor is not None:
+            self.simulator = predictor
+        elif memoize:
+            self.simulator = RoundCostPredictor(self.hw, self.hw_model, tp=self.tp)
+        else:
+            self.simulator = AcceleratorSimulator(self.hw, self.hw_model, tp=self.tp)
+        self.power_model = AreaPowerModel(self.hw)
         if hw_draft_model is None and scheduler is not None:
             draft = getattr(scheduler, "draft_model", None)
             if draft is not None:
                 hw_draft_model = draft.config
         self.hw_draft_model = hw_draft_model
-        self.draft_simulator = (
-            AcceleratorSimulator(self.hw, hw_draft_model, tp=self.tp)
-            if hw_draft_model is not None
-            else None
-        )
+        if draft_predictor is not None:
+            self.draft_simulator = draft_predictor
+        elif hw_draft_model is not None:
+            self.draft_simulator = (
+                RoundCostPredictor(self.hw, hw_draft_model, tp=self.tp)
+                if memoize
+                else AcceleratorSimulator(self.hw, hw_draft_model, tp=self.tp)
+            )
+        else:
+            self.draft_simulator = None
 
     def _scheduler_arrivals(self):
         """``request_id -> arrival round`` of every request the attached
@@ -612,6 +667,13 @@ class ServingCoSimulator:
                 row["verify_rows"] = sum(v.rows for v in record.verifies)
                 row["draft_cycles"] = round_draft_cycles
             report.rounds.append(row)
+        # Energy over the whole trace: PE dynamic scales with the MACs
+        # priced above (target + draft), DRAM with every HBM byte
+        # (weights, KV, votes), background with the modeled wall-clock
+        # (swap/fork/draft serialization included in total_cycles).
+        report.energy_joules = self.power_model.run_energy_joules(
+            report.total_cycles, report.macs, report.hbm_bytes
+        )
         return report
 
 
@@ -622,6 +684,7 @@ def compare_dataflows(
     hw_model=None,
     count_dead_steps=True,
     hw_draft_model=None,
+    memoize=False,
 ):
     """Replay one trace under every dataflow selection.
 
@@ -634,11 +697,27 @@ def compare_dataflows(
     cannot express the streaming mapping, so the comparison degrades to
     ``{"auto", "prefill"}`` — both pricing the baseline's tiled
     configuration.
+
+    ``memoize=True`` prices every pass through one *shared*
+    :class:`~repro.accel.predictor.RoundCostPredictor` (its caches key
+    on the resolved mapping, so the selections never collide), keeping
+    the reports bit-identical while the repeat passes run mostly warm.
     """
     effective_hw = hw or veda_config()
     selections = (
         DATAFLOWS if effective_hw.flexible_dataflow else ("auto", "prefill")
     )
+    predictor = draft_predictor = None
+    if memoize:
+        effective_model = hw_model or scheduler.model.config
+        predictor = RoundCostPredictor(effective_hw, effective_model)
+        effective_draft = hw_draft_model
+        if effective_draft is None and scheduler is not None:
+            draft = getattr(scheduler, "draft_model", None)
+            if draft is not None:
+                effective_draft = draft.config
+        if effective_draft is not None:
+            draft_predictor = RoundCostPredictor(effective_hw, effective_draft)
     reports = {}
     for dataflow in selections:
         cosim = ServingCoSimulator(
@@ -648,6 +727,34 @@ def compare_dataflows(
             dataflow=dataflow,
             count_dead_steps=count_dead_steps,
             hw_draft_model=hw_draft_model,
+            predictor=predictor,
+            draft_predictor=draft_predictor,
         )
         reports[dataflow] = cosim.replay(trace)
     return reports
+
+
+def best_dataflow(reports, objective="cycles"):
+    """Pick the winning dataflow from a :func:`compare_dataflows` dict.
+
+    ``objective="cycles"`` minimizes ``total_cycles`` (throughput);
+    ``"energy"`` minimizes ``energy_joules`` — the two can disagree,
+    e.g. when the streaming mapping saves cycles but re-reads KV from
+    HBM (every byte pays DRAM access energy).  Ties break toward
+    ``"auto"`` then the :data:`~repro.accel.scheduler.DATAFLOWS` order.
+    Returns ``(name, report)``.
+    """
+    if objective not in ("cycles", "energy"):
+        raise ValueError(
+            f"objective must be 'cycles' or 'energy', got {objective!r}"
+        )
+    if not reports:
+        raise ValueError("no dataflow reports to choose from")
+    metric = (
+        (lambda r: r.total_cycles)
+        if objective == "cycles"
+        else (lambda r: r.energy_joules)
+    )
+    order = {name: rank for rank, name in enumerate(DATAFLOWS)}
+    name = min(reports, key=lambda n: (metric(reports[n]), order.get(n, len(order))))
+    return name, reports[name]

@@ -78,6 +78,7 @@ __all__ = [
     "AdmissionPolicy",
     "FIFOAdmission",
     "EDFAdmission",
+    "CycleEDFAdmission",
     "PriorityAdmission",
     "make_admission",
     "available_admissions",
@@ -127,6 +128,71 @@ class EDFAdmission(AdmissionPolicy):
         return (1, request.arrival_time)
 
 
+class CycleEDFAdmission(AdmissionPolicy):
+    """Least-laxity-first with deadlines and work priced in *cycles*.
+
+    Plain EDF ranks by deadline round alone, blind to how much compute a
+    request still needs: of two requests due the same round, the one
+    with the *longer* prompt is objectively more urgent — its prefill
+    burns more of the shared machine time before a first token can
+    appear.  This policy converts each deadline to a cycle-denominated
+    laxity::
+
+        laxity = (deadline - now) * cycles_per_round
+                 - predicted_prefill_cycles(prompt)
+
+    and admits the smallest laxity first (ties by deadline, then
+    arrival).  Deadline-less requests fall back to FIFO behind every
+    deadline-carrying one, as in :class:`EDFAdmission`.
+
+    Parameters
+    ----------
+    cost_model:
+        A :class:`repro.accel.predictor.RoundCostPredictor` pricing
+        prompt prefills.  Defaults to VEDA hardware at Llama-2 7B
+        shapes — the same datacenter-scale substitution the serving
+        co-simulator defaults to.
+    cycles_per_round:
+        Calibration constant converting the scheduler's abstract round
+        clock (deadlines are in rounds) to cycles.  Defaults to the
+        cost model's predicted cycles for one reference decode round —
+        a half-full batch of eight sequences at cache length 256.
+    """
+
+    name = "edf_cycles"
+
+    #: Reference decode round for the ``cycles_per_round`` default.
+    REFERENCE_BATCH = 8
+    REFERENCE_LENGTH = 256
+
+    def __init__(self, cost_model=None, cycles_per_round=None):
+        if cost_model is None:
+            from repro.accel.predictor import RoundCostPredictor
+            from repro.config import llama2_7b_shapes
+
+            cost_model = RoundCostPredictor(model=llama2_7b_shapes())
+        self.cost_model = cost_model
+        if cycles_per_round is None:
+            cycles_per_round = cost_model.decode_round_cycles(
+                [self.REFERENCE_LENGTH] * self.REFERENCE_BATCH
+            )
+        if cycles_per_round <= 0:
+            raise ValueError(
+                f"cycles_per_round must be positive, got {cycles_per_round}"
+            )
+        self.cycles_per_round = float(cycles_per_round)
+
+    def key(self, request, now):
+        if request.deadline is not None:
+            laxity = (
+                request.deadline - now
+            ) * self.cycles_per_round - self.cost_model.prefill_cycles(
+                int(request.prompt.shape[0])
+            )
+            return (0, laxity, request.deadline, request.arrival_time)
+        return (1, request.arrival_time)
+
+
 class PriorityAdmission(AdmissionPolicy):
     """Highest ``Request.priority`` first, with linear starvation aging.
 
@@ -154,13 +220,15 @@ class PriorityAdmission(AdmissionPolicy):
 _ADMISSIONS = {
     "fifo": FIFOAdmission,
     "edf": EDFAdmission,
+    "edf_cycles": CycleEDFAdmission,
     "priority": PriorityAdmission,
 }
 
 
 def make_admission(name, **kwargs):
     """Instantiate an admission policy by name (``fifo``/``edf``/
-    ``priority``); extra kwargs go to the policy constructor."""
+    ``edf_cycles``/``priority``); extra kwargs go to the policy
+    constructor."""
     if name not in _ADMISSIONS:
         raise KeyError(
             f"unknown admission policy {name!r}; "
@@ -510,14 +578,23 @@ class ServingEngine:
         """Generated tokens of a retired request."""
         return self.scheduler.tokens_for(request_id)
 
-    def cosim(self, hw=None, hw_model=None, dataflow="auto", count_dead_steps=True):
+    def cosim(
+        self,
+        hw=None,
+        hw_model=None,
+        dataflow="auto",
+        count_dead_steps=True,
+        memoize=False,
+    ):
         """Price the run's recorded trace on the accelerator cycle
         model; the returned report includes per-request TTFT in cycles
-        (anchored on each request's final prefill event)."""
+        (anchored on each request's final prefill event).  ``memoize``
+        prices through a bit-identical memoized round-cost predictor."""
         return ServingCoSimulator(
             scheduler=self.scheduler,
             hw=hw,
             hw_model=hw_model,
             dataflow=dataflow,
             count_dead_steps=count_dead_steps,
+            memoize=memoize,
         ).replay()

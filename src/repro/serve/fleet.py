@@ -370,6 +370,16 @@ class FleetCoSimReport:
         """Fleet throughput: total tokens over the makespan."""
         return self.total_tokens / self.wall_seconds if self.fleet_cycles else 0.0
 
+    @property
+    def energy_joules(self):
+        """Pooled energy: every replica's device burns its own joules."""
+        return sum(r.energy_joules for r in self.replicas)
+
+    @property
+    def joules_per_token(self):
+        """Fleet energy efficiency: pooled joules over pooled tokens."""
+        return self.energy_joules / self.total_tokens if self.total_tokens else 0.0
+
     def summary(self):
         """Flat dict of the fleet hardware aggregates."""
         summary = {
@@ -377,6 +387,7 @@ class FleetCoSimReport:
             "fleet_cycles": self.fleet_cycles,
             "tokens": self.total_tokens,
             "fleet_tokens/s": self.tokens_per_second,
+            "joules/token": self.joules_per_token,
         }
         if self.tp > 1:
             summary["tp"] = self.tp

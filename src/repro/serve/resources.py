@@ -16,12 +16,12 @@ Two admission regimes live here:
   worst-case block demand plus every running sequence's outstanding
   reservation, so an admitted sequence can never fail an allocation —
   and a request whose worst case exceeds the whole pool is rejected.
-- ``preempt="recompute"`` / ``preempt="swap"`` switch to *optimistic
-  admission* (vLLM-style): a sequence admits as soon as the pool covers
-  its immediate prefill need, far below the worst case when eviction
-  budgets shrink sequences after prefill.  Soundness comes from two-way
-  scheduling: when the pool (or the batch) runs dry, a victim is
-  preempted instead of the allocator crashing.
+- ``preempt="recompute"`` / ``preempt="swap"`` / ``preempt="model"``
+  switch to *optimistic admission* (vLLM-style): a sequence admits as
+  soon as the pool covers its immediate prefill need, far below the
+  worst case when eviction budgets shrink sequences after prefill.
+  Soundness comes from two-way scheduling: when the pool (or the batch)
+  runs dry, a victim is preempted instead of the allocator crashing.
 
 Preemption itself has two flavors, priced very differently by the
 co-simulator:
@@ -42,6 +42,13 @@ co-simulator:
   ``import_prefill_state`` hooks and re-imported onto a fresh instance at
   swap-in; any other policy keeps its live object host-side.  Either
   way the continuation is bit-identical to never having been preempted.
+
+``preempt="model"`` is not a third mechanism: the scheduler picks
+recompute *or* swap per victim from modeled cost (host-link transfer
+cycles vs re-prefill cycles, via
+:class:`repro.accel.predictor.RoundCostPredictor`), using the same two
+paths above.  The manager treats it exactly like the other two-way
+modes.
 
 The host pool is *modeled*: images are plain numpy copies, and the
 scheduler records a :class:`~repro.serve.trace.SwapEvent` per transfer so
@@ -89,8 +96,9 @@ from repro.serve.prefix_cache import PrefixCache
 
 __all__ = ["KVResourceManager", "SwapImage", "PREEMPT_MODES"]
 
-#: Valid ``preempt`` settings for the scheduler and the manager.
-PREEMPT_MODES = ("off", "recompute", "swap")
+#: Valid ``preempt`` settings for the scheduler and the manager
+#: (``"model"`` = per-victim recompute-vs-swap chosen by predicted cost).
+PREEMPT_MODES = ("off", "recompute", "swap", "model")
 
 
 class SwapImage:

@@ -217,10 +217,15 @@ class ServingReport:
     prefill_tokens_saved: int = 0
     cow_copies: int = 0
     # ---- preemption extras (defaults when preempt="off") ----
-    #: The scheduler's preemption mode (``off``/``recompute``/``swap``).
+    #: The scheduler's preemption mode
+    #: (``off``/``recompute``/``swap``/``model``).
     preempt: str = "off"
-    #: Preemption events over the run (both modes).
+    #: Preemption events over the run (all modes).
     preemptions: int = 0
+    #: Per-victim choices made under ``preempt="model"`` (zero
+    #: otherwise): how often the cost model picked swap vs recompute.
+    model_swaps: int = 0
+    model_recomputes: int = 0
     swap_outs: int = 0
     swap_ins: int = 0
     #: Pool blocks paged out to / back from the modeled host pool.
@@ -376,7 +381,10 @@ class ServingReport:
         if self.preempt != "off":
             summary["preempt"] = self.preempt
             summary["preemptions"] = self.preemptions
-            if self.preempt == "swap":
+            if self.preempt == "model":
+                summary["model_swaps"] = self.model_swaps
+                summary["model_recomputes"] = self.model_recomputes
+            if self.preempt in ("swap", "model"):
                 summary["swap_out_blocks"] = self.swap_out_blocks
                 summary["swap_in_blocks"] = self.swap_in_blocks
                 summary["host_peak_kv"] = self.host_peak_kv_slots
@@ -485,6 +493,25 @@ class Scheduler:
         rows a round computes, interleaving long prompts with decode
         (Sarathi-style chunked prefill).  Generated tokens are
         bit-identical at every chunk budget.
+    adaptive_chunk:
+        Re-size the chunk budget every round from *predicted cycles*
+        instead of holding it static (requires ``prefill_chunk`` and
+        ``cost_model``).  The round's budget is the largest rung of a
+        power-of-two ladder around ``prefill_chunk`` (``x/4`` up to
+        ``4x``) whose predicted prefill cycles fit in the cycle budget
+        left after the current decode batch — Sarathi's dynamic split,
+        priced on the hardware model: shallow decode rounds take big
+        chunks (fewer weight-fetch passes), deep rounds take small ones
+        (bounded round latency).  On a fixed paged pool the rung is
+        additionally capped to the blocks actually free, so an
+        oversized chunk never forces preemptions a smaller one avoids.
+        Tokens stay bit-identical (chunk-budget invariance).
+    cost_model:
+        A :class:`repro.accel.predictor.RoundCostPredictor` pricing the
+        decisions above (and ``preempt="model"``).  Its model config
+        sets the *cost shapes* — pass Llama-2 7B shapes to steer a
+        tiny-model trace by datacenter-scale costs, exactly like the
+        co-simulator's ``hw_model`` substitution.
     admission_policy:
         Object with a ``key(request, now) -> sortable`` method ordering
         *arrived* waiting requests for admission (lowest key first; ties
@@ -500,9 +527,15 @@ class Scheduler:
         recompute victim is re-admitted by re-prefilling its prompt plus
         the tokens generated so far; a swap victim pages its KV blocks
         and eviction-state snapshot to a modeled host pool and resumes
-        bit-exactly.  Whenever capacity suffices, no preemption fires
-        and all three settings produce bit-identical tokens, eviction
-        logs, and traces.
+        bit-exactly.  ``"model"``: two-way scheduling that picks
+        recompute *or* swap per victim from predicted cost (requires
+        ``cost_model``): the host-link round trip of the victim's
+        resident KV vs re-prefilling its prompt plus generated tokens —
+        short sequences recompute (transfer-dominated), long ones swap
+        (compute grows superlinearly).  Budget-evicted victims always
+        swap: only swap resumes a reshaped cache bit-exactly.  Whenever
+        capacity suffices, no preemption fires and all settings produce
+        bit-identical tokens, eviction logs, and traces.
     auto_fast_forward:
         Jump the round clock over idle gaps to the next queued arrival
         (default, right for a pre-submitted trace).  The serving engine
@@ -538,6 +571,8 @@ class Scheduler:
         prefix_ttl=None,
         prefix_match_mode="token",
         prefill_chunk=None,
+        adaptive_chunk=False,
+        cost_model=None,
         admission_policy=None,
         auto_fast_forward=True,
         preempt="off",
@@ -576,6 +611,29 @@ class Scheduler:
         self.prefill_chunk = (
             None if prefill_chunk is None else int(prefill_chunk)
         )
+        self.adaptive_chunk = bool(adaptive_chunk)
+        self.cost_model = cost_model
+        if self.adaptive_chunk:
+            if self.prefill_chunk is None:
+                raise ValueError(
+                    "adaptive_chunk needs a prefill_chunk to anchor the "
+                    "candidate ladder (it is the x1 rung)"
+                )
+            if cost_model is None:
+                raise ValueError(
+                    "adaptive_chunk needs a cost_model "
+                    "(repro.accel.predictor.RoundCostPredictor) to price "
+                    "candidate chunk budgets"
+                )
+        if preempt == "model" and cost_model is None:
+            raise ValueError(
+                "preempt='model' needs a cost_model "
+                "(repro.accel.predictor.RoundCostPredictor) to price "
+                "recompute vs swap per victim"
+            )
+        #: The chunk budget in force for the current round (equals
+        #: ``prefill_chunk`` unless adaptive chunking re-sized it).
+        self._round_chunk = self.prefill_chunk
         self.admission_policy = admission_policy
         self.auto_fast_forward = bool(auto_fast_forward)
         self.model = model
@@ -630,6 +688,8 @@ class Scheduler:
         self._utilization_sum = 0.0
         self._utilization_rounds = 0
         self._preemption_count = 0
+        self._model_swaps = 0
+        self._model_recomputes = 0
         self._verify_passes = 0
         self._spec_proposed = 0
         self._spec_accepted = 0
@@ -865,9 +925,17 @@ class Scheduler:
             if next_arrival > self.round_index:
                 self.round_index = next_arrival
 
+        # The round's chunk budget must be fixed before headroom is
+        # secured: _round_block_demand sizes this round's prefill claims
+        # from it.
+        self._round_chunk = (
+            self._adaptive_chunk_budget()
+            if self.adaptive_chunk
+            else self.prefill_chunk
+        )
         record = RoundTrace(round_index=self.round_index)
         self._ensure_headroom(record)
-        chunk_budget = self._continue_prefills(record, self.prefill_chunk)
+        chunk_budget = self._continue_prefills(record, self._round_chunk)
         self._admit(record, chunk_budget)
         self._peak_concurrency = max(self._peak_concurrency, len(self._running))
         self._sample_kv_usage()
@@ -917,6 +985,52 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Round stages
     # ------------------------------------------------------------------
+    def _adaptive_chunk_budget(self):
+        """Size this round's chunk budget from predicted cycles.
+
+        The candidate ladder spans power-of-two rungs around the
+        configured ``prefill_chunk`` (``x/4`` … ``4x`` — a small fixed
+        set keeps the predictor's prefill cache hot).  The round's cycle
+        budget is the predicted cost of a max-rung prefill alone; the
+        chosen rung is the largest whose predicted prefill pass fits the
+        budget left after the current decode batch's predicted cycles,
+        so the chunk shrinks monotonically as the decode batch deepens
+        (Sarathi's dynamic split, decided in modeled cycles).  On a
+        fixed paged pool under two-way scheduling, rungs whose block
+        demand exceeds the blocks currently free are also skipped — a
+        bigger chunk that only fits by preempting someone costs more
+        than it saves.  The smallest rung is always available, so
+        prefill progress is never starved.
+        """
+        base = self.prefill_chunk
+        ladder = sorted({max(1, base // 4), max(1, base // 2), base, 2 * base, 4 * base})
+        cost = self.cost_model
+        cycle_budget = cost.prefill_cycles(ladder[-1])
+        decode_lengths = [
+            state.cache[0].length + 1
+            for state in self._running
+            if state.status == RUNNING and state.cache is not None
+        ]
+        decode_cycles = cost.decode_round_cycles(decode_lengths)
+        block_cap = None
+        if (
+            self.paged
+            and not self.block_pool.growable
+            and self.manager.preemptible
+        ):
+            block_cap = self.block_pool.num_free
+        chunk = ladder[0]
+        for candidate in ladder[1:]:
+            if cost.prefill_cycles(candidate) + decode_cycles > cycle_budget:
+                break
+            if (
+                block_cap is not None
+                and self.manager.blocks_for_rows(candidate) > block_cap
+            ):
+                break
+            chunk = candidate
+        return chunk
+
     def _continue_prefills(self, record, chunk_budget):
         """Advance in-flight chunked prefills (admission order) by up to
         ``chunk_budget`` prompt tokens total; returns the budget left
@@ -1163,18 +1277,50 @@ class Scheduler:
             victim.request
         )
 
+    def _choose_preempt_mode(self, state):
+        """Pick recompute or swap for this victim from predicted cost.
+
+        A budget-evicted victim always swaps: recompute re-derives
+        eviction state from a fresh prefill of the extended prompt,
+        which is deterministic but not bit-identical to the
+        uninterrupted schedule — only swap is exact there.  Otherwise
+        the cheaper of the modeled host-link round trip (page the
+        resident KV out now, back in at resume) and the modeled
+        re-prefill of the prompt plus every generated token wins; ties
+        go to swap (no recomputed logits to re-derive).
+        """
+        request = state.request
+        budget = request.budget if request.budget is not None else self.budget
+        if budget is not None:
+            return "swap"
+        cost = self.cost_model
+        kv_slots = max((layer.length for layer in state.cache), default=0)
+        swap_cycles = cost.preempt_swap_cycles(kv_slots)
+        rows = request.prompt.shape[0] + state.num_generated
+        recompute_cycles = cost.preempt_recompute_cycles(rows)
+        return "swap" if swap_cycles <= recompute_cycles else "recompute"
+
     def _preempt(self, state, record):
         """Evict ``state`` from the batch back into the waiting queue.
 
         ``preempt="swap"`` pages its cache and eviction state to the
         host pool (resume is bit-exact); ``"recompute"`` drops
-        everything and re-derives it from a re-prefill at re-admission.
-        Either way the freed slot and blocks are immediately available.
+        everything and re-derives it from a re-prefill at re-admission;
+        ``"model"`` picks whichever the cost model predicts cheaper for
+        *this* victim.  Either way the freed slot and blocks are
+        immediately available.
         """
         state.preemptions += 1
         self._preemption_count += 1
         self._running.remove(state)
-        if self.preempt == "swap":
+        mode = self.preempt
+        if mode == "model":
+            mode = self._choose_preempt_mode(state)
+            if mode == "swap":
+                self._model_swaps += 1
+            else:
+                self._model_recomputes += 1
+        if mode == "swap":
             image = self.manager.swap_out(state)
             state.status = SWAPPED
             state.swapped_out_slots += image.kv_slots
@@ -1248,7 +1394,7 @@ class Scheduler:
         """Upper bound on pool blocks this round's prefill chunks and
         decode steps may claim for the sequences already resident."""
         manager = self.manager
-        chunk_budget = self.prefill_chunk
+        chunk_budget = self._round_chunk
         demand = 0
         for state in self._running:
             budgeted = (
@@ -2161,6 +2307,8 @@ class Scheduler:
             peak_kv_slots=self._peak_kv_slots,
             preempt=self.preempt,
             preemptions=self._preemption_count,
+            model_swaps=self._model_swaps,
+            model_recomputes=self._model_recomputes,
             swap_outs=manager.swap_outs,
             swap_ins=manager.swap_ins,
             swap_out_blocks=manager.swap_out_blocks,

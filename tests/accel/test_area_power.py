@@ -59,3 +59,51 @@ class TestParametricScaling:
     def test_totals_helpers(self, model):
         assert model.total_area_mm2() == pytest.approx(1.058, rel=0.02)
         assert model.total_power_w() == pytest.approx(0.375, rel=0.02)
+
+
+class TestRunEnergy:
+    """The pJ-denominated constants must land in joules explicitly."""
+
+    def test_mac_energy_pj_to_joules(self, model):
+        """1e12 MACs at ENERGY_MAC pJ each is exactly ENERGY_MAC joules
+        (the 1e-12 pJ->J conversion, isolated: no cycles, no traffic)."""
+        energy = model.run_energy_joules(cycles=0, macs=1e12, hbm_bytes=0)
+        assert energy == pytest.approx(model.ENERGY_MAC)
+
+    def test_dram_energy_pj_per_bit_to_joules(self, model):
+        """One byte moves 8 bits at ENERGY_HBM_PJ_PER_BIT pJ each."""
+        energy = model.run_energy_joules(cycles=0, macs=0, hbm_bytes=1e12)
+        assert energy == pytest.approx(8.0 * model.ENERGY_HBM_PJ_PER_BIT)
+
+    def test_background_power_times_wall_time(self, model):
+        """With no activity, a one-second run burns exactly the static
+        (non-PE-array) power budget."""
+        one_second_cycles = model.hw.clock_ghz * 1e9
+        energy = model.run_energy_joules(one_second_cycles, macs=0, hbm_bytes=0)
+        background_w = model.total_power_w() - model.pe_array().power_mw * 1e-3
+        assert energy == pytest.approx(background_w)
+
+    def test_components_sum(self, model):
+        cycles, macs, hbm = 1e9, 3e11, 5e9
+        total = model.run_energy_joules(cycles, macs, hbm)
+        parts = (
+            model.run_energy_joules(cycles, 0, 0)
+            + model.run_energy_joules(0, macs, 0)
+            + model.run_energy_joules(0, 0, hbm)
+        )
+        assert total == pytest.approx(parts)
+
+    def test_joules_per_token(self, model):
+        energy = model.run_energy_joules(1e9, 3e11, 5e9)
+        assert model.joules_per_token(1e9, 3e11, 5e9, tokens=10) == pytest.approx(
+            energy / 10
+        )
+        assert model.joules_per_token(1e9, 3e11, 5e9, tokens=0) == 0.0
+
+    def test_negative_inputs_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.run_energy_joules(-1, 0, 0)
+        with pytest.raises(ValueError):
+            model.run_energy_joules(0, -1, 0)
+        with pytest.raises(ValueError):
+            model.run_energy_joules(0, 0, -1)

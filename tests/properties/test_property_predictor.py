@@ -1,0 +1,139 @@
+"""Property-based tests: the memoized round-cost predictor.
+
+The predictor's contract is *exactness*, not approximation: every cached
+re-assembly must reproduce the uncached ``AcceleratorSimulator`` result
+bit-for-bit, and the scalar helpers the scheduler leans on must be
+monotone in the work they price (a bigger chunk or a wider decode batch
+can never be predicted cheaper).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.config import baseline_config, veda_config
+from repro.accel.predictor import RoundCostPredictor
+from repro.accel.simulator import AcceleratorSimulator
+from repro.config import llama2_7b_shapes
+
+MODEL = llama2_7b_shapes()
+#: Shared across examples on purpose: later examples re-hit earlier
+#: examples' cache entries, so equality also covers the warm path.
+PREDICTOR = RoundCostPredictor(veda_config(), MODEL)
+SIMULATOR = AcceleratorSimulator(veda_config(), MODEL)
+FIXED_PREDICTOR = RoundCostPredictor(baseline_config(), MODEL)
+FIXED_SIMULATOR = AcceleratorSimulator(baseline_config(), MODEL)
+
+rows = st.integers(1, 384)
+prefixes = st.integers(0, 128)
+lengths = st.integers(1, 512)
+batches = st.lists(st.integers(1, 512), min_size=1, max_size=6)
+dataflows = st.sampled_from(["auto", "prefill", "decode"])
+
+
+def _phase_tuple(stats):
+    return (
+        stats.cycles,
+        stats.linear_cycles,
+        stats.attention.total,
+        stats.nonlinear_cycles,
+        stats.interconnect_cycles,
+        stats.macs,
+        stats.hbm_bytes,
+        stats.interconnect_bytes,
+    )
+
+
+def _round_tuple(stats):
+    return (
+        stats.cycles,
+        stats.linear_cycles,
+        stats.attention_cycles,
+        stats.nonlinear_cycles,
+        stats.interconnect_cycles,
+        stats.macs,
+        stats.hbm_bytes,
+        stats.interconnect_bytes,
+        tuple(stats.per_sequence_attention),
+    )
+
+
+class TestPredictorMatchesSimulator:
+    @given(rows, prefixes, dataflows)
+    @settings(max_examples=60, deadline=None)
+    def test_prefill_bitwise_equal(self, prompt, prefix, dataflow):
+        """Cached prefill is the simulator's, bit for bit (the issue's
+        <1% agreement bar, met with error exactly 0)."""
+        fast = PREDICTOR.prefill(prompt, dataflow=dataflow, prefix_length=prefix)
+        slow = SIMULATOR.prefill(prompt, dataflow=dataflow, prefix_length=prefix)
+        assert _phase_tuple(fast) == _phase_tuple(slow)
+
+    @given(batches, dataflows)
+    @settings(max_examples=60, deadline=None)
+    def test_decode_round_bitwise_equal(self, cache_lengths, dataflow):
+        fast = PREDICTOR.decode_round(cache_lengths, dataflow=dataflow)
+        slow = SIMULATOR.decode_round(cache_lengths, dataflow=dataflow)
+        assert _round_tuple(fast) == _round_tuple(slow)
+
+    @given(st.lists(rows, min_size=0, max_size=3), batches)
+    @settings(max_examples=40, deadline=None)
+    def test_mixed_round_bitwise_equal(self, prefill_lengths, decode_lengths):
+        fast = PREDICTOR.mixed_round(
+            prefill_lengths=prefill_lengths, decode_lengths=decode_lengths
+        )
+        slow = SIMULATOR.mixed_round(
+            prefill_lengths=prefill_lengths, decode_lengths=decode_lengths
+        )
+        assert fast.cycles == slow.cycles
+        assert fast.macs == slow.macs
+        assert fast.hbm_bytes == slow.hbm_bytes
+
+    @given(rows, prefixes)
+    @settings(max_examples=30, deadline=None)
+    def test_fixed_dataflow_hardware_equal(self, prompt, prefix):
+        """The baseline array resolves every selection to one tiled
+        mapping; the cache keys on the resolved mapping and must agree."""
+        fast = FIXED_PREDICTOR.prefill(prompt, prefix_length=prefix)
+        slow = FIXED_SIMULATOR.prefill(prompt, prefix_length=prefix)
+        assert _phase_tuple(fast) == _phase_tuple(slow)
+
+
+class TestPredictedCostMonotone:
+    @given(rows, st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_prefill_nondecreasing_in_chunk_rows(self, prompt, extra):
+        """A bigger prefill chunk never predicts cheaper — the ordering
+        the adaptive chunk ladder's budget search relies on."""
+        assert PREDICTOR.prefill_cycles(prompt + extra) >= PREDICTOR.prefill_cycles(
+            prompt
+        )
+
+    @given(batches, lengths)
+    @settings(max_examples=60, deadline=None)
+    def test_decode_nondecreasing_in_width(self, cache_lengths, added):
+        """Admitting one more decode sequence never predicts cheaper."""
+        wider = cache_lengths + [added]
+        assert PREDICTOR.decode_round_cycles(wider) >= PREDICTOR.decode_round_cycles(
+            cache_lengths
+        )
+
+    @given(batches, st.integers(0, 5), st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_decode_nondecreasing_in_length(self, cache_lengths, index, grow):
+        """A longer resident KV never predicts a cheaper round."""
+        index %= len(cache_lengths)
+        longer = list(cache_lengths)
+        longer[index] += grow
+        assert PREDICTOR.decode_round_cycles(longer) >= PREDICTOR.decode_round_cycles(
+            cache_lengths
+        )
+
+    @given(lengths)
+    @settings(max_examples=30, deadline=None)
+    def test_preempt_prices_positive(self, kv_slots):
+        """Both preemption mechanisms cost real cycles, and a swap-out
+        plus swap-in is exactly two one-way transfers."""
+        assert PREDICTOR.preempt_swap_cycles(kv_slots) == 2 * PREDICTOR.swap_cycles(
+            kv_slots
+        )
+        assert PREDICTOR.preempt_swap_cycles(kv_slots) > 0
+        assert PREDICTOR.preempt_recompute_cycles(kv_slots) > 0

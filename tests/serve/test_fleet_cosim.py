@@ -158,3 +158,18 @@ class TestFleetAggregation:
         assert "allreduce_cycles" not in flat
         assert sharded["tp"] == 2
         assert sharded["allreduce_cycles"] > 0
+
+    def test_energy_pools_over_replicas(self, played_fleet):
+        """Replicas are separate devices: fleet joules are the *sum* of
+        per-replica joules (unlike the max-over-replicas makespan), and
+        joules/token divides by the pooled token count."""
+        hw, shapes = veda_config(), llama2_7b_shapes()
+        priced = played_fleet.cosim(hw=hw, hw_model=shapes)
+        assert priced.energy_joules == pytest.approx(
+            sum(r.energy_joules for r in priced.replicas)
+        )
+        assert priced.energy_joules > 0
+        assert priced.joules_per_token == pytest.approx(
+            priced.energy_joules / priced.total_tokens
+        )
+        assert priced.summary()["joules/token"] == priced.joules_per_token
